@@ -1,0 +1,175 @@
+// Macro-benchmarks regenerating the paper's evaluation (one per table and
+// figure, reduced sweeps). Each benchmark runs the corresponding harness
+// experiment inside the deterministic simulator and reports the headline
+// metrics; `cmd/hoverbench` runs the same experiments at full scale.
+//
+//	go test -bench=. -benchmem
+package hovercraft_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hovercraft/internal/core"
+	"hovercraft/internal/harness"
+	"hovercraft/internal/loadgen"
+	"hovercraft/internal/simcluster"
+	"hovercraft/internal/simnet"
+)
+
+// benchScale keeps individual benchmarks in the seconds range.
+func benchScale() harness.Scale {
+	return harness.Scale{
+		Warmup:   5 * time.Millisecond,
+		Duration: 25 * time.Millisecond,
+		Points:   3,
+		Seed:     42,
+	}
+}
+
+// reportCurves turns max-under-SLO values into benchmark metrics.
+// Metric units must not contain whitespace, so curve labels are
+// underscored ("HovercRaft++ N=3" → "HovercRaft++_N=3_kRPS_SLO").
+func reportCurves(b *testing.B, rep *harness.Report) {
+	b.Helper()
+	for _, c := range rep.Curves {
+		label := strings.ReplaceAll(c.Label, " ", "_")
+		b.ReportMetric(c.MaxUnderSLO(harness.SLO), label+"_kRPS_SLO")
+	}
+}
+
+func BenchmarkTable1MessageComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := harness.Table1(benchScale())
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != 3 {
+			b.Fatal("table1 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig7BaselineLatencyThroughput(b *testing.B) {
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = harness.Fig7(benchScale())
+	}
+	reportCurves(b, rep)
+}
+
+func BenchmarkFig8RequestSizeSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := harness.Fig8(benchScale())
+		if len(rep.Tables[0].Rows) != 4 {
+			b.Fatal("fig8 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig9ClusterSizeScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := harness.Fig9(benchScale())
+		if len(rep.Tables[0].Rows) != 3 {
+			b.Fatal("fig9 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig10ReplyLoadBalancing(b *testing.B) {
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = harness.Fig10(benchScale())
+	}
+	reportCurves(b, rep)
+}
+
+func BenchmarkFig11JBSQvsRandom(b *testing.B) {
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = harness.Fig11(benchScale())
+	}
+	reportCurves(b, rep)
+}
+
+func BenchmarkFig12LeaderFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		rep := harness.Fig12(sc)
+		if len(rep.Series) != 2 {
+			b.Fatal("fig12 series missing")
+		}
+	}
+}
+
+func BenchmarkFig13YCSBERedis(b *testing.B) {
+	var rep *harness.Report
+	for i := 0; i < b.N; i++ {
+		rep = harness.Fig13(benchScale())
+	}
+	reportCurves(b, rep)
+}
+
+// BenchmarkAblationBatchInterval quantifies the AppendEntries batching
+// design choice (DESIGN.md §4): smaller tick intervals reduce latency but
+// raise the leader's packet rate (messages per request).
+func BenchmarkAblationBatchInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, tick := range []time.Duration{5 * time.Microsecond, 10 * time.Microsecond, 40 * time.Microsecond} {
+			cl := simcluster.New(simcluster.Options{
+				Setup: simcluster.SetupHovercraft, Nodes: 3, Seed: 42,
+				TickInterval: tick,
+			})
+			client := loadgen.NewClient(cl.Net, "c", defaultClientHost(), loadgen.ClientConfig{
+				Rate: 300_000, Warmup: 5 * time.Millisecond, Duration: 20 * time.Millisecond,
+				Timeout: 20 * time.Millisecond,
+				Workload: &loadgen.Synthetic{
+					ServiceTime: loadgen.Fixed(time.Microsecond), ReqSize: 24, ReplySize: 8,
+				},
+				Target: cl.ServiceAddr, Port: 1000,
+			})
+			cl.Start()
+			client.Start()
+			cl.Run(50 * time.Millisecond)
+			res := client.Result()
+			b.ReportMetric(float64(res.Latency.P99.Microseconds()),
+				"p99us_tick"+tick.String())
+		}
+	}
+}
+
+func defaultClientHost() simnet.HostConfig { return simnet.DefaultHostConfig() }
+
+// BenchmarkAblationBoundB quantifies the bounded-queue depth (§3.4):
+// larger B improves load balancing freedom, smaller B bounds reply loss.
+func BenchmarkAblationBoundB(b *testing.B) {
+	wl := harness.SyntheticSpec{
+		Service: loadgen.PaperBimodal(10 * time.Microsecond), ReqSize: 24, ReadFrac: 0.75,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, bound := range []int{4, 32, 256} {
+			sys := harness.HovercraftPP(3)
+			sys.DisableReplyLB = false
+			sys.Bound = bound
+			sys.Policy = core.PolicyJBSQ
+			res := harness.RunPoint(sys, wl, 150_000, harness.RunConfig{
+				Seed: 42, Warmup: 5 * time.Millisecond,
+				Duration: 25 * time.Millisecond, Clients: 2,
+			})
+			b.ReportMetric(float64(res.Point.P99.Microseconds()),
+				"p99us_B"+itoa(bound))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

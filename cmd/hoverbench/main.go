@@ -1,0 +1,60 @@
+// Command hoverbench regenerates the tables and figures of the HovercRaft
+// paper's evaluation (EuroSys'20 §7) inside the deterministic simulator.
+//
+// Usage:
+//
+//	hoverbench -experiment fig7          # one experiment, full scale
+//	hoverbench -experiment all -quick    # everything, CI scale
+//	hoverbench -list
+//
+// Every experiment prints the paper's claim, the measured rows/series,
+// and notes about fidelity caveats. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hovercraft/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig7..fig13, all)")
+		quick      = flag.Bool("quick", false, "reduced sweep for fast runs")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	scale := harness.FullScale()
+	if *quick {
+		scale = harness.QuickScale()
+	}
+	scale.Seed = *seed
+
+	ids := harness.Experiments()
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := harness.Run(id, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("[%s completed in %v wall time]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,170 @@
+// Command hoverkv is the client CLI for hovernode's key-value store.
+//
+//	hoverkv -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 set k v
+//	hoverkv -peers ... get k
+//	hoverkv -peers ... insert user42 field0=hello field1=world
+//	hoverkv -peers ... scan user 10
+//	hoverkv -peers ... bench -n 10000          # YCSB-E style micro-bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hovercraft/internal/kvstore"
+	"hovercraft/internal/stats"
+	"hovercraft/internal/transport"
+	"hovercraft/internal/ycsb"
+)
+
+func main() {
+	peersFlag := flag.String("peers", "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
+		"comma-separated node addresses")
+	benchN := flag.Int("n", 10000, "operations for the bench subcommand")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	cl, err := transport.Dial(strings.Split(*peersFlag, ","))
+	if err != nil {
+		log.Fatalf("hoverkv: %v", err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "set":
+		need(args, 3)
+		reply, err := cl.Call(kvstore.EncodeSet(args[1], []byte(args[2])), false)
+		report(reply, err)
+	case "get":
+		need(args, 2)
+		reply, err := cl.Call(kvstore.EncodeGet(args[1]), true)
+		reportValue(reply, err)
+	case "del":
+		need(args, 2)
+		reply, err := cl.Call(kvstore.EncodeDel(args[1]), false)
+		report(reply, err)
+	case "insert":
+		need(args, 3)
+		var fields []kvstore.Field
+		for _, f := range args[2:] {
+			kv := strings.SplitN(f, "=", 2)
+			if len(kv) != 2 {
+				log.Fatalf("hoverkv: bad field %q (want name=value)", f)
+			}
+			fields = append(fields, kvstore.Field{Name: kv[0], Value: []byte(kv[1])})
+		}
+		reply, err := cl.Call(kvstore.EncodeInsert(args[1], fields), false)
+		report(reply, err)
+	case "scan":
+		need(args, 3)
+		max, err := strconv.Atoi(args[2])
+		if err != nil {
+			log.Fatalf("hoverkv: bad count %q", args[2])
+		}
+		reply, err := cl.Call(kvstore.EncodeScan(args[1], uint16(max)), true)
+		if err != nil {
+			log.Fatalf("hoverkv: %v", err)
+		}
+		recs, err := kvstore.DecodeScanReply(reply)
+		if err != nil {
+			log.Fatalf("hoverkv: %v", err)
+		}
+		keys := make([]string, 0, len(recs))
+		for k := range recs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s\t(%d bytes)\n", k, len(recs[k]))
+		}
+	case "bench":
+		bench(cl, *benchN)
+	default:
+		usage()
+	}
+}
+
+func bench(cl *transport.Client, n int) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	w := ycsb.NewWorkloadE(100)
+	for _, op := range w.LoadOps() {
+		if _, err := cl.Call(op.Payload, false); err != nil {
+			log.Fatalf("hoverkv: load: %v", err)
+		}
+	}
+	hist := stats.NewHistogram()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op := w.Next(rng)
+		t0 := time.Now()
+		if _, err := cl.Call(op.Payload, op.ReadOnly); err != nil {
+			log.Fatalf("hoverkv: op %d: %v", i, err)
+		}
+		hist.RecordDuration(time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d YCSB-E ops in %v: %.0f ops/s\n", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	fmt.Printf("latency: %v\n", hist.Summary())
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func report(reply []byte, err error) {
+	if err != nil {
+		log.Fatalf("hoverkv: %v", err)
+	}
+	st, _ := kvstore.DecodeStatus(reply)
+	switch st {
+	case kvstore.StatusOK:
+		fmt.Println("OK")
+	case kvstore.StatusNotFound:
+		fmt.Println("(not found)")
+	default:
+		fmt.Println("(error)")
+	}
+}
+
+func reportValue(reply []byte, err error) {
+	if err != nil {
+		log.Fatalf("hoverkv: %v", err)
+	}
+	st, body := kvstore.DecodeStatus(reply)
+	switch st {
+	case kvstore.StatusOK:
+		if len(body) >= 4 {
+			fmt.Println(string(body[4:])) // strip the length prefix
+		}
+	case kvstore.StatusNotFound:
+		fmt.Println("(not found)")
+	default:
+		fmt.Println("(error)")
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: hoverkv [-peers a,b,c] <command>
+commands:
+  set <key> <value>
+  get <key>
+  del <key>
+  insert <key> <field=value>...
+  scan <startKey> <count>
+  bench [-n ops]
+`)
+	os.Exit(2)
+}

@@ -1,0 +1,153 @@
+// Command hovernode runs one HovercRaft replica serving the bundled
+// Redis-like key-value store over UDP.
+//
+// A local three-node cluster:
+//
+//	hovernode -id 1 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 -bootstrap &
+//	hovernode -id 2 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//	hovernode -id 3 -peers 1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003 &
+//
+// HovercRaft++ additionally needs the aggregator process:
+//
+//	hovernode -aggregator-daemon -listen 127.0.0.1:7100 -peers ...
+//	hovernode -id 1 -mode hovercraft++ -aggregator 127.0.0.1:7100 -peers ... -bootstrap
+//
+// Drive it with cmd/hoverkv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hovercraft/internal/core"
+	"hovercraft/internal/kvstore"
+	"hovercraft/internal/raft"
+	"hovercraft/internal/transport"
+)
+
+func parsePeers(s string) (map[uint32]string, error) {
+	peers := make(map[uint32]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		peers[uint32(id)] = kv[1]
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers given")
+	}
+	return peers, nil
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch strings.ToLower(s) {
+	case "vanilla":
+		return core.ModeVanilla, nil
+	case "hovercraft":
+		return core.ModeHovercraft, nil
+	case "hovercraft++", "hovercraftpp":
+		return core.ModeHovercraftPP, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (vanilla, hovercraft, hovercraft++)", s)
+	}
+}
+
+func main() {
+	var (
+		id        = flag.Uint("id", 0, "this node's ID (must appear in -peers)")
+		peersFlag = flag.String("peers", "", "cluster membership: 1=host:port,2=host:port,...")
+		modeFlag  = flag.String("mode", "hovercraft", "protocol: vanilla | hovercraft | hovercraft++")
+		agg       = flag.String("aggregator", "", "aggregator address (hovercraft++ mode)")
+		bootstrap = flag.Bool("bootstrap", false, "campaign for leadership immediately")
+		bound     = flag.Int("bound", 128, "bounded-queue depth B for reply load balancing")
+		tick      = flag.Duration("tick", time.Millisecond, "protocol tick interval")
+		walDir    = flag.String("wal", "", "directory for the write-ahead log (empty = volatile)")
+		walSync   = flag.Bool("wal-sync", false, "fsync every WAL record")
+		compact   = flag.Uint64("compact-every", 100000, "snapshot+truncate the log every N applied entries (0 = never)")
+
+		aggDaemon = flag.Bool("aggregator-daemon", false, "run the in-network aggregator instead of a replica")
+		listen    = flag.String("listen", "", "listen address for -aggregator-daemon")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatalf("hovernode: %v", err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *aggDaemon {
+		if *listen == "" {
+			log.Fatal("hovernode: -aggregator-daemon needs -listen")
+		}
+		a, err := transport.NewAggregatorServer(*listen, peers)
+		if err != nil {
+			log.Fatalf("hovernode: %v", err)
+		}
+		log.Printf("aggregator listening on %s for %d nodes", a.Addr(), len(peers))
+		<-sig
+		a.Close()
+		return
+	}
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		log.Fatalf("hovernode: %v", err)
+	}
+	store := kvstore.New()
+	cfg := transport.ServerConfig{
+		ID:           uint32(*id),
+		Peers:        peers,
+		Mode:         mode,
+		Aggregator:   *agg,
+		Bound:        *bound,
+		TickInterval: *tick,
+		CompactEvery: *compact,
+	}
+	if *walDir != "" {
+		fs, recovered, err := raft.OpenFileStorage(*walDir, *walSync)
+		if err != nil {
+			log.Fatalf("hovernode: %v", err)
+		}
+		defer fs.Close()
+		cfg.Storage = fs
+		cfg.Recovered = recovered
+		log.Printf("recovered term=%d snap=%d entries=%d from %s",
+			recovered.Term, recovered.SnapIdx, len(recovered.Entries), *walDir)
+	}
+	srv, err := transport.NewServer(cfg, store)
+	if err != nil {
+		log.Fatalf("hovernode: %v", err)
+	}
+	log.Printf("node %d (%s) serving kvstore on %s", *id, mode, srv.Addr())
+	if *bootstrap {
+		srv.Campaign()
+	}
+
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-sig:
+			log.Printf("shutting down")
+			srv.Close()
+			return
+		case <-status.C:
+			log.Printf("status: %v", srv.Status())
+		}
+	}
+}

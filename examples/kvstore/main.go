@@ -1,0 +1,44 @@
+// The paper's headline application result (§7.5, Fig. 13), as a demo:
+// the Redis-like store under YCSB-E (95% SCAN / 5% INSERT), unreplicated
+// vs HovercRaft++ on 3/5/7 nodes in the deterministic simulator.
+//
+// Replication is supposed to cost performance; HovercRaft makes it *buy*
+// performance: SCANs are totally ordered for linearizability but executed
+// by a single load-balanced replica each, so the cluster's aggregate CPU
+// serves the read-mostly workload while every INSERT still replicates
+// everywhere.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hovercraft/internal/harness"
+)
+
+func main() {
+	fmt.Println("YCSB-E on the Redis-like store (95% SCAN / 5% INSERT, 1kB records)")
+	fmt.Println("measuring max throughput under a 500µs p99 SLO...")
+	fmt.Println()
+
+	sc := harness.QuickScale()
+	sc.Duration = 60 * time.Millisecond
+	rep := harness.Fig13(sc)
+
+	var unrep float64
+	for _, curve := range rep.Curves {
+		max := curve.MaxUnderSLO(harness.SLO)
+		speedup := ""
+		if curve.Label == "UnRep" {
+			unrep = max
+		} else if unrep > 0 {
+			speedup = fmt.Sprintf("  (%.1fx over unreplicated)", max/unrep)
+		}
+		fmt.Printf("  %-18s %6.0f kOps/s%s\n", curve.Label, max, speedup)
+	}
+	fmt.Println()
+	fmt.Println("The paper reports ≈4x on 7 nodes — Amdahl-limited because only")
+	fmt.Println("the 95% SCAN share load balances; INSERTs run on every replica.")
+}

@@ -1,0 +1,94 @@
+// Quickstart: make a plain Go state machine fault-tolerant with the
+// public hovercraft API — three replicas over UDP loopback, a counter as
+// the application, zero application changes for replication.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"hovercraft"
+)
+
+// counter is the application: a single uint64 with two commands.
+// Apply is deterministic, so replicas stay identical — that is the only
+// requirement HovercRaft places on the application.
+type counter struct{ n uint64 }
+
+func (c *counter) Apply(cmd []byte, readOnly bool) []byte {
+	if string(cmd) == "incr" && !readOnly {
+		c.n++
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, c.n)
+	return out
+}
+
+func freePort() string {
+	l, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	return l.LocalAddr().String()
+}
+
+func main() {
+	peers := map[uint32]string{1: freePort(), 2: freePort(), 3: freePort()}
+
+	// One replica per process in real deployments; in-process here.
+	var nodes []*hovercraft.Node
+	for id := range peers {
+		n, err := hovercraft.Start(hovercraft.Config{
+			ID:    id,
+			Peers: peers,
+			// Fast timers for a demo on loopback.
+			TickInterval: 2 * time.Millisecond,
+		}, &counter{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	nodes[0].Campaign() // bootstrap the first election deterministically
+
+	addrs := make([]string, 0, len(peers))
+	for _, a := range peers {
+		addrs = append(addrs, a)
+	}
+	client, err := hovercraft.Dial(addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Writes are totally ordered and applied on every replica.
+	for i := 0; i < 10; i++ {
+		reply, err := client.Call([]byte("incr"), false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("incr -> %d\n", binary.BigEndian.Uint64(reply))
+	}
+
+	// Reads are linearizable but executed by a single replica — the
+	// designated replier — which answers the client directly.
+	reply, err := client.Call([]byte("get"), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get  -> %d (linearizable read, load-balanced executor)\n",
+		binary.BigEndian.Uint64(reply))
+
+	for _, n := range nodes {
+		st := n.Status()
+		fmt.Printf("replica status: leader=%d term=%d commit=%d applied=%d\n",
+			st.Leader, st.Term, st.Commit, st.Applied)
+	}
+}

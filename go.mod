@@ -1,0 +1,3 @@
+module hovercraft
+
+go 1.22

@@ -1,0 +1,174 @@
+// Package hovercraft makes deterministic request/response services
+// fault-tolerant with no code changes, implementing the HovercRaft
+// protocol (Kogias & Bugnion, EuroSys'20): Raft embedded directly in the
+// R2P2 RPC layer, extended to separate request replication from ordering
+// and to load-balance client replies and read-only execution across
+// replicas — so adding nodes buys both resilience and performance.
+//
+// # Quick start
+//
+// Implement StateMachine (or use the bundled Redis-like store), start one
+// Node per replica, and point a Client at the cluster:
+//
+//	sm := hovercraft.Func(func(cmd []byte, readOnly bool) []byte { ... })
+//	node, _ := hovercraft.Start(hovercraft.Config{
+//	    ID:    1,
+//	    Peers: map[uint32]string{1: ":7001", 2: ":7002", 3: ":7003"},
+//	}, sm)
+//	defer node.Close()
+//
+//	client, _ := hovercraft.Dial([]string{"h1:7001", "h2:7002", "h3:7003"})
+//	reply, _ := client.Call([]byte("INCR x"), false)
+//
+// Writes (readOnly=false) are totally ordered and executed on every
+// replica; reads (readOnly=true) are totally ordered for linearizability
+// but executed only by one replica — the designated replier — which
+// answers the client directly.
+//
+// The deterministic discrete-event evaluation of the paper lives under
+// internal/harness and is driven by cmd/hoverbench.
+package hovercraft
+
+import (
+	"time"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/core"
+	"hovercraft/internal/transport"
+)
+
+// StateMachine is the application made fault-tolerant. Apply must be
+// deterministic: given the same sequence of non-read-only commands, every
+// replica must reach the same state. Apply is never called concurrently.
+type StateMachine interface {
+	// Apply executes one command and returns the reply payload.
+	// readOnly commands must not mutate state.
+	Apply(cmd []byte, readOnly bool) []byte
+}
+
+// Func adapts a function to the StateMachine interface.
+type Func func(cmd []byte, readOnly bool) []byte
+
+// Apply implements StateMachine.
+func (f Func) Apply(cmd []byte, readOnly bool) []byte { return f(cmd, readOnly) }
+
+// Protocol selects the replication protocol variant.
+type Protocol uint8
+
+const (
+	// HovercRaft (default) replicates requests by client fan-out and
+	// orders them with metadata-only AppendEntries; replies and
+	// read-only execution are load balanced across replicas.
+	HovercRaft Protocol = iota
+	// VanillaRaft is classic Raft-over-RPC: all client traffic and
+	// execution burden the leader. Provided as the paper's baseline.
+	VanillaRaft
+	// HovercRaftPP additionally offloads AppendEntries fan-out/fan-in
+	// to an aggregator process (see cmd/hovernode -aggregator).
+	HovercRaftPP
+)
+
+// Config configures one replica.
+type Config struct {
+	// ID is this node's identity; it must be a key of Peers.
+	ID uint32
+	// Peers maps node IDs to UDP addresses for the whole cluster.
+	Peers map[uint32]string
+	// Protocol defaults to HovercRaft.
+	Protocol Protocol
+	// Aggregator is the aggregator's UDP address (HovercRaftPP only).
+	Aggregator string
+
+	// TickInterval is the protocol timer quantum (default 1ms).
+	TickInterval time.Duration
+	// ElectionTicks and HeartbeatTicks are expressed in ticks
+	// (defaults 150 and 20).
+	ElectionTicks  int
+	HeartbeatTicks int
+	// Bound is the bounded-queue depth B for reply load balancing
+	// (default 128). Smaller B loses fewer replies when a replica
+	// dies; larger B load balances more aggressively.
+	Bound int
+	// DisableReplyLB pins all replies to the leader.
+	DisableReplyLB bool
+}
+
+// Node is a running replica.
+type Node struct {
+	srv *transport.Server
+}
+
+type smService struct{ sm StateMachine }
+
+func (s smService) Execute(payload []byte, readOnly bool) []byte {
+	return s.sm.Apply(payload, readOnly)
+}
+
+var _ app.Service = smService{}
+
+// Start launches a replica serving sm.
+func Start(cfg Config, sm StateMachine) (*Node, error) {
+	mode := core.ModeHovercraft
+	switch cfg.Protocol {
+	case VanillaRaft:
+		mode = core.ModeVanilla
+	case HovercRaftPP:
+		mode = core.ModeHovercraftPP
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		ID:             cfg.ID,
+		Peers:          cfg.Peers,
+		Mode:           mode,
+		Aggregator:     cfg.Aggregator,
+		TickInterval:   cfg.TickInterval,
+		ElectionTicks:  cfg.ElectionTicks,
+		HeartbeatTicks: cfg.HeartbeatTicks,
+		Bound:          cfg.Bound,
+		DisableReplyLB: cfg.DisableReplyLB,
+	}, smService{sm: sm})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{srv: srv}, nil
+}
+
+// IsLeader reports whether this replica currently leads the cluster.
+func (n *Node) IsLeader() bool { return n.srv.IsLeader() }
+
+// Status describes the replica's consensus state.
+type Status struct {
+	Leader  uint32
+	Term    uint64
+	Commit  uint64
+	Applied uint64
+}
+
+// Status returns a snapshot of the replica's consensus state.
+func (n *Node) Status() Status {
+	st := n.srv.Status()
+	return Status{
+		Leader:  uint32(st.Lead),
+		Term:    st.Term,
+		Commit:  st.Commit,
+		Applied: st.Applied,
+	}
+}
+
+// Campaign asks this replica to run for leader immediately. Useful to
+// bootstrap a fresh cluster deterministically; otherwise the randomized
+// election timeout elects someone within a few election periods.
+func (n *Node) Campaign() { n.srv.Campaign() }
+
+// Close shuts the replica down.
+func (n *Node) Close() error { return n.srv.Close() }
+
+// Client issues requests against a HovercRaft cluster.
+type Client = transport.Client
+
+// ClientOptions tune a client; the zero value works.
+type ClientOptions = transport.ClientOptions
+
+// Dial connects a client to the cluster's node addresses.
+func Dial(peers []string, opts ...ClientOptions) (*Client, error) {
+	return transport.Dial(peers, opts...)
+}

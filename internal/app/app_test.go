@@ -1,0 +1,76 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSynthRequestRoundTrip(t *testing.T) {
+	p := SynthRequest(5*time.Microsecond, 100, 64)
+	if len(p) != 64 {
+		t.Fatalf("len = %d", len(p))
+	}
+	s := &SynthService{}
+	if got := s.Cost(p, false); got != 5*time.Microsecond {
+		t.Fatalf("cost = %v", got)
+	}
+	reply := s.Execute(p, false)
+	if len(reply) != 100 {
+		t.Fatalf("reply = %d", len(reply))
+	}
+	if s.Executed != 1 {
+		t.Fatalf("executed = %d", s.Executed)
+	}
+}
+
+func TestSynthRequestMinimumSize(t *testing.T) {
+	p := SynthRequest(time.Microsecond, 8, 0)
+	if len(p) != synthHeader {
+		t.Fatalf("len = %d, want header minimum", len(p))
+	}
+}
+
+func TestSynthServiceDegenerateInputs(t *testing.T) {
+	s := &SynthService{}
+	if got := s.Execute(nil, false); len(got) != 8 {
+		t.Fatalf("nil payload reply = %d", len(got))
+	}
+	if got := s.Cost(nil, false); got != 0 {
+		t.Fatalf("nil payload cost = %v", got)
+	}
+	// Zero reply size clamps to 1.
+	p := SynthRequest(0, 0, 24)
+	if got := s.Execute(p, true); len(got) != 1 {
+		t.Fatalf("zero reply size = %d", len(got))
+	}
+}
+
+func TestSynthServiceProperty(t *testing.T) {
+	f := func(svcUs uint16, replySize uint16, reqSize uint16) bool {
+		svc := time.Duration(svcUs) * time.Microsecond
+		p := SynthRequest(svc, int(replySize), int(reqSize))
+		s := &SynthService{}
+		if s.Cost(p, false) != svc {
+			return false
+		}
+		want := int(replySize)
+		if want < 1 {
+			want = 1
+		}
+		return len(s.Execute(p, false)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedCost(t *testing.T) {
+	fc := FixedCost{Service: &SynthService{}, PerOp: 7 * time.Microsecond}
+	if fc.Cost([]byte("anything"), true) != 7*time.Microsecond {
+		t.Fatal("fixed cost not fixed")
+	}
+	if fc.Execute(SynthRequest(0, 4, 24), false) == nil {
+		t.Fatal("embedded service not reachable")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"sort"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// AggTransport is how the aggregator reaches the cluster. In the
+// simulator it is backed by a host with per-leader multicast groups; the
+// real Tofino pipeline of the paper performs the same forwarding in
+// hardware.
+type AggTransport interface {
+	// ForwardToFollowers multicasts datagrams to every node except the
+	// current leader.
+	ForwardToFollowers(leader raft.NodeID, dgs [][]byte)
+	// Broadcast multicasts datagrams to every node including the leader.
+	Broadcast(dgs [][]byte)
+	// SendToNode sends datagrams to a single node.
+	SendToNode(id raft.NodeID, dgs [][]byte)
+}
+
+// Aggregator is the HovercRaft++ in-network accelerator (§4, Fig. 6),
+// modeled after the paper's Tofino P4 pipeline. It keeps only soft state
+// (per-follower match and completed registers, the current term, the
+// commit index, and the duplicate-announcement pending flag); all of it
+// is flushed on a term change, so a replacement aggregator can start
+// empty. It should be viewed as part of the leader: it undertakes the
+// leader's fan-out/fan-in packet processing in the non-failure case.
+type Aggregator struct {
+	tr    AggTransport
+	nodes []raft.NodeID
+
+	term    uint64
+	leader  raft.NodeID
+	match   map[raft.NodeID]uint64
+	applied map[raft.NodeID]uint64
+	commit  uint64
+
+	// lastAnnounced is the highest log index the leader has announced;
+	// pending is set when the leader re-announces an already committed
+	// index (idle heartbeat or lost reply), in which case the next
+	// follower reply triggers an AGG_COMMIT even without commit
+	// progress (the check_log_idx / set_pending / check_pending stages
+	// of Fig. 6).
+	lastAnnounced uint64
+	pending       bool
+
+	// Counters for Table 1 and tests.
+	ForwardedAE uint64
+	Commits     uint64
+
+	seq uint32
+}
+
+// NewAggregator builds an aggregator for the given cluster membership.
+func NewAggregator(nodes []raft.NodeID, tr AggTransport) *Aggregator {
+	a := &Aggregator{tr: tr, nodes: append([]raft.NodeID(nil), nodes...)}
+	a.flush(0, raft.None)
+	return a
+}
+
+// flush resets all soft state for a new term.
+func (a *Aggregator) flush(term uint64, leader raft.NodeID) {
+	a.term = term
+	a.leader = leader
+	a.match = make(map[raft.NodeID]uint64, len(a.nodes))
+	a.applied = make(map[raft.NodeID]uint64, len(a.nodes))
+	a.commit = 0
+	a.lastAnnounced = 0
+	a.pending = false
+}
+
+// Term returns the aggregator's current term (tests).
+func (a *Aggregator) Term() uint64 { return a.term }
+
+// quorumFollowers is how many follower acknowledgements make a quorum
+// given that the leader implicitly holds every announced entry.
+func (a *Aggregator) quorumFollowers() int { return len(a.nodes)/2 + 1 - 1 }
+
+// HandleMessage processes one reassembled R2P2 message addressed to the
+// aggregator.
+func (a *Aggregator) HandleMessage(m *r2p2.Msg) {
+	env, err := DecodeEnvelope(m.Payload)
+	if err != nil {
+		return
+	}
+	switch {
+	case env.AggPing != nil:
+		a.handlePing(env.AggPing)
+	case env.Raft != nil && env.Raft.Type == raft.MsgApp:
+		a.handleLeaderAppend(env.Raft)
+	case env.Raft != nil && env.Raft.Type == raft.MsgAppResp:
+		a.handleFollowerReply(env.Raft)
+	}
+}
+
+func (a *Aggregator) handlePing(p *AggPing) {
+	if p.Term < a.term {
+		return
+	}
+	if p.Term > a.term || a.leader != p.From {
+		a.flush(p.Term, p.From)
+	}
+	a.tr.SendToNode(p.From, a.datagrams(r2p2.TypeRaftResp, EncodeAggPong(p.Term)))
+}
+
+func (a *Aggregator) handleLeaderAppend(m *raft.Message) {
+	if m.Term < a.term {
+		return // stale leader; drop
+	}
+	if m.Term > a.term {
+		a.flush(m.Term, m.From)
+	}
+	a.leader = m.From
+	announced := m.Index + uint64(len(m.Entries))
+	if announced <= a.commit && a.commit > 0 {
+		// Re-announcement of committed state (idle heartbeat or lost
+		// message): answer with an AGG_COMMIT on the next reply even
+		// without progress, so followers see leader liveness.
+		a.pending = true
+	}
+	if announced > a.lastAnnounced {
+		a.lastAnnounced = announced
+	}
+	// Forward to every node but the leader, re-addressed to the group
+	// (the ingress multicast + ae_req stage of Fig. 6).
+	a.ForwardedAE++
+	a.tr.ForwardToFollowers(a.leader, a.datagrams(r2p2.TypeRaftReq, EncodeRaft(m)))
+}
+
+func (a *Aggregator) handleFollowerReply(m *raft.Message) {
+	if m.Term != a.term || !m.Success {
+		return
+	}
+	if m.MatchIndex > a.match[m.From] {
+		a.match[m.From] = m.MatchIndex
+	}
+	if m.AppliedIndex > a.applied[m.From] {
+		a.applied[m.From] = m.AppliedIndex
+	}
+	// Commit = highest index acknowledged by a follower quorum
+	// (update/check match_i stages), capped by what was announced.
+	matches := make([]uint64, 0, len(a.match))
+	for id, v := range a.match {
+		if id != a.leader {
+			matches = append(matches, v)
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	need := a.quorumFollowers()
+	var candidate uint64
+	if need > 0 && len(matches) >= need {
+		candidate = matches[need-1]
+	}
+	if candidate > a.lastAnnounced {
+		candidate = a.lastAnnounced
+	}
+	switch {
+	case candidate > a.commit:
+		a.commit = candidate
+		a.emitCommit()
+	case a.pending:
+		a.pending = false
+		a.emitCommit()
+	}
+}
+
+// emitCommit multicasts AGG_COMMIT with the per-node completed counters
+// (the egress completed_i stages of Fig. 6).
+func (a *Aggregator) emitCommit() {
+	ac := &AggCommit{Term: a.term, Commit: a.commit}
+	for _, id := range a.nodes {
+		if id == a.leader {
+			continue
+		}
+		ac.Nodes = append(ac.Nodes, id)
+		ac.Apps = append(ac.Apps, a.applied[id])
+	}
+	a.Commits++
+	a.tr.Broadcast(a.datagrams(r2p2.TypeRaftResp, EncodeAggCommit(ac)))
+}
+
+func (a *Aggregator) datagrams(typ r2p2.MessageType, payload []byte) [][]byte {
+	a.seq++
+	return r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, uint16(AggregatorID), a.seq, payload, 0)
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// fakeAggTransport records aggregator output.
+type fakeAggTransport struct {
+	forwarded  [][]byte
+	broadcast  [][]byte
+	direct     map[raft.NodeID][][]byte
+	lastLeader raft.NodeID
+}
+
+func newFakeAggTransport() *fakeAggTransport {
+	return &fakeAggTransport{direct: make(map[raft.NodeID][][]byte)}
+}
+
+func (f *fakeAggTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
+	f.lastLeader = leader
+	f.forwarded = append(f.forwarded, dgs...)
+}
+func (f *fakeAggTransport) Broadcast(dgs [][]byte) { f.broadcast = append(f.broadcast, dgs...) }
+func (f *fakeAggTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	f.direct[id] = append(f.direct[id], dgs...)
+}
+
+// decodeOne reassembles a single-datagram consensus message.
+func decodeOne(t *testing.T, dg []byte, src uint32) *Envelope {
+	t.Helper()
+	re := r2p2.NewReassembler(time.Second)
+	m, err := re.Ingest(dg, src, 0)
+	if err != nil || m == nil {
+		t.Fatalf("ingest: %v %v", m, err)
+	}
+	env, err := DecodeEnvelope(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// aeMsg builds an r2p2 message carrying a raft message, as the engine
+// would send it.
+func aeMsg(t *testing.T, m *raft.Message, srcIP uint32, seq uint32) *r2p2.Msg {
+	t.Helper()
+	dgs := r2p2.MakeMsg(r2p2.TypeRaftReq, 0, uint16(m.From), seq, EncodeRaft(m), 0)
+	re := r2p2.NewReassembler(time.Second)
+	var out *r2p2.Msg
+	for _, dg := range dgs {
+		msg, err := re.Ingest(dg, srcIP, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg != nil {
+			out = msg
+		}
+	}
+	return out
+}
+
+func TestAggregatorPingFlushesAndPongs(t *testing.T) {
+	tr := newFakeAggTransport()
+	a := NewAggregator([]raft.NodeID{1, 2, 3}, tr)
+	a.HandleMessage(aeMsg(t, &raft.Message{Type: raft.MsgApp, From: 1, Term: 5, Index: 0}, 101, 1))
+	ping := r2p2.MakeMsg(r2p2.TypeRaftReq, 0, 1, 2, EncodeAggPing(&AggPing{Term: 6, From: 2}), 0)
+	re := r2p2.NewReassembler(time.Second)
+	m, _ := re.Ingest(ping[0], 102, 0)
+	a.HandleMessage(m)
+	if a.Term() != 6 {
+		t.Fatalf("term = %d", a.Term())
+	}
+	if len(tr.direct[2]) == 0 {
+		t.Fatal("no pong sent")
+	}
+	env := decodeOne(t, tr.direct[2][0], 50)
+	if env.AggPongTerm == nil || *env.AggPongTerm != 6 {
+		t.Fatalf("pong = %+v", env)
+	}
+}
+
+func TestAggregatorForwardsAndCommits(t *testing.T) {
+	tr := newFakeAggTransport()
+	a := NewAggregator([]raft.NodeID{1, 2, 3, 4, 5}, tr) // quorum: 3 → 2 followers
+	// Leader 1 announces entries 1..3 at term 2.
+	ae := &raft.Message{Type: raft.MsgApp, From: 1, To: AggregatorID, Term: 2,
+		Index: 0, LogTerm: 0, Entries: []raft.Entry{
+			{Term: 2, Index: 1}, {Term: 2, Index: 2}, {Term: 2, Index: 3}}}
+	a.HandleMessage(aeMsg(t, ae, 101, 1))
+	if len(tr.forwarded) == 0 {
+		t.Fatal("AE not forwarded to followers")
+	}
+	if tr.lastLeader != 1 {
+		t.Fatalf("leader = %d", tr.lastLeader)
+	}
+	// The forwarded message is the leader's AE verbatim.
+	env := decodeOne(t, tr.forwarded[0], 50)
+	if env.Raft == nil || env.Raft.From != 1 || len(env.Raft.Entries) != 3 {
+		t.Fatalf("forwarded = %+v", env.Raft)
+	}
+
+	// One follower ack: no quorum yet (need 2 of 4 followers).
+	resp := &raft.Message{Type: raft.MsgAppResp, From: 2, To: 1, Term: 2,
+		Success: true, MatchIndex: 3, AppliedIndex: 1}
+	a.HandleMessage(aeMsg(t, resp, 102, 2))
+	if len(tr.broadcast) != 0 {
+		t.Fatal("committed with a single follower ack")
+	}
+	// Second follower ack: quorum → AGG_COMMIT.
+	resp2 := &raft.Message{Type: raft.MsgAppResp, From: 3, To: 1, Term: 2,
+		Success: true, MatchIndex: 2, AppliedIndex: 0}
+	a.HandleMessage(aeMsg(t, resp2, 103, 3))
+	if len(tr.broadcast) == 0 {
+		t.Fatal("no AGG_COMMIT after quorum")
+	}
+	env = decodeOne(t, tr.broadcast[0], 50)
+	if env.AggCommit == nil {
+		t.Fatal("broadcast is not AGG_COMMIT")
+	}
+	// Commit = 2nd largest follower match = 2.
+	if env.AggCommit.Commit != 2 || env.AggCommit.Term != 2 {
+		t.Fatalf("agg commit = %+v", env.AggCommit)
+	}
+	// Applied counters carried for all followers.
+	found := false
+	for i, id := range env.AggCommit.Nodes {
+		if id == 2 && env.AggCommit.Apps[i] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("applied counters missing: %+v", env.AggCommit)
+	}
+}
+
+func TestAggregatorPendingDuplicateAnnouncement(t *testing.T) {
+	tr := newFakeAggTransport()
+	a := NewAggregator([]raft.NodeID{1, 2, 3}, tr) // 1 follower ack commits
+	ae := &raft.Message{Type: raft.MsgApp, From: 1, Term: 2, Index: 0,
+		Entries: []raft.Entry{{Term: 2, Index: 1}}}
+	a.HandleMessage(aeMsg(t, ae, 101, 1))
+	resp := &raft.Message{Type: raft.MsgAppResp, From: 2, Term: 2, Success: true, MatchIndex: 1}
+	a.HandleMessage(aeMsg(t, resp, 102, 2))
+	if len(tr.broadcast) != 1 {
+		t.Fatalf("broadcasts = %d", len(tr.broadcast))
+	}
+	// Idle heartbeat: leader re-announces the same index.
+	hb := &raft.Message{Type: raft.MsgApp, From: 1, Term: 2, Index: 1}
+	a.HandleMessage(aeMsg(t, hb, 101, 3))
+	// Same match again — commit does not advance, but pending forces an
+	// AGG_COMMIT so followers see liveness.
+	a.HandleMessage(aeMsg(t, resp, 102, 4))
+	if len(tr.broadcast) != 2 {
+		t.Fatalf("pending AGG_COMMIT not emitted: broadcasts = %d", len(tr.broadcast))
+	}
+}
+
+func TestAggregatorTermFlush(t *testing.T) {
+	tr := newFakeAggTransport()
+	a := NewAggregator([]raft.NodeID{1, 2, 3}, tr)
+	ae := &raft.Message{Type: raft.MsgApp, From: 1, Term: 2, Index: 0,
+		Entries: []raft.Entry{{Term: 2, Index: 1}}}
+	a.HandleMessage(aeMsg(t, ae, 101, 1))
+	resp := &raft.Message{Type: raft.MsgAppResp, From: 2, Term: 2, Success: true, MatchIndex: 1}
+	a.HandleMessage(aeMsg(t, resp, 102, 2))
+	// New term from a new leader flushes soft state.
+	ae2 := &raft.Message{Type: raft.MsgApp, From: 3, Term: 5, Index: 0,
+		Entries: []raft.Entry{{Term: 5, Index: 1}}}
+	a.HandleMessage(aeMsg(t, ae2, 103, 3))
+	if a.Term() != 5 {
+		t.Fatalf("term = %d", a.Term())
+	}
+	// A stale-term reply must be ignored.
+	before := len(tr.broadcast)
+	a.HandleMessage(aeMsg(t, resp, 102, 4))
+	if len(tr.broadcast) != before {
+		t.Fatal("stale-term reply triggered commit")
+	}
+	// Stale leader AE dropped entirely.
+	fwdBefore := len(tr.forwarded)
+	a.HandleMessage(aeMsg(t, ae, 101, 5))
+	if len(tr.forwarded) != fwdBefore {
+		t.Fatal("stale AE forwarded")
+	}
+}
+
+func TestAggregatorCommitCappedByAnnounced(t *testing.T) {
+	tr := newFakeAggTransport()
+	a := NewAggregator([]raft.NodeID{1, 2, 3}, tr)
+	ae := &raft.Message{Type: raft.MsgApp, From: 1, Term: 2, Index: 0,
+		Entries: []raft.Entry{{Term: 2, Index: 1}}}
+	a.HandleMessage(aeMsg(t, ae, 101, 1))
+	// A follower claims a match beyond what was announced (should be
+	// impossible; the aggregator must not trust it past lastAnnounced).
+	resp := &raft.Message{Type: raft.MsgAppResp, From: 2, Term: 2, Success: true, MatchIndex: 99}
+	a.HandleMessage(aeMsg(t, resp, 102, 2))
+	env := decodeOne(t, tr.broadcast[0], 50)
+	if env.AggCommit.Commit != 1 {
+		t.Fatalf("commit = %d, want capped at 1", env.AggCommit.Commit)
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+func TestEnvelopeRaftRoundTrip(t *testing.T) {
+	m := raft.Message{Type: raft.MsgApp, From: 1, To: 2, Term: 3, Index: 4, LogTerm: 2,
+		Entries: []raft.Entry{{Term: 3, Index: 5, Kind: raft.KindReadWrite,
+			ID: r2p2.RequestID{SrcIP: 9, SrcPort: 8, ReqID: 7}, BodyHash: 11}}}
+	env, err := DecodeEnvelope(EncodeRaft(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Raft == nil || !reflect.DeepEqual(*env.Raft, m) {
+		t.Fatalf("raft envelope mismatch: %+v", env.Raft)
+	}
+}
+
+func TestEnvelopeRecoveryRoundTrip(t *testing.T) {
+	req := &RecoveryReq{
+		From:    3,
+		Indexes: []uint64{10, 11},
+		IDs: []r2p2.RequestID{
+			{SrcIP: 1, SrcPort: 2, ReqID: 3},
+			{SrcIP: 4, SrcPort: 5, ReqID: 6},
+		},
+	}
+	env, err := DecodeEnvelope(EncodeRecoveryReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.RecoveryReq, req) {
+		t.Fatalf("recovery req mismatch: %+v", env.RecoveryReq)
+	}
+
+	resp := &RecoveryResp{
+		From: 2,
+		Entries: []raft.Entry{{
+			Term: 1, Index: 10, Kind: raft.KindReadWrite,
+			ID:   r2p2.RequestID{SrcIP: 1, SrcPort: 2, ReqID: 3},
+			Data: []byte("body"), BodyHash: raft.Hash64([]byte("body")),
+		}},
+	}
+	env, err = DecodeEnvelope(EncodeRecoveryResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.RecoveryResp, resp) {
+		t.Fatalf("recovery resp mismatch: %+v", env.RecoveryResp)
+	}
+}
+
+func TestEnvelopeAggRoundTrip(t *testing.T) {
+	ac := &AggCommit{Term: 5, Commit: 42, Nodes: []raft.NodeID{2, 3}, Apps: []uint64{40, 41}}
+	env, err := DecodeEnvelope(EncodeAggCommit(ac))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.AggCommit, ac) {
+		t.Fatalf("agg commit mismatch: %+v", env.AggCommit)
+	}
+
+	ping := &AggPing{Term: 7, From: 1}
+	env, err = DecodeEnvelope(EncodeAggPing(ping))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.AggPing, ping) {
+		t.Fatalf("ping mismatch: %+v", env.AggPing)
+	}
+
+	env, err = DecodeEnvelope(EncodeAggPong(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.AggPongTerm == nil || *env.AggPongTerm != 9 {
+		t.Fatalf("pong mismatch: %+v", env)
+	}
+}
+
+func TestEnvelopeErrors(t *testing.T) {
+	if _, err := DecodeEnvelope(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := DecodeEnvelope([]byte{99}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if _, err := DecodeEnvelope([]byte{envAggPing, 1, 2}); err == nil {
+		t.Fatal("short ping accepted")
+	}
+	if _, err := DecodeEnvelope([]byte{envAggCommit, 0}); err == nil {
+		t.Fatal("short commit accepted")
+	}
+}
+
+func TestEnvelopeRecoveryProperty(t *testing.T) {
+	f := func(from uint32, idx []uint64, ip, rid uint32, port uint16) bool {
+		if len(idx) > 100 {
+			idx = idx[:100]
+		}
+		req := &RecoveryReq{From: raft.NodeID(from)}
+		for _, i := range idx {
+			req.Indexes = append(req.Indexes, i)
+			req.IDs = append(req.IDs, r2p2.RequestID{SrcIP: ip, SrcPort: port, ReqID: rid})
+		}
+		env, err := DecodeEnvelope(EncodeRecoveryReq(req))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(env.RecoveryReq, req)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnorderedStorePutTake(t *testing.T) {
+	u := NewUnorderedStore(time.Millisecond)
+	id := r2p2.RequestID{SrcIP: 1, SrcPort: 2, ReqID: 3}
+	body := []byte("hello")
+	u.Put(id, r2p2.PolicyReplicated, body, 0)
+	if u.Len() != 1 {
+		t.Fatalf("len = %d", u.Len())
+	}
+	// Wrong hash refuses.
+	if _, ok := u.Take(id, 12345); ok {
+		t.Fatal("hash mismatch accepted")
+	}
+	got, ok := u.Take(id, raft.Hash64(body))
+	if !ok || string(got) != "hello" {
+		t.Fatalf("take = %q %v", got, ok)
+	}
+	if _, ok := u.Take(id, 0); ok {
+		t.Fatal("double take")
+	}
+	if u.Promoted != 1 {
+		t.Fatalf("promoted = %d", u.Promoted)
+	}
+}
+
+func TestUnorderedStoreDuplicatePutIgnored(t *testing.T) {
+	u := NewUnorderedStore(time.Millisecond)
+	id := r2p2.RequestID{ReqID: 1}
+	u.Put(id, r2p2.PolicyReplicated, []byte("first"), 0)
+	u.Put(id, r2p2.PolicyReplicated, []byte("second"), 0)
+	got, _ := u.Take(id, 0)
+	if string(got) != "first" {
+		t.Fatalf("dup overwrote: %q", got)
+	}
+}
+
+func TestUnorderedStoreGC(t *testing.T) {
+	u := NewUnorderedStore(10 * time.Millisecond)
+	u.Put(r2p2.RequestID{ReqID: 1}, r2p2.PolicyReplicated, []byte("a"), 0)
+	u.Put(r2p2.RequestID{ReqID: 2}, r2p2.PolicyReplicated, []byte("b"), 5*time.Millisecond)
+	if n := u.GC(12 * time.Millisecond); n != 1 {
+		t.Fatalf("gc = %d", n)
+	}
+	if u.Len() != 1 || u.Collected != 1 {
+		t.Fatalf("len=%d collected=%d", u.Len(), u.Collected)
+	}
+}
+
+func TestUnorderedStoreDrain(t *testing.T) {
+	u := NewUnorderedStore(time.Second)
+	u.Put(r2p2.RequestID{ReqID: 1}, r2p2.PolicyReplicated, []byte("w"), 0)
+	u.Put(r2p2.RequestID{ReqID: 2}, r2p2.PolicyReplicatedRO, []byte("r"), 0)
+	ents := u.Drain()
+	if len(ents) != 2 || u.Len() != 0 {
+		t.Fatalf("drain = %d entries, %d left", len(ents), u.Len())
+	}
+	kinds := map[uint32]raft.EntryKind{}
+	for _, e := range ents {
+		kinds[e.ID.ReqID] = e.Kind
+		if e.BodyHash != raft.Hash64(e.Data) {
+			t.Fatal("drain hash mismatch")
+		}
+	}
+	if kinds[1] != raft.KindReadWrite || kinds[2] != raft.KindReadOnly {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestBoundedQueuesInvariant(t *testing.T) {
+	nodes := []raft.NodeID{1, 2, 3}
+	b := NewBoundedQueues(nodes, 2)
+	if !b.Eligible(1) {
+		t.Fatal("fresh node not eligible")
+	}
+	b.Assign(1, 10)
+	b.Assign(1, 11)
+	if b.Eligible(1) {
+		t.Fatal("full node still eligible")
+	}
+	if b.Depth(1) != 2 {
+		t.Fatalf("depth = %d", b.Depth(1))
+	}
+	// Applying 10 frees one slot.
+	b.Applied(1, 10)
+	if !b.Eligible(1) || b.Depth(1) != 1 {
+		t.Fatalf("after apply: depth=%d", b.Depth(1))
+	}
+	// Overflow panics (invariant enforced at selection time).
+	b.Assign(1, 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	b.Assign(1, 13)
+}
+
+func TestBoundedQueuesProperty(t *testing.T) {
+	// Property: depth never exceeds bound under any assign/apply
+	// sequence that checks Eligible first.
+	f := func(ops []uint16, bound uint8) bool {
+		b := int(bound%8) + 1
+		q := NewBoundedQueues([]raft.NodeID{1, 2, 3}, b)
+		idx := uint64(0)
+		for _, op := range ops {
+			n := raft.NodeID(op%3 + 1)
+			if op%2 == 0 {
+				if q.Eligible(n) {
+					idx++
+					q.Assign(n, idx)
+				}
+			} else {
+				q.Applied(n, idx)
+			}
+			for _, id := range []raft.NodeID{1, 2, 3} {
+				if q.Depth(id) > b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJBSQPicksShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBoundedQueues([]raft.NodeID{1, 2, 3}, 8)
+	b.Assign(1, 1)
+	b.Assign(1, 2)
+	b.Assign(2, 3)
+	n, ok := b.Select(PolicyJBSQ, rng, func(raft.NodeID) bool { return true })
+	if !ok || n != 3 {
+		t.Fatalf("jbsq picked %d", n)
+	}
+	// With 3 full and others shorter, still a minimum.
+	for i := uint64(10); i < 18; i++ {
+		b.Assign(3, i)
+	}
+	n, _ = b.Select(PolicyJBSQ, rng, func(raft.NodeID) bool { return true })
+	if n != 2 {
+		t.Fatalf("jbsq picked %d, want 2", n)
+	}
+}
+
+func TestSelectNoEligible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBoundedQueues([]raft.NodeID{1}, 1)
+	b.Assign(1, 1)
+	if _, ok := b.Select(PolicyJBSQ, rng, func(raft.NodeID) bool { return true }); ok {
+		t.Fatal("selected from full cluster")
+	}
+	if _, ok := b.Select(PolicyRandom, rng, func(raft.NodeID) bool { return true }); ok {
+		t.Fatal("random selected from full cluster")
+	}
+}
+
+func TestSelectRandomUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := NewBoundedQueues([]raft.NodeID{1, 2, 3}, 100)
+	counts := map[raft.NodeID]int{}
+	for i := 0; i < 3000; i++ {
+		n, ok := b.Select(PolicyRandom, rng, func(raft.NodeID) bool { return true })
+		if !ok {
+			t.Fatal("no selection")
+		}
+		counts[n]++
+	}
+	for id, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("node %d selected %d/3000", id, c)
+		}
+	}
+}
+
+func TestSelectRespectsAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBoundedQueues([]raft.NodeID{1, 2}, 4)
+	n, ok := b.Select(PolicyJBSQ, rng, func(id raft.NodeID) bool { return id != 1 })
+	if !ok || n != 2 {
+		t.Fatalf("selected %d", n)
+	}
+}
+
+func TestFlowControlAdmitNackFeedback(t *testing.T) {
+	fc := NewFlowControl(2, time.Second)
+	cl := r2p2.NewClient(10, 70)
+	mkReq := func() (r2p2.RequestID, []byte) {
+		id, dgs := cl.NewRequest(r2p2.PolicyReplicated, []byte("x"))
+		return id, dgs[0]
+	}
+	id1, d1 := mkReq()
+	_, d2 := mkReq()
+	_, d3 := mkReq()
+	if v, _ := fc.HandleDatagram(d1, 10, 0); v != VerdictForward {
+		t.Fatalf("first = %v", v)
+	}
+	if v, _ := fc.HandleDatagram(d2, 10, 0); v != VerdictForward {
+		t.Fatalf("second = %v", v)
+	}
+	v, nack := fc.HandleDatagram(d3, 10, 0)
+	if v != VerdictNack || nack == nil {
+		t.Fatalf("third = %v", v)
+	}
+	if fc.InFlight() != 2 || fc.Nacked != 1 {
+		t.Fatalf("inflight=%d nacked=%d", fc.InFlight(), fc.Nacked)
+	}
+	// The NACK goes back to the right request.
+	var h r2p2.Header
+	if err := h.Unmarshal(nack); err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != r2p2.TypeNack {
+		t.Fatalf("nack type = %v", h.Type)
+	}
+	// Feedback frees a slot.
+	if v, _ := fc.HandleDatagram(r2p2.MakeFeedback(id1), 99, 0); v != VerdictConsume {
+		t.Fatal("feedback not consumed")
+	}
+	if fc.InFlight() != 1 {
+		t.Fatalf("inflight after feedback = %d", fc.InFlight())
+	}
+	_, d4 := mkReq()
+	if v, _ := fc.HandleDatagram(d4, 10, 0); v != VerdictForward {
+		t.Fatal("slot not reusable")
+	}
+}
+
+func TestFlowControlGCReclaimsLeaks(t *testing.T) {
+	fc := NewFlowControl(1, 10*time.Millisecond)
+	cl := r2p2.NewClient(10, 70)
+	_, dgs := cl.NewRequest(r2p2.PolicyReplicated, []byte("x"))
+	fc.HandleDatagram(dgs[0], 10, 0)
+	if n := fc.GC(5 * time.Millisecond); n != 0 {
+		t.Fatalf("early gc = %d", n)
+	}
+	if n := fc.GC(20 * time.Millisecond); n != 1 {
+		t.Fatalf("gc = %d", n)
+	}
+	if fc.InFlight() != 0 || fc.Leaked != 1 {
+		t.Fatalf("inflight=%d leaked=%d", fc.InFlight(), fc.Leaked)
+	}
+}
+
+func TestFlowControlPassesNonClientTraffic(t *testing.T) {
+	fc := NewFlowControl(1, time.Second)
+	dg := r2p2.MakeMsg(r2p2.TypeRaftReq, 0, 1, 1, []byte{envAggPing}, 0)[0]
+	if v, _ := fc.HandleDatagram(dg, 5, 0); v != VerdictForward {
+		t.Fatal("consensus traffic blocked")
+	}
+	// Continuation fragments pass even at the limit.
+	big := make([]byte, 3000)
+	cl := r2p2.NewClient(10, 70)
+	_, dgs := cl.NewRequest(r2p2.PolicyReplicated, big)
+	if len(dgs) < 2 {
+		t.Fatal("expected fragmentation")
+	}
+	fc.HandleDatagram(dgs[0], 10, 0) // fills the single slot
+	if v, _ := fc.HandleDatagram(dgs[1], 10, 0); v != VerdictForward {
+		t.Fatal("continuation fragment blocked")
+	}
+	// Garbage is consumed silently.
+	if v, _ := fc.HandleDatagram([]byte{1, 2}, 10, 0); v != VerdictConsume {
+		t.Fatal("garbage forwarded")
+	}
+}

@@ -1,0 +1,996 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+	"hovercraft/internal/stats"
+)
+
+// Mode selects the replication protocol variant (the four systems of the
+// paper's evaluation; the unreplicated baseline is UnreplicatedEngine).
+type Mode uint8
+
+const (
+	// ModeVanilla is Raft ported onto R2P2: the leader receives client
+	// requests directly, replicates full request bodies, executes, and
+	// replies to every client itself.
+	ModeVanilla Mode = iota
+	// ModeHovercraft adds the paper's §3 extensions: multicast request
+	// dissemination with metadata-only ordering, reply and read-only
+	// load balancing under bounded queues, and flow control.
+	ModeHovercraft
+	// ModeHovercraftPP additionally offloads AppendEntries fan-out and
+	// reply fan-in to the in-network aggregator (§4).
+	ModeHovercraftPP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "VanillaRaft"
+	case ModeHovercraft:
+		return "HovercRaft"
+	case ModeHovercraftPP:
+		return "HovercRaft++"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// AggregatorID is the virtual node identity of the in-network aggregator.
+// It never votes and holds no log; it is "part of the leader" (§4).
+const AggregatorID raft.NodeID = 0xFFFF
+
+// Transport is how the engine reaches the world. Implementations exist
+// for the discrete-event simulator and for real UDP sockets. All methods
+// take fully encoded R2P2 datagrams.
+type Transport interface {
+	// SendToNode delivers consensus datagrams to a peer node.
+	SendToNode(id raft.NodeID, dgs [][]byte)
+	// SendToAggregator delivers datagrams to the in-network aggregator.
+	SendToAggregator(dgs [][]byte)
+	// SendToClient delivers datagrams to the client identified by the
+	// request's R2P2 identity (SrcIP names the client host; SrcPort
+	// disambiguates endpoints sharing an IP, which real UDP transports
+	// need).
+	SendToClient(id r2p2.RequestID, dgs [][]byte)
+	// SendFeedback delivers a FEEDBACK datagram to the flow-control
+	// middlebox.
+	SendFeedback(dgs [][]byte)
+}
+
+// AppRunner executes state-machine operations on the application thread.
+// Run must eventually invoke done exactly once with the reply payload;
+// done must run in the engine's execution context (the runtimes guarantee
+// this). Calls are submitted one at a time per engine.
+type AppRunner interface {
+	Run(payload []byte, readOnly bool, done func(reply []byte))
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Mode  Mode
+	ID    raft.NodeID
+	Peers []raft.NodeID
+
+	// TickInterval is the runtime's tick period; all engine timing is
+	// expressed in ticks and converted with it.
+	TickInterval time.Duration
+	// ElectionTicks / HeartbeatTicks parameterize Raft (see raft.Config).
+	ElectionTicks  int
+	HeartbeatTicks int
+	// MaxEntriesPerAppend caps one AppendEntries message.
+	MaxEntriesPerAppend int
+
+	// Bound is B, the bounded-queue depth for reply load balancing.
+	Bound int
+	// Policy selects the replier-choice policy (JBSQ or RANDOM).
+	Policy SelectPolicy
+	// DisableReplyLB pins every replier to the leader (the paper
+	// disables reply load balancing in its protocol-overhead
+	// experiments, §7.1).
+	DisableReplyLB bool
+
+	// UnorderedTimeout garbage-collects parked client requests.
+	UnorderedTimeout time.Duration
+	// RecoveryRetryTicks paces recovery_request retransmissions.
+	RecoveryRetryTicks int
+	// GCEveryTicks paces unordered-store GC scans.
+	GCEveryTicks int
+
+	// Rand drives all randomized choices; required for deterministic
+	// simulation (nil seeds from ID).
+	Rand *rand.Rand
+
+	// Storage receives raft persistence callbacks (nil = none).
+	Storage raft.Storage
+
+	// Snapshotter, when set with CompactEvery > 0, enables log
+	// compaction: every CompactEvery applied entries the engine captures
+	// an application snapshot and truncates the raft log; lagging
+	// followers are caught up via InstallSnapshot and their application
+	// state restored through the same interface.
+	Snapshotter  Snapshotter
+	CompactEvery uint64
+}
+
+// Snapshotter captures and restores application state for log
+// compaction. Calls happen only while the application thread is idle
+// (between operations), so implementations need no extra locking with
+// respect to Execute.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore(data []byte) error
+}
+
+func (c *Config) defaults() {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 10 * time.Microsecond
+	}
+	if c.ElectionTicks <= 0 {
+		c.ElectionTicks = 150
+	}
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 20
+	}
+	if c.MaxEntriesPerAppend <= 0 {
+		c.MaxEntriesPerAppend = 256
+	}
+	if c.Bound <= 0 {
+		c.Bound = 128
+	}
+	if c.UnorderedTimeout <= 0 {
+		c.UnorderedTimeout = 50 * time.Millisecond
+	}
+	if c.RecoveryRetryTicks <= 0 {
+		c.RecoveryRetryTicks = 50
+	}
+	if c.GCEveryTicks <= 0 {
+		c.GCEveryTicks = 256
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(int64(c.ID) * 31))
+	}
+}
+
+// Engine is one HovercRaft node: Raft embedded in the R2P2 layer plus the
+// protocol extensions. Like raft.Node it is a deterministic step machine
+// driven by HandleMessage and Tick; it is not safe for concurrent use.
+type Engine struct {
+	cfg       Config
+	node      *raft.Node
+	transport Transport
+	runner    AppRunner
+
+	unordered *UnorderedStore
+	queues    *BoundedQueues
+	counters  *stats.CounterSet
+
+	now   time.Duration
+	ticks uint64
+
+	// Leader-side announcement state (§3.4, Fig. 4).
+	wasLeader       bool
+	announced       uint64
+	lastBcastCommit uint64
+	lastBcastLast   uint64
+
+	// Apply pipeline.
+	applyBusy bool
+
+	// Follower-side recovery of missing request bodies.
+	missing      map[uint64]r2p2.RequestID // log index → request id
+	recoveryDue  uint64                    // tick when the next recovery burst may go
+	lastTermSeen uint64
+
+	// heardTerm latches, per peer, the latest term in which the peer
+	// was heard from. The leader only designates repliers among peers
+	// heard in the current term, so a node that died before (or during)
+	// the election is never assigned replies; deaths later in the term
+	// are covered by the bounded-queue mechanism (§3.4).
+	heardTerm map[raft.NodeID]uint64
+
+	// Follower-side applied reporting: the leader's bounded queues are
+	// only as fresh as the applied indices it hears, so followers
+	// proactively report applied progress once per tick (§3.4's
+	// "followers communicate their applied_idx to the leader as part
+	// of the append_entries reply", decoupled from AE arrival so the
+	// JBSQ view does not lag a full append round).
+	lastReportedApplied uint64
+	lastAEViaAgg        bool
+	lastRespTick        uint64 // tick of the last MsgAppResp we sent
+
+	// HovercRaft++ state.
+	aggPongTerm   uint64 // last term the aggregator answered a ping for
+	groupMode     bool
+	groupNext     uint64 // next index to cover with a group append
+	noopIndex     uint64 // index of this term's noop (group mode gate)
+	followerMatch uint64 // follower: own last successful match this term
+	idleHB        int    // ticks since last group append
+
+	// flush routing context.
+	ctxViaAgg   bool
+	ctxFromResp bool
+
+	// lastRestored tracks the snapshot index whose application state we
+	// already restored (InstallSnapshot receiver side).
+	lastRestored uint64
+
+	msgSeq uint32
+}
+
+// NewEngine builds an engine. transport and runner must be non-nil.
+func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
+	cfg.defaults()
+	e := &Engine{
+		cfg:       cfg,
+		transport: transport,
+		runner:    runner,
+		unordered: NewUnorderedStore(cfg.UnorderedTimeout),
+		queues:    NewBoundedQueues(cfg.Peers, cfg.Bound),
+		counters:  stats.NewCounterSet(),
+		missing:   make(map[uint64]r2p2.RequestID),
+		heardTerm: make(map[raft.NodeID]uint64),
+	}
+	e.node = raft.NewNode(raft.Config{
+		ID: cfg.ID, Peers: cfg.Peers,
+		ElectionTicks: cfg.ElectionTicks, HeartbeatTicks: cfg.HeartbeatTicks,
+		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
+		Rand:                cfg.Rand,
+		Storage:             cfg.Storage,
+	})
+	return e
+}
+
+// Bootstrap restores the engine from durable state recovered by
+// raft.OpenFileStorage. Must precede the first Tick or HandleMessage.
+func (e *Engine) Bootstrap(rs *raft.RecoveredState) error {
+	if err := e.node.Bootstrap(rs); err != nil {
+		return err
+	}
+	if rs != nil && rs.SnapIdx > 0 && e.cfg.Snapshotter != nil {
+		if err := e.cfg.Snapshotter.Restore(rs.SnapData); err != nil {
+			return err
+		}
+		e.lastRestored = rs.SnapIdx
+	}
+	e.lastTermSeen = e.node.Term()
+	return nil
+}
+
+// Node exposes the underlying raft node (tests, harness instrumentation).
+func (e *Engine) Node() *raft.Node { return e.node }
+
+// Counters exposes the engine's message counters (Table 1).
+func (e *Engine) Counters() *stats.CounterSet { return e.counters }
+
+// Unordered exposes the unordered store (tests).
+func (e *Engine) Unordered() *UnorderedStore { return e.unordered }
+
+// Queues exposes the bounded queues (tests).
+func (e *Engine) Queues() *BoundedQueues { return e.queues }
+
+// IsLeader reports whether this node currently leads.
+func (e *Engine) IsLeader() bool { return e.node.State() == raft.StateLeader }
+
+// Campaign forces an immediate election (harness bootstrap).
+func (e *Engine) Campaign() {
+	e.node.Campaign()
+	e.finish()
+}
+
+// Tick advances engine time by one TickInterval.
+func (e *Engine) Tick() {
+	e.ticks++
+	e.now += e.cfg.TickInterval
+	e.node.Tick()
+	if e.IsLeader() {
+		e.pace()
+	} else {
+		e.reportApplied()
+	}
+	if e.ticks%uint64(e.cfg.GCEveryTicks) == 0 {
+		e.unordered.GC(e.now)
+	}
+	e.retryRecovery()
+	e.finish()
+}
+
+// HandleMessage feeds one reassembled R2P2 message into the engine.
+func (e *Engine) HandleMessage(m *r2p2.Msg) {
+	switch m.Type {
+	case r2p2.TypeRequest:
+		e.handleClientRequest(m)
+	case r2p2.TypeRaftReq, r2p2.TypeRaftResp:
+		// The aggregator re-wraps forwarded messages under its own
+		// R2P2 identity, so its well-known source port marks traffic
+		// that arrived via the in-network path (robust even when all
+		// processes share one IP).
+		viaAgg := m.ID.SrcPort == uint16(AggregatorID)
+		e.handleConsensus(m, viaAgg)
+	default:
+		// Responses/feedback/nacks are not addressed to servers.
+		e.counters.Get("rx_unexpected").Inc()
+	}
+}
+
+// --- client requests ---------------------------------------------------
+
+func (e *Engine) handleClientRequest(m *r2p2.Msg) {
+	e.counters.Get("rx_req").Inc()
+	kind := raft.KindReadWrite
+	if m.IsReadOnly() {
+		kind = raft.KindReadOnly
+	}
+	switch e.cfg.Mode {
+	case ModeVanilla:
+		if !e.IsLeader() {
+			// Redirect: vanilla Raft clients must talk to the leader.
+			e.counters.Get("tx_nack").Inc()
+			e.transport.SendToClient(m.ID, [][]byte{r2p2.MakeNack(m.ID)})
+			return
+		}
+		_, err := e.node.Propose(raft.Entry{
+			Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
+			Data: m.Payload, Replier: e.cfg.ID,
+		})
+		if err != nil {
+			return
+		}
+		e.finish()
+	default:
+		// Every node parks the request; if we are (or become) the
+		// leader, it is additionally proposed. Keeping the parked copy
+		// even at the leader covers the stale-leader case: if our
+		// proposal is truncated by the real leader, the body is still
+		// here for promotion when its AE metadata arrives.
+		e.unordered.Put(m.ID, m.Policy, m.Payload, e.now)
+		if e.IsLeader() {
+			_, err := e.node.Propose(raft.Entry{
+				Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
+				Data: m.Payload,
+			})
+			if err == nil {
+				e.finish()
+			}
+		}
+	}
+}
+
+// --- consensus messages -------------------------------------------------
+
+func (e *Engine) handleConsensus(m *r2p2.Msg, viaAgg bool) {
+	env, err := DecodeEnvelope(m.Payload)
+	if err != nil {
+		e.counters.Get("rx_bad_envelope").Inc()
+		return
+	}
+	switch {
+	case env.Raft != nil:
+		e.handleRaft(env.Raft, viaAgg)
+	case env.RecoveryReq != nil:
+		e.handleRecoveryReq(env.RecoveryReq)
+	case env.RecoveryResp != nil:
+		e.handleRecoveryResp(env.RecoveryResp)
+	case env.AggCommit != nil:
+		e.handleAggCommit(env.AggCommit)
+	case env.AggPongTerm != nil:
+		e.handleAggPong(*env.AggPongTerm)
+	case env.AggPing != nil:
+		// Pings are for the aggregator, not nodes.
+		e.counters.Get("rx_unexpected").Inc()
+	}
+}
+
+// handleRaft steps a raft message. viaAgg tells a follower the
+// AppendEntries arrived via the aggregator's multicast (success replies
+// then go back to the aggregator, §4) rather than point-to-point from
+// the leader (replies go to the leader).
+func (e *Engine) handleRaft(m *raft.Message, viaAgg bool) {
+	viaAgg = viaAgg && e.cfg.Mode == ModeHovercraftPP
+	switch m.Type {
+	case raft.MsgApp:
+		e.counters.Get("rx_ae").Inc()
+	case raft.MsgAppResp:
+		e.counters.Get("rx_ae_resp").Inc()
+		if e.cfg.Mode == ModeHovercraftPP && !m.Success && e.groupMode {
+			// A rejecting follower needs point-to-point catch-up;
+			// the sends generated while stepping this response are
+			// allowed through the group-mode filter.
+			e.counters.Get("agg_direct_fallback").Inc()
+		}
+	case raft.MsgVote:
+		e.counters.Get("rx_vote").Inc()
+	}
+	if m.Term >= e.node.Term() && m.From != raft.None {
+		e.heardTerm[m.From] = m.Term
+	}
+	e.ctxViaAgg = viaAgg
+	e.ctxFromResp = m.IsResponse()
+	e.node.Step(*m)
+	if m.Type == raft.MsgApp {
+		e.lastAEViaAgg = viaAgg
+		e.promoteBodies(m)
+	}
+	if m.Type == raft.MsgAppResp && e.IsLeader() {
+		// Feed the bounded queues with the follower's applied progress
+		// (§3.4: the AE reply carries applied_idx).
+		e.queues.Applied(m.From, m.AppliedIndex)
+	}
+	e.finish()
+	e.ctxViaAgg = false
+	e.ctxFromResp = false
+}
+
+// promoteBodies fills request bodies for metadata-only entries that just
+// landed in the log, from the unordered set (§3.2); entries still missing
+// are scheduled for recovery.
+func (e *Engine) promoteBodies(m *raft.Message) {
+	if e.cfg.Mode == ModeVanilla {
+		return
+	}
+	log := e.node.Log()
+	for i := range m.Entries {
+		idx := m.Entries[i].Index
+		le := log.Entry(idx)
+		if le == nil || le.Index != m.Entries[i].Index || le.Term != m.Entries[i].Term {
+			continue // truncated or superseded meanwhile
+		}
+		if le.Kind == raft.KindNoop || le.Data != nil {
+			delete(e.missing, idx)
+			continue
+		}
+		if body, ok := e.unordered.Take(le.ID, le.BodyHash); ok {
+			le.Data = body
+			delete(e.missing, idx)
+		} else {
+			e.missing[idx] = le.ID
+		}
+	}
+	if len(e.missing) > 0 {
+		e.sendRecovery(false)
+	}
+}
+
+// reportApplied pushes the follower's applied index to the leader (or
+// the aggregator's completed registers in HovercRaft++ group flow) when
+// it advanced since the last report. One small message per tick at most.
+func (e *Engine) reportApplied() {
+	if e.cfg.Mode == ModeVanilla {
+		return
+	}
+	if e.ticks%2 != 0 {
+		return // pace reports at half the tick rate; freshness is ample
+	}
+	if e.ticks-e.lastRespTick < 2 {
+		// An AppendEntries reply just carried our applied index; a
+		// separate report would be redundant leader load. Under steady
+		// load AE replies flow every tick, so explicit reports only
+		// fire when the AE stream pauses (e.g. aggregated group mode
+		// between commits, or idle-but-applying periods).
+		return
+	}
+	applied := e.node.Log().Applied()
+	if applied <= e.lastReportedApplied || e.followerMatch == 0 {
+		return
+	}
+	lead := e.node.Leader()
+	if lead == raft.None || lead == e.cfg.ID {
+		return
+	}
+	e.lastReportedApplied = applied
+	m := raft.Message{
+		Type: raft.MsgAppResp, From: e.cfg.ID, To: lead, Term: e.node.Term(),
+		Success: true, MatchIndex: e.followerMatch, AppliedIndex: applied,
+	}
+	e.counters.Get("tx_applied_report").Inc()
+	dgs := e.consensusDatagrams(r2p2.TypeRaftResp, EncodeRaft(&m))
+	if e.cfg.Mode == ModeHovercraftPP && e.lastAEViaAgg {
+		e.transport.SendToAggregator(dgs)
+	} else {
+		e.transport.SendToNode(lead, dgs)
+	}
+}
+
+// --- recovery ----------------------------------------------------------
+
+// sendRecovery asks the leader for missing bodies; force bypasses pacing.
+func (e *Engine) sendRecovery(force bool) {
+	if len(e.missing) == 0 {
+		return
+	}
+	if !force && e.ticks < e.recoveryDue {
+		return
+	}
+	// Ask the leader, or — when we are the leader (e.g. a restarted
+	// node that persisted metadata-only entries won an election) — any
+	// other peer; §3.2 allows recovery from "the leader or any other
+	// follower that might have potentially received it".
+	target := e.node.Leader()
+	if target == e.cfg.ID || target == raft.None {
+		target = raft.None
+		others := make([]raft.NodeID, 0, len(e.cfg.Peers)-1)
+		for _, p := range e.cfg.Peers {
+			if p != e.cfg.ID {
+				others = append(others, p)
+			}
+		}
+		if len(others) > 0 {
+			target = others[e.cfg.Rand.Intn(len(others))]
+		}
+	}
+	if target == raft.None {
+		return
+	}
+	lead := target
+	e.recoveryDue = e.ticks + uint64(e.cfg.RecoveryRetryTicks)
+	req := &RecoveryReq{From: e.cfg.ID}
+	for idx, id := range e.missing {
+		req.Indexes = append(req.Indexes, idx)
+		req.IDs = append(req.IDs, id)
+		if len(req.Indexes) >= 64 {
+			break
+		}
+	}
+	e.counters.Get("tx_recovery_req").Inc()
+	e.transport.SendToNode(lead, e.consensusDatagrams(r2p2.TypeRaftReq, EncodeRecoveryReq(req)))
+}
+
+func (e *Engine) retryRecovery() {
+	if len(e.missing) > 0 && e.ticks >= e.recoveryDue {
+		e.sendRecovery(true)
+	}
+}
+
+func (e *Engine) handleRecoveryReq(r *RecoveryReq) {
+	e.counters.Get("rx_recovery_req").Inc()
+	resp := &RecoveryResp{From: e.cfg.ID}
+	log := e.node.Log()
+	for i, idx := range r.Indexes {
+		id := r.IDs[i]
+		if le := log.Entry(idx); le != nil && le.ID == id && le.Data != nil {
+			cp := *le
+			resp.Entries = append(resp.Entries, cp)
+			continue
+		}
+		// Not in the log (or bodyless there): maybe parked unordered.
+		if body, ok := e.unordered.Take(id, 0); ok {
+			// Put it back — we are only lending a copy.
+			e.unordered.Put(id, r2p2.PolicyReplicated, body, e.now)
+			resp.Entries = append(resp.Entries, raft.Entry{
+				Index: idx, ID: id, Data: body, BodyHash: raft.Hash64(body),
+			})
+		}
+	}
+	if len(resp.Entries) == 0 {
+		return
+	}
+	e.counters.Get("tx_recovery_resp").Inc()
+	e.transport.SendToNode(r.From, e.consensusDatagrams(r2p2.TypeRaftResp, EncodeRecoveryResp(resp)))
+}
+
+func (e *Engine) handleRecoveryResp(r *RecoveryResp) {
+	e.counters.Get("rx_recovery_resp").Inc()
+	log := e.node.Log()
+	for i := range r.Entries {
+		re := &r.Entries[i]
+		le := log.Entry(re.Index)
+		if le == nil || le.ID != re.ID || le.Data != nil {
+			continue
+		}
+		if le.BodyHash != 0 && raft.Hash64(re.Data) != le.BodyHash {
+			continue
+		}
+		le.Data = re.Data
+		delete(e.missing, re.Index)
+	}
+	e.finish()
+}
+
+// --- HovercRaft++ ------------------------------------------------------
+
+func (e *Engine) handleAggPong(term uint64) {
+	e.counters.Get("rx_agg_pong").Inc()
+	if term == e.node.Term() {
+		e.aggPongTerm = term
+	}
+}
+
+func (e *Engine) handleAggCommit(a *AggCommit) {
+	e.counters.Get("rx_agg_commit").Inc()
+	if a.Term != e.node.Term() {
+		return
+	}
+	if e.IsLeader() {
+		// The aggregator counted the quorum; commit is authoritative.
+		// Group mode only starts after this term's noop committed via
+		// the normal path, so every index here is covered by
+		// current-term replication (see DESIGN.md §4.4).
+		e.node.ForceCommit(a.Commit)
+		for i, id := range a.Nodes {
+			e.queues.Applied(id, a.Apps[i])
+			if pr := e.node.Progress(id); pr != nil && a.Apps[i] > pr.Applied {
+				pr.Applied = a.Apps[i]
+			}
+		}
+	} else {
+		// Commit only what we ourselves acknowledged this term.
+		limit := a.Commit
+		if e.followerMatch < limit {
+			limit = e.followerMatch
+		}
+		e.node.ForceCommit(limit)
+	}
+	e.finish()
+}
+
+// --- leader pacing -------------------------------------------------------
+
+// pace runs once per tick on the leader: advance the announcement window,
+// then broadcast batched AppendEntries (point-to-point or via the
+// aggregator).
+func (e *Engine) pace() {
+	if e.cfg.Mode != ModeVanilla {
+		e.announce()
+	}
+	log := e.node.Log()
+	switch e.cfg.Mode {
+	case ModeVanilla:
+		if log.LastIndex() > e.lastBcastLast || log.Commit() > e.lastBcastCommit {
+			e.node.BroadcastAppend()
+			e.lastBcastLast = log.LastIndex()
+			e.lastBcastCommit = log.Commit()
+		}
+	case ModeHovercraft:
+		if e.announced > e.lastBcastLast || log.Commit() > e.lastBcastCommit {
+			e.node.BroadcastAppend()
+			e.lastBcastLast = e.announced
+			e.lastBcastCommit = log.Commit()
+		}
+	case ModeHovercraftPP:
+		e.paceAggregated()
+	}
+}
+
+func (e *Engine) paceAggregated() {
+	log := e.node.Log()
+	if !e.groupMode {
+		// Fallback: plain HovercRaft broadcasting while we wait for the
+		// aggregator pong and this term's noop commit.
+		if e.announced > e.lastBcastLast || log.Commit() > e.lastBcastCommit {
+			e.node.BroadcastAppend()
+			e.lastBcastLast = e.announced
+			e.lastBcastCommit = log.Commit()
+		}
+		// Ping the aggregator at heartbeat cadence.
+		e.idleHB++
+		if e.aggPongTerm != e.node.Term() && e.idleHB >= e.cfg.HeartbeatTicks {
+			e.idleHB = 0
+			e.counters.Get("tx_agg_ping").Inc()
+			ping := EncodeAggPing(&AggPing{Term: e.node.Term(), From: e.cfg.ID})
+			e.transport.SendToAggregator(e.consensusDatagrams(r2p2.TypeRaftReq, ping))
+		}
+		if e.aggPongTerm == e.node.Term() && log.Commit() >= e.noopIndex {
+			e.groupMode = true
+			e.groupNext = log.Commit() + 1
+			e.idleHB = 0
+		}
+		return
+	}
+	// Group mode: one append to the aggregator covers all followers.
+	e.idleHB++
+	hasNew := e.groupNext <= e.announced
+	commitMoved := log.Commit() > e.lastBcastCommit
+	heartbeatDue := e.idleHB >= e.cfg.HeartbeatTicks
+	if !hasNew && !commitMoved && !heartbeatDue {
+		return
+	}
+	m, ok := e.node.AppendMsgFrom(e.groupNext, AggregatorID, 0)
+	if !ok {
+		// groupNext fell behind the compaction horizon (extremely
+		// lagging aggregator view); drop out of group mode and let the
+		// normal path re-establish it.
+		e.groupMode = false
+		return
+	}
+	if e.cfg.Mode != ModeVanilla {
+		m.Entries = raft.StripBodies(m.Entries)
+	}
+	e.idleHB = 0
+	e.lastBcastCommit = log.Commit()
+	e.groupNext += uint64(len(m.Entries))
+	e.counters.Get("tx_agg_ae").Inc()
+	e.transport.SendToAggregator(e.consensusDatagrams(r2p2.TypeRaftReq, EncodeRaft(&m)))
+}
+
+// announce advances announced_idx, designating repliers under the bounded
+// queue invariant (§3.4): a node with a full queue is ineligible, and
+// when nobody is eligible the leader waits.
+func (e *Engine) announce() {
+	log := e.node.Log()
+	if e.announced < log.SnapIndex() {
+		e.announced = log.SnapIndex()
+	}
+	for e.announced < log.LastIndex() {
+		idx := e.announced + 1
+		le := log.Entry(idx)
+		if le == nil {
+			break
+		}
+		if le.Kind == raft.KindNoop {
+			e.announced = idx
+			continue
+		}
+		if le.Replier != raft.None {
+			// Inherited from a previous leader: immutable.
+			e.announced = idx
+			continue
+		}
+		var replier raft.NodeID
+		if e.cfg.DisableReplyLB {
+			// No reply load balancing: the leader answers everything,
+			// vanilla-style, and the bounded-queue window does not
+			// gate announcements (there is no replier choice to make).
+			le.Replier = e.cfg.ID
+			e.announced = idx
+			continue
+		} else {
+			term := e.node.Term()
+			alive := func(n raft.NodeID) bool {
+				return n == e.cfg.ID || e.heardTerm[n] >= term
+			}
+			r, ok := e.queues.Select(e.cfg.Policy, e.cfg.Rand, alive)
+			if !ok {
+				break // wait: liveness unaffected (§3.4)
+			}
+			replier = r
+		}
+		le.Replier = replier
+		e.queues.Assign(replier, idx)
+		e.announced = idx
+	}
+	e.node.SetReplicationLimit(e.announced)
+}
+
+// --- state transitions ---------------------------------------------------
+
+func (e *Engine) checkTransitions() {
+	if t := e.node.Term(); t != e.lastTermSeen {
+		e.lastTermSeen = t
+		e.followerMatch = 0
+		e.aggPongTerm = 0
+		e.groupMode = false
+	}
+	leading := e.IsLeader()
+	switch {
+	case leading && !e.wasLeader:
+		e.becomeLeader()
+	case !leading && e.wasLeader:
+		e.wasLeader = false
+		e.queues.Reset()
+		e.announced = 0
+		e.lastBcastLast = 0
+		e.lastBcastCommit = 0
+		e.groupMode = false
+		e.node.SetReplicationLimit(0)
+	}
+}
+
+func (e *Engine) becomeLeader() {
+	e.wasLeader = true
+	e.counters.Get("became_leader").Inc()
+	log := e.node.Log()
+	e.noopIndex = log.LastIndex() // the noop becomeLeader just appended
+	e.groupMode = false
+	e.lastBcastLast = 0
+	e.lastBcastCommit = 0
+	if e.cfg.Mode == ModeVanilla {
+		e.node.SetReplicationLimit(0)
+		return
+	}
+	// Recompute announced_idx from the inherited log: the prefix whose
+	// entries all carry a replier.
+	e.announced = log.LastIndex()
+	ids := make(map[r2p2.RequestID]bool)
+	for i := log.FirstIndex(); i <= log.LastIndex(); i++ {
+		le := log.Entry(i)
+		if le.Kind != raft.KindNoop {
+			ids[le.ID] = true
+		}
+		if le.Kind != raft.KindNoop && le.Replier == raft.None && e.announced >= i {
+			e.announced = i - 1
+		}
+	}
+	// Rebuild bounded queues from announced-but-unapplied assignments.
+	applied := log.Applied()
+	e.queues.Rebuild(func(emit func(n raft.NodeID, idx uint64)) {
+		for i := applied + 1; i <= e.announced; i++ {
+			le := log.Entry(i)
+			if le != nil && le.Kind != raft.KindNoop && le.Replier != raft.None {
+				emit(le.Replier, i)
+			}
+		}
+	})
+	e.node.SetReplicationLimit(e.announced)
+	// Order everything we heard that the old leader never announced (§5).
+	for _, ent := range e.unordered.Drain() {
+		if ids[ent.ID] {
+			continue // already in the inherited log
+		}
+		if _, err := e.node.Propose(ent); err != nil {
+			break
+		}
+	}
+}
+
+// --- applying ------------------------------------------------------------
+
+// maybeApply pushes the apply pipeline: strictly in-order execution of
+// committed entries, eagerly on commit (paper §6.2), skipping read-only
+// entries on non-replier nodes (§3.5) and stalling on bodies still being
+// recovered.
+func (e *Engine) maybeApply() {
+	log := e.node.Log()
+	for !e.applyBusy {
+		next := log.Applied() + 1
+		if next > log.Commit() {
+			return
+		}
+		le := log.Entry(next)
+		if le == nil {
+			return // behind a snapshot restore; nothing to run
+		}
+		if le.Kind != raft.KindNoop && le.Data == nil {
+			e.missing[next] = le.ID
+			e.sendRecovery(false)
+			return // stall until the body is recovered
+		}
+		if le.Kind != raft.KindNoop {
+			e.unordered.Drop(le.ID)
+		}
+		execute := le.Kind == raft.KindReadWrite ||
+			(le.Kind == raft.KindReadOnly && le.Replier == e.cfg.ID)
+		if !execute {
+			e.markApplied(next)
+			continue
+		}
+		e.applyBusy = true
+		entry := *le // capture: the log slot may be truncated meanwhile
+		e.runner.Run(entry.Data, entry.Kind == raft.KindReadOnly, func(reply []byte) {
+			e.applyBusy = false
+			// A snapshot restore may have advanced applied past this
+			// entry while it executed; its result is still valid
+			// (computed on consistent pre-restore state) but the
+			// applied index must not regress.
+			if entry.Index > log.Applied() {
+				e.markApplied(entry.Index)
+			}
+			if entry.Replier == e.cfg.ID {
+				e.reply(entry.ID, reply)
+			}
+			e.maybeApply()
+			e.flush()
+		})
+	}
+}
+
+func (e *Engine) markApplied(idx uint64) {
+	e.node.AppliedTo(idx)
+	if e.IsLeader() {
+		e.queues.Applied(e.cfg.ID, idx)
+	}
+}
+
+func (e *Engine) reply(id r2p2.RequestID, payload []byte) {
+	e.counters.Get("tx_resp").Inc()
+	e.transport.SendToClient(id, r2p2.MakeResponse(id, payload, 0))
+	if e.cfg.Mode != ModeVanilla {
+		e.counters.Get("tx_feedback").Inc()
+		e.transport.SendFeedback([][]byte{r2p2.MakeFeedback(id)})
+	}
+}
+
+// --- outbox ---------------------------------------------------------------
+
+// finish runs the standard post-step sequence.
+func (e *Engine) finish() {
+	e.checkTransitions()
+	e.maybeSnapshot()
+	e.maybeApply()
+	e.maybeCompact()
+	e.flush()
+}
+
+// maybeSnapshot restores application state after an InstallSnapshot
+// replaced the log (receiver side of compaction catch-up).
+func (e *Engine) maybeSnapshot() {
+	if e.cfg.Snapshotter == nil {
+		return
+	}
+	log := e.node.Log()
+	if si := log.SnapIndex(); si > e.lastRestored && si >= log.Applied() {
+		if err := e.cfg.Snapshotter.Restore(log.SnapData()); err == nil {
+			e.lastRestored = si
+			e.counters.Get("snap_restored").Inc()
+			// Entries below the snapshot can never need recovery now.
+			for idx := range e.missing {
+				if idx <= si {
+					delete(e.missing, idx)
+				}
+			}
+			// Drop every parked request: some may already be inside
+			// the snapshot (we skipped their individual applies), and
+			// re-proposing one after a leadership change would execute
+			// it twice. Requests still genuinely unordered are
+			// re-fetched through the recovery path if we ever need
+			// their bodies.
+			e.unordered.Drain()
+		}
+	}
+}
+
+// maybeCompact truncates the applied log prefix into a snapshot every
+// CompactEvery entries. Only runs while the application thread is idle
+// so Snapshot sees a quiescent state machine.
+func (e *Engine) maybeCompact() {
+	if e.cfg.Snapshotter == nil || e.cfg.CompactEvery == 0 || e.applyBusy {
+		return
+	}
+	log := e.node.Log()
+	if log.Applied()-log.SnapIndex() < e.cfg.CompactEvery {
+		return
+	}
+	blob := e.cfg.Snapshotter.Snapshot()
+	if err := e.node.Compact(log.Applied(), blob); err == nil {
+		e.lastRestored = log.SnapIndex()
+		e.counters.Get("snap_taken").Inc()
+	}
+}
+
+// flush drains the raft outbox, encodes, and routes messages.
+func (e *Engine) flush() {
+	for _, m := range e.node.ReadMessages() {
+		m := m
+		if m.Type == raft.MsgApp {
+			if e.cfg.Mode != ModeVanilla {
+				m.Entries = raft.StripBodies(m.Entries)
+			}
+			if e.cfg.Mode == ModeHovercraftPP && e.groupMode && !e.ctxFromResp {
+				// Group mode replicates via the aggregator; suppress
+				// raft-generated broadcast appends (heartbeats). Sends
+				// triggered by stepping a response are the direct
+				// catch-up path and pass through.
+				continue
+			}
+			e.counters.Get("tx_ae").Inc()
+		}
+		typ := r2p2.TypeRaftReq
+		if m.IsResponse() {
+			typ = r2p2.TypeRaftResp
+		}
+		if m.Type == raft.MsgAppResp {
+			e.counters.Get("tx_ae_resp").Inc()
+			e.lastRespTick = e.ticks
+			if m.Success {
+				if m.MatchIndex > e.followerMatch {
+					e.followerMatch = m.MatchIndex
+				}
+				if e.cfg.Mode == ModeHovercraftPP && e.ctxViaAgg {
+					e.transport.SendToAggregator(e.consensusDatagrams(typ, EncodeRaft(&m)))
+					continue
+				}
+			}
+		}
+		e.transport.SendToNode(m.To, e.consensusDatagrams(typ, EncodeRaft(&m)))
+	}
+}
+
+// consensusDatagrams wraps an envelope payload into R2P2 datagrams.
+func (e *Engine) consensusDatagrams(typ r2p2.MessageType, payload []byte) [][]byte {
+	e.msgSeq++
+	return r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, uint16(e.cfg.ID), e.msgSeq, payload, 0)
+}

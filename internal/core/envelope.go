@@ -1,0 +1,277 @@
+// Package core implements the HovercRaft protocol engine (EuroSys'20):
+// Raft integrated directly into the R2P2 RPC layer, extended to separate
+// request replication from ordering, load-balance client replies and
+// read-only execution across replicas under bounded queues (JBSQ), apply
+// multicast flow control, and optionally offload AppendEntries fan-out /
+// fan-in to an in-network aggregator (HovercRaft++).
+//
+// Like the raft package it builds on, the engine is a deterministic step
+// machine: inputs are reassembled R2P2 messages and ticks; outputs go
+// through the Transport interface. The same engine runs under the
+// discrete-event simulator and the real UDP runtime.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// Envelope kinds: the first payload byte of every TypeRaftReq /
+// TypeRaftResp R2P2 message.
+const (
+	envRaft uint8 = iota // a raft.Message follows
+	envRecoveryReq
+	envRecoveryResp
+	envAggCommit
+	envAggPing
+	envAggPong
+
+	numEnvKinds
+)
+
+// ErrBadEnvelope reports a malformed consensus payload.
+var ErrBadEnvelope = errors.New("core: malformed consensus envelope")
+
+// EncodeRaft wraps a raft message in the envelope.
+func EncodeRaft(m *raft.Message) []byte {
+	return raft.EncodeMessage(m, []byte{envRaft})
+}
+
+// RecoveryReq asks a node that saw a client request to supply its body
+// (paper §3.2/§5: sent when an AppendEntries references a request missing
+// from the local unordered set, e.g. after multicast loss).
+type RecoveryReq struct {
+	From    raft.NodeID
+	Indexes []uint64
+	IDs     []r2p2.RequestID
+}
+
+// EncodeRecoveryReq serializes r.
+func EncodeRecoveryReq(r *RecoveryReq) []byte {
+	buf := make([]byte, 0, 7+18*len(r.Indexes))
+	buf = append(buf, envRecoveryReq)
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(r.From))
+	buf = append(buf, b4[:]...)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(r.Indexes)))
+	buf = append(buf, b2[:]...)
+	for i := range r.Indexes {
+		var b8 [8]byte
+		binary.BigEndian.PutUint64(b8[:], r.Indexes[i])
+		buf = append(buf, b8[:]...)
+		binary.BigEndian.PutUint32(b4[:], r.IDs[i].SrcIP)
+		buf = append(buf, b4[:]...)
+		binary.BigEndian.PutUint16(b2[:], r.IDs[i].SrcPort)
+		buf = append(buf, b2[:]...)
+		binary.BigEndian.PutUint32(b4[:], r.IDs[i].ReqID)
+		buf = append(buf, b4[:]...)
+	}
+	return buf
+}
+
+func decodeRecoveryReq(b []byte) (*RecoveryReq, error) {
+	if len(b) < 6 {
+		return nil, ErrBadEnvelope
+	}
+	r := &RecoveryReq{From: raft.NodeID(binary.BigEndian.Uint32(b[0:4]))}
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) != n*18 {
+		return nil, ErrBadEnvelope
+	}
+	for i := 0; i < n; i++ {
+		r.Indexes = append(r.Indexes, binary.BigEndian.Uint64(b[0:8]))
+		r.IDs = append(r.IDs, r2p2.RequestID{
+			SrcIP:   binary.BigEndian.Uint32(b[8:12]),
+			SrcPort: binary.BigEndian.Uint16(b[12:14]),
+			ReqID:   binary.BigEndian.Uint32(b[14:18]),
+		})
+		b = b[18:]
+	}
+	return r, nil
+}
+
+// RecoveryResp carries the full entries (with bodies) a peer recovered.
+type RecoveryResp struct {
+	From    raft.NodeID
+	Entries []raft.Entry
+}
+
+// EncodeRecoveryResp serializes r.
+func EncodeRecoveryResp(r *RecoveryResp) []byte {
+	buf := []byte{envRecoveryResp}
+	var b4 [4]byte
+	binary.BigEndian.PutUint32(b4[:], uint32(r.From))
+	buf = append(buf, b4[:]...)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(r.Entries)))
+	buf = append(buf, b2[:]...)
+	for i := range r.Entries {
+		buf = raft.EncodeEntry(&r.Entries[i], buf)
+	}
+	return buf
+}
+
+func decodeRecoveryResp(b []byte) (*RecoveryResp, error) {
+	if len(b) < 6 {
+		return nil, ErrBadEnvelope
+	}
+	r := &RecoveryResp{From: raft.NodeID(binary.BigEndian.Uint32(b[0:4]))}
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	for i := 0; i < n; i++ {
+		e, used, err := raft.DecodeEntry(b)
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, e)
+		b = b[used:]
+	}
+	if len(b) != 0 {
+		return nil, ErrBadEnvelope
+	}
+	return r, nil
+}
+
+// AggCommit is the HovercRaft++ commit announcement multicast by the
+// in-network aggregator once a quorum of AppendEntries replies arrived
+// (paper §4, Fig. 6). It carries the per-node applied counters the leader
+// needs for bounded-queue load balancing.
+type AggCommit struct {
+	Term   uint64
+	Commit uint64
+	Nodes  []raft.NodeID
+	Apps   []uint64 // applied index per node, parallel to Nodes
+}
+
+// EncodeAggCommit serializes a.
+func EncodeAggCommit(a *AggCommit) []byte {
+	buf := make([]byte, 0, 19+12*len(a.Nodes))
+	buf = append(buf, envAggCommit)
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], a.Term)
+	buf = append(buf, b8[:]...)
+	binary.BigEndian.PutUint64(b8[:], a.Commit)
+	buf = append(buf, b8[:]...)
+	var b2 [2]byte
+	binary.BigEndian.PutUint16(b2[:], uint16(len(a.Nodes)))
+	buf = append(buf, b2[:]...)
+	for i := range a.Nodes {
+		var b4 [4]byte
+		binary.BigEndian.PutUint32(b4[:], uint32(a.Nodes[i]))
+		buf = append(buf, b4[:]...)
+		binary.BigEndian.PutUint64(b8[:], a.Apps[i])
+		buf = append(buf, b8[:]...)
+	}
+	return buf
+}
+
+func decodeAggCommit(b []byte) (*AggCommit, error) {
+	if len(b) < 18 {
+		return nil, ErrBadEnvelope
+	}
+	a := &AggCommit{
+		Term:   binary.BigEndian.Uint64(b[0:8]),
+		Commit: binary.BigEndian.Uint64(b[8:16]),
+	}
+	n := int(binary.BigEndian.Uint16(b[16:18]))
+	b = b[18:]
+	if len(b) != n*12 {
+		return nil, ErrBadEnvelope
+	}
+	for i := 0; i < n; i++ {
+		a.Nodes = append(a.Nodes, raft.NodeID(binary.BigEndian.Uint32(b[0:4])))
+		a.Apps = append(a.Apps, binary.BigEndian.Uint64(b[4:12]))
+		b = b[12:]
+	}
+	return a, nil
+}
+
+// AggPing is the new leader's liveness probe to the aggregator (the
+// paper's vote_request to the aggregator, which does not count for
+// election). AggPong is the answer.
+type AggPing struct {
+	Term uint64
+	From raft.NodeID
+}
+
+// EncodeAggPing serializes p.
+func EncodeAggPing(p *AggPing) []byte {
+	buf := make([]byte, 13)
+	buf[0] = envAggPing
+	binary.BigEndian.PutUint64(buf[1:9], p.Term)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(p.From))
+	return buf
+}
+
+// EncodeAggPong serializes the aggregator's reply for the given term.
+func EncodeAggPong(term uint64) []byte {
+	buf := make([]byte, 9)
+	buf[0] = envAggPong
+	binary.BigEndian.PutUint64(buf[1:9], term)
+	return buf
+}
+
+// Envelope is a decoded consensus payload; exactly one field is set.
+type Envelope struct {
+	Raft         *raft.Message
+	RecoveryReq  *RecoveryReq
+	RecoveryResp *RecoveryResp
+	AggCommit    *AggCommit
+	AggPing      *AggPing
+	AggPongTerm  *uint64
+}
+
+// DecodeEnvelope parses a consensus payload.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	if len(b) == 0 {
+		return nil, ErrBadEnvelope
+	}
+	kind, body := b[0], b[1:]
+	switch kind {
+	case envRaft:
+		m, err := raft.DecodeMessage(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Envelope{Raft: m}, nil
+	case envRecoveryReq:
+		r, err := decodeRecoveryReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Envelope{RecoveryReq: r}, nil
+	case envRecoveryResp:
+		r, err := decodeRecoveryResp(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Envelope{RecoveryResp: r}, nil
+	case envAggCommit:
+		a, err := decodeAggCommit(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Envelope{AggCommit: a}, nil
+	case envAggPing:
+		if len(body) != 12 {
+			return nil, ErrBadEnvelope
+		}
+		return &Envelope{AggPing: &AggPing{
+			Term: binary.BigEndian.Uint64(body[0:8]),
+			From: raft.NodeID(binary.BigEndian.Uint32(body[8:12])),
+		}}, nil
+	case envAggPong:
+		if len(body) != 8 {
+			return nil, ErrBadEnvelope
+		}
+		t := binary.BigEndian.Uint64(body)
+		return &Envelope{AggPongTerm: &t}, nil
+	default:
+		return nil, ErrBadEnvelope
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/stats"
+)
+
+// UnreplicatedEngine is the paper's UnRep baseline: a plain R2P2 server
+// with no fault tolerance. Client requests are executed in arrival order
+// on the application thread and answered directly. It shares the
+// Transport/AppRunner contracts with Engine so the runtimes treat both
+// uniformly.
+type UnreplicatedEngine struct {
+	transport Transport
+	runner    AppRunner
+	counters  *stats.CounterSet
+
+	queue []r2p2.Msg
+	busy  bool
+}
+
+// NewUnreplicatedEngine builds the baseline server.
+func NewUnreplicatedEngine(transport Transport, runner AppRunner) *UnreplicatedEngine {
+	return &UnreplicatedEngine{
+		transport: transport,
+		runner:    runner,
+		counters:  stats.NewCounterSet(),
+	}
+}
+
+// Counters exposes message counters.
+func (e *UnreplicatedEngine) Counters() *stats.CounterSet { return e.counters }
+
+// Tick is a no-op (kept for interface symmetry with Engine).
+func (e *UnreplicatedEngine) Tick() {}
+
+// HandleMessage serves one client request.
+func (e *UnreplicatedEngine) HandleMessage(m *r2p2.Msg) {
+	if m.Type != r2p2.TypeRequest {
+		e.counters.Get("rx_unexpected").Inc()
+		return
+	}
+	e.counters.Get("rx_req").Inc()
+	e.queue = append(e.queue, *m)
+	e.pump()
+}
+
+// pump runs queued requests one at a time on the app thread.
+func (e *UnreplicatedEngine) pump() {
+	if e.busy || len(e.queue) == 0 {
+		return
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	e.busy = true
+	e.runner.Run(m.Payload, m.IsReadOnly(), func(reply []byte) {
+		e.busy = false
+		e.counters.Get("tx_resp").Inc()
+		e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
+		e.pump()
+	})
+}
+
+// QueueLen reports the number of requests waiting for the app thread.
+func (e *UnreplicatedEngine) QueueLen() int { return len(e.queue) }

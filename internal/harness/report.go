@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hovercraft/internal/stats"
+)
+
+// Report is the output of one experiment: what the paper claimed, what we
+// measured, and the raw rows to reproduce the figure.
+type Report struct {
+	ID         string // "fig7", "table1", ...
+	Title      string
+	PaperClaim string
+	Tables     []*stats.Table
+	Curves     []Curve
+	Series     []*stats.Series
+	Notes      []string
+}
+
+// CurveTable renders curves as a throughput/latency table (the figure's
+// underlying data points).
+func CurveTable(title string, curves []Curve) *stats.Table {
+	t := &stats.Table{
+		Title:   title,
+		Headers: []string{"system", "offered_kRPS", "achieved_kRPS", "p50", "p99", "nack_kRPS", "loss_kRPS"},
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			t.AddRow(c.Label,
+				fmt.Sprintf("%.0f", p.OfferedKRPS),
+				fmt.Sprintf("%.0f", p.AchievedKRPS),
+				fmtDur(p.P50), fmtDur(p.P99),
+				fmt.Sprintf("%.1f", p.NackKRPS),
+				fmt.Sprintf("%.1f", p.LossKRPS))
+		}
+	}
+	return t
+}
+
+// SLOTable renders the max-throughput-under-SLO summary of curves.
+func SLOTable(title string, curves []Curve, slo time.Duration) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("%s (max kRPS under %v p99 SLO)", title, slo),
+		Headers: []string{"system", "max_kRPS_under_SLO"},
+	}
+	for _, c := range curves {
+		t.AddRow(c.Label, fmt.Sprintf("%.0f", c.MaxUnderSLO(slo)))
+	}
+	return t
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/1e3)
+	}
+}
+
+// AsciiPlot draws curves as a rough latency-vs-throughput scatter for
+// terminal inspection. X is achieved kRPS, Y is p99 µs (log-ish cap).
+func AsciiPlot(curves []Curve, yCapUs float64) string {
+	const w, h = 72, 18
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	maxX := 1.0
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if p.AchievedKRPS > maxX {
+				maxX = p.AchievedKRPS
+			}
+		}
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	var legend strings.Builder
+	for ci, c := range curves {
+		m := marks[ci%len(marks)]
+		fmt.Fprintf(&legend, "  %c %s\n", m, c.Label)
+		for _, p := range c.Points {
+			x := int(p.AchievedKRPS / maxX * float64(w-1))
+			y := float64(p.P99) / 1e3
+			if y > yCapUs {
+				y = yCapUs
+			}
+			row := h - 1 - int(y/yCapUs*float64(h-1))
+			if row < 0 {
+				row = 0
+			}
+			if x >= 0 && x < w && row >= 0 && row < h {
+				grid[row][x] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "p99 (µs, cap %.0f)\n", yCapUs)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "+%s\n 0%sachieved kRPS (max %.0f)\n", strings.Repeat("-", w), strings.Repeat(" ", w-30), maxX)
+	b.WriteString(legend.String())
+	return b.String()
+}
+
+// Render formats the full report.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==================================================================\n")
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(r.ID), r.Title)
+	fmt.Fprintf(&b, "Paper: %s\n", r.PaperClaim)
+	fmt.Fprintf(&b, "==================================================================\n\n")
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteString("\n")
+	}
+	if len(r.Curves) > 0 {
+		b.WriteString(AsciiPlot(r.Curves, 2*float64(SLO)/1e3))
+		b.WriteString("\n")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "-- series: %s (%s)\n", s.Name, s.YLegend)
+		for i := 0; i < s.Len(); i++ {
+			tm, v := s.At(i)
+			fmt.Fprintf(&b, "   t=%8.3fs  %10.2f\n", tm.Seconds(), v)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary command protocol. Every request payload starts with an opcode;
+// strings are length-prefixed (uint16 for keys/fields, uint32 for
+// values). Replies start with a status byte.
+
+// OpCode identifies a store operation.
+type OpCode uint8
+
+const (
+	// OpGet returns the value of a string key.
+	OpGet OpCode = iota
+	// OpSet stores a string key.
+	OpSet
+	// OpDel deletes a string key.
+	OpDel
+	// OpHSet sets one field of a hash.
+	OpHSet
+	// OpHGet reads one field of a hash.
+	OpHGet
+	// OpHGetAll reads all fields of a hash (sorted by field name for
+	// replica determinism).
+	OpHGetAll
+	// OpLPush prepends to a list.
+	OpLPush
+	// OpRPush appends to a list.
+	OpRPush
+	// OpLRange reads a list slice.
+	OpLRange
+	// OpInsert is the YCSB-E module op: insert a multi-field record
+	// into the ordered table in one isolated step.
+	OpInsert
+	// OpScan is the YCSB-E module op: read up to max records in key
+	// order starting at a key.
+	OpScan
+
+	numOps
+)
+
+// IsReadOnly reports whether the opcode only queries state. Clients use
+// it to pick the R2P2 policy (REPLICATED_REQ vs REPLICATED_REQ_R).
+func (o OpCode) IsReadOnly() bool {
+	switch o {
+	case OpGet, OpHGet, OpHGetAll, OpLRange, OpScan:
+		return true
+	default:
+		return false
+	}
+}
+
+func (o OpCode) String() string {
+	names := [...]string{"GET", "SET", "DEL", "HSET", "HGET", "HGETALL",
+		"LPUSH", "RPUSH", "LRANGE", "INSERT", "SCAN"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Reply status bytes.
+const (
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusErr      = 2
+)
+
+// ErrBadCommand reports a malformed command payload.
+var ErrBadCommand = errors.New("kvstore: malformed command")
+
+func appendStr16(b []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	return append(append(b, l[:]...), s...)
+}
+
+func appendBytes32(b, v []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(v)))
+	return append(append(b, l[:]...), v...)
+}
+
+func takeStr16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrBadCommand
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, ErrBadCommand
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+func takeBytes32(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadCommand
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) < 4+n {
+		return nil, nil, ErrBadCommand
+	}
+	return b[4 : 4+n], b[4+n:], nil
+}
+
+// EncodeGet builds a GET command.
+func EncodeGet(key string) []byte { return appendStr16([]byte{byte(OpGet)}, key) }
+
+// EncodeSet builds a SET command.
+func EncodeSet(key string, val []byte) []byte {
+	return appendBytes32(appendStr16([]byte{byte(OpSet)}, key), val)
+}
+
+// EncodeDel builds a DEL command.
+func EncodeDel(key string) []byte { return appendStr16([]byte{byte(OpDel)}, key) }
+
+// EncodeHSet builds an HSET command.
+func EncodeHSet(key, field string, val []byte) []byte {
+	b := appendStr16([]byte{byte(OpHSet)}, key)
+	b = appendStr16(b, field)
+	return appendBytes32(b, val)
+}
+
+// EncodeHGet builds an HGET command.
+func EncodeHGet(key, field string) []byte {
+	return appendStr16(appendStr16([]byte{byte(OpHGet)}, key), field)
+}
+
+// EncodeHGetAll builds an HGETALL command.
+func EncodeHGetAll(key string) []byte { return appendStr16([]byte{byte(OpHGetAll)}, key) }
+
+// EncodeLPush builds an LPUSH command.
+func EncodeLPush(key string, val []byte) []byte {
+	return appendBytes32(appendStr16([]byte{byte(OpLPush)}, key), val)
+}
+
+// EncodeRPush builds an RPUSH command.
+func EncodeRPush(key string, val []byte) []byte {
+	return appendBytes32(appendStr16([]byte{byte(OpRPush)}, key), val)
+}
+
+// EncodeLRange builds an LRANGE command for elements [start, stop).
+func EncodeLRange(key string, start, stop int32) []byte {
+	b := appendStr16([]byte{byte(OpLRange)}, key)
+	var l [8]byte
+	binary.BigEndian.PutUint32(l[0:4], uint32(start))
+	binary.BigEndian.PutUint32(l[4:8], uint32(stop))
+	return append(b, l[:]...)
+}
+
+// Field is one named column of a YCSB record.
+type Field struct {
+	Name  string
+	Value []byte
+}
+
+// EncodeInsert builds the YCSB-E INSERT module command: an isolated
+// multi-field record insert.
+func EncodeInsert(key string, fields []Field) []byte {
+	b := appendStr16([]byte{byte(OpInsert)}, key)
+	var c [2]byte
+	binary.BigEndian.PutUint16(c[:], uint16(len(fields)))
+	b = append(b, c[:]...)
+	for _, f := range fields {
+		b = appendStr16(b, f.Name)
+		b = appendBytes32(b, f.Value)
+	}
+	return b
+}
+
+// EncodeScan builds the YCSB-E SCAN module command: read up to max
+// records starting at startKey in key order.
+func EncodeScan(startKey string, max uint16) []byte {
+	b := appendStr16([]byte{byte(OpScan)}, startKey)
+	var c [2]byte
+	binary.BigEndian.PutUint16(c[:], max)
+	return append(b, c[:]...)
+}
+
+// DecodeStatus splits a reply into its status byte and body.
+func DecodeStatus(reply []byte) (byte, []byte) {
+	if len(reply) == 0 {
+		return StatusErr, nil
+	}
+	return reply[0], reply[1:]
+}
+
+// DecodeScanReply parses a SCAN reply into records (key + concatenated
+// field payload per record).
+func DecodeScanReply(reply []byte) (map[string][]byte, error) {
+	status, body := DecodeStatus(reply)
+	if status != StatusOK {
+		return nil, fmt.Errorf("kvstore: scan status %d", status)
+	}
+	if len(body) < 2 {
+		return nil, ErrBadCommand
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	out := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		key, rest, err := takeStr16(body)
+		if err != nil {
+			return nil, err
+		}
+		val, rest, err := takeBytes32(rest)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = val
+		body = rest
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package kvstore
+
+import "math/rand"
+
+// skiplist is an ordered string-keyed map supporting O(log n) insert,
+// lookup, and in-order range scans — the ordered-table substrate behind
+// the YCSB-E SCAN/INSERT module operations (Redis uses a similar
+// structure for sorted sets).
+const (
+	maxLevel    = 24
+	probability = 0.25
+)
+
+type skipNode struct {
+	key  string
+	val  []byte
+	next []*skipNode
+}
+
+type skiplist struct {
+	head  *skipNode
+	level int
+	size  int
+	rng   *rand.Rand
+}
+
+// newSkiplist returns an empty list. The RNG only affects performance
+// (tower heights), never contents, so replica determinism is unaffected
+// by its seed.
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipNode{next: make([]*skipNode, maxLevel)},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.rng.Float64() < probability {
+		lvl++
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the rightmost node before key at
+// every level.
+func (s *skiplist) findPredecessors(key string, update *[maxLevel]*skipNode) *skipNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+// set inserts or replaces key. Returns true if the key was new.
+func (s *skiplist) set(key string, val []byte) bool {
+	var update [maxLevel]*skipNode
+	n := s.findPredecessors(key, &update)
+	if n != nil && n.key == key {
+		n.val = val
+		return false
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	node := &skipNode{key: key, val: val, next: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		node.next[i] = update[i].next[i]
+		update[i].next[i] = node
+	}
+	s.size++
+	return true
+}
+
+// get returns the value for key.
+func (s *skiplist) get(key string) ([]byte, bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < key {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n != nil && n.key == key {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// del removes key, reporting whether it existed.
+func (s *skiplist) del(key string) bool {
+	var update [maxLevel]*skipNode
+	n := s.findPredecessors(key, &update)
+	if n == nil || n.key != key {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return true
+}
+
+// scan visits up to count entries with key >= start in key order,
+// stopping early if fn returns false. Returns the number visited.
+func (s *skiplist) scan(start string, count int, fn func(key string, val []byte) bool) int {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key < start {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	visited := 0
+	for n != nil && visited < count {
+		visited++
+		if !fn(n.key, n.val) {
+			break
+		}
+		n = n.next[0]
+	}
+	return visited
+}
+
+// len returns the number of entries.
+func (s *skiplist) len() int { return s.size }

@@ -1,0 +1,322 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkiplistSetGetDel(t *testing.T) {
+	s := newSkiplist(1)
+	if _, ok := s.get("a"); ok {
+		t.Fatal("empty get hit")
+	}
+	if !s.set("a", []byte("1")) {
+		t.Fatal("new key reported as existing")
+	}
+	if s.set("a", []byte("2")) {
+		t.Fatal("overwrite reported as new")
+	}
+	v, ok := s.get("a")
+	if !ok || string(v) != "2" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+	if !s.del("a") || s.del("a") {
+		t.Fatal("del semantics broken")
+	}
+	if s.len() != 0 {
+		t.Fatalf("len = %d", s.len())
+	}
+}
+
+func TestSkiplistOrderedScan(t *testing.T) {
+	s := newSkiplist(7)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		s.set(k, []byte(k))
+	}
+	var got []string
+	s.scan("b", 3, func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"bravo", "charlie", "delta"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	// Scan from before everything.
+	n := s.scan("", 100, func(k string, v []byte) bool { return true })
+	if n != 5 {
+		t.Fatalf("full scan = %d", n)
+	}
+	// Early stop.
+	n = s.scan("", 100, func(k string, v []byte) bool { return false })
+	if n != 1 {
+		t.Fatalf("early stop = %d", n)
+	}
+}
+
+func TestSkiplistLargeRandom(t *testing.T) {
+	s := newSkiplist(3)
+	rng := rand.New(rand.NewSource(9))
+	ref := map[string]string{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key%06d", rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			s.set(k, []byte(v))
+			ref[k] = v
+		case 2:
+			s.del(k)
+			delete(ref, k)
+		}
+	}
+	if s.len() != len(ref) {
+		t.Fatalf("len = %d, want %d", s.len(), len(ref))
+	}
+	prev := ""
+	count := 0
+	s.scan("", s.len(), func(k string, v []byte) bool {
+		if k <= prev && prev != "" {
+			t.Fatalf("out of order: %q after %q", k, prev)
+		}
+		if ref[k] != string(v) {
+			t.Fatalf("value mismatch at %q", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("scan visited %d, want %d", count, len(ref))
+	}
+}
+
+func TestStoreStringOps(t *testing.T) {
+	s := New()
+	st, _ := DecodeStatus(s.Execute(EncodeGet("k"), true))
+	if st != StatusNotFound {
+		t.Fatalf("get empty = %d", st)
+	}
+	s.Execute(EncodeSet("k", []byte("value")), false)
+	st, body := DecodeStatus(s.Execute(EncodeGet("k"), true))
+	if st != StatusOK {
+		t.Fatalf("get = %d", st)
+	}
+	v, _, err := takeBytes32(body)
+	if err != nil || string(v) != "value" {
+		t.Fatalf("value = %q %v", v, err)
+	}
+	st, _ = DecodeStatus(s.Execute(EncodeDel("k"), false))
+	if st != StatusOK {
+		t.Fatal("del failed")
+	}
+	st, _ = DecodeStatus(s.Execute(EncodeGet("k"), true))
+	if st != StatusNotFound {
+		t.Fatal("key survived del")
+	}
+}
+
+func TestStoreHashOps(t *testing.T) {
+	s := New()
+	s.Execute(EncodeHSet("h", "f2", []byte("b")), false)
+	s.Execute(EncodeHSet("h", "f1", []byte("a")), false)
+	st, body := DecodeStatus(s.Execute(EncodeHGet("h", "f1"), true))
+	if st != StatusOK {
+		t.Fatal("hget miss")
+	}
+	v, _, _ := takeBytes32(body)
+	if string(v) != "a" {
+		t.Fatalf("hget = %q", v)
+	}
+	// HGETALL sorted for determinism.
+	_, body = DecodeStatus(s.Execute(EncodeHGetAll("h"), true))
+	f1, rest, _ := takeStr16(body[2:])
+	if f1 != "f1" {
+		t.Fatalf("first field = %q, want sorted order", f1)
+	}
+	_ = rest
+	st, _ = DecodeStatus(s.Execute(EncodeHGet("h", "missing"), true))
+	if st != StatusNotFound {
+		t.Fatal("missing field found")
+	}
+}
+
+func TestStoreListOps(t *testing.T) {
+	s := New()
+	s.Execute(EncodeRPush("l", []byte("b")), false)
+	s.Execute(EncodeLPush("l", []byte("a")), false)
+	s.Execute(EncodeRPush("l", []byte("c")), false)
+	_, body := DecodeStatus(s.Execute(EncodeLRange("l", 0, 3), true))
+	if n := int(body[0])<<8 | int(body[1]); n != 3 {
+		t.Fatalf("lrange count = %d", n)
+	}
+	v, _, _ := takeBytes32(body[2:])
+	if string(v) != "a" {
+		t.Fatalf("head = %q", v)
+	}
+}
+
+func TestStoreYCSBInsertScan(t *testing.T) {
+	s := New()
+	fields := make([]Field, 10)
+	for i := range fields {
+		fields[i] = Field{Name: fmt.Sprintf("field%d", i), Value: bytes.Repeat([]byte{byte(i)}, 100)}
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("user%08d", i)
+		st, _ := DecodeStatus(s.Execute(EncodeInsert(key, fields), false))
+		if st != StatusOK {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if s.TableLen() != 50 {
+		t.Fatalf("table len = %d", s.TableLen())
+	}
+	recs, err := DecodeScanReply(s.Execute(EncodeScan("user00000010", 10), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("scan returned %d records", len(recs))
+	}
+	if _, ok := recs["user00000010"]; !ok {
+		t.Fatal("scan missed start key")
+	}
+	if _, ok := recs["user00000009"]; ok {
+		t.Fatal("scan included key before start")
+	}
+	// Record blob ≈ 10 fields × (2+6 name + 4+100 value) ≈ 1.1kB.
+	for _, v := range recs {
+		if len(v) < 1000 {
+			t.Fatalf("record size = %d, want ≈1kB", len(v))
+		}
+	}
+	// Scan past the end returns what exists.
+	recs, err = DecodeScanReply(s.Execute(EncodeScan("user00000045", 10), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("tail scan = %d", len(recs))
+	}
+}
+
+func TestStoreMalformedCommands(t *testing.T) {
+	s := New()
+	for _, payload := range [][]byte{
+		nil,
+		{99},
+		{byte(OpGet)},
+		{byte(OpSet), 0, 5, 'a'},
+		{byte(OpInsert), 0, 1, 'k'},
+		{byte(OpScan), 0, 1, 'k'},
+	} {
+		st, _ := DecodeStatus(s.Execute(payload, false))
+		if st != StatusErr {
+			t.Fatalf("payload %v: status %d, want error", payload, st)
+		}
+	}
+}
+
+// TestStoreDeterminism is the replica-safety property: two stores
+// applying the same command sequence converge to identical snapshots and
+// produce identical replies.
+func TestStoreDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(), New()
+		for i := 0; i < 200; i++ {
+			var cmd []byte
+			key := fmt.Sprintf("k%d", rng.Intn(20))
+			switch rng.Intn(5) {
+			case 0:
+				cmd = EncodeSet(key, []byte(fmt.Sprintf("v%d", i)))
+			case 1:
+				cmd = EncodeGet(key)
+			case 2:
+				cmd = EncodeInsert(key, []Field{{Name: "f", Value: []byte{byte(i)}}})
+			case 3:
+				cmd = EncodeScan("", 5)
+			case 4:
+				cmd = EncodeHSet(key, fmt.Sprintf("f%d", rng.Intn(3)), []byte{byte(i)})
+			}
+			ra := a.Execute(cmd, false)
+			rb := b.Execute(cmd, false)
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return bytes.Equal(a.Snapshot(), b.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSnapshotRestore(t *testing.T) {
+	s := New()
+	s.Execute(EncodeSet("a", []byte("1")), false)
+	s.Execute(EncodeSet("b", []byte("2")), false)
+	s.Execute(EncodeInsert("rec1", []Field{{Name: "f", Value: []byte("x")}}), false)
+	blob := s.Snapshot()
+
+	r := New()
+	if err := r.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	st, body := DecodeStatus(r.Execute(EncodeGet("a"), true))
+	if st != StatusOK {
+		t.Fatal("restored string missing")
+	}
+	v, _, _ := takeBytes32(body)
+	if string(v) != "1" {
+		t.Fatalf("restored value = %q", v)
+	}
+	if r.TableLen() != 1 {
+		t.Fatalf("restored table len = %d", r.TableLen())
+	}
+	// Restoring garbage fails cleanly.
+	if err := New().Restore([]byte{1, 2}); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+	// Empty blob restores an empty store.
+	if err := New().Restore(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCostModel(t *testing.T) {
+	s := New()
+	fields := []Field{{Name: "f", Value: bytes.Repeat([]byte{1}, 1000)}}
+	for i := 0; i < 20; i++ {
+		s.Execute(EncodeInsert(fmt.Sprintf("u%04d", i), fields), false)
+	}
+	scan10 := s.Cost(EncodeScan("u0000", 10), true)
+	scan1 := s.Cost(EncodeScan("u0000", 1), true)
+	if scan10 <= scan1 {
+		t.Fatalf("scan cost not increasing: %v vs %v", scan10, scan1)
+	}
+	ins := s.Cost(EncodeInsert("x", fields), false)
+	if ins <= 0 || ins >= scan10 {
+		t.Fatalf("insert cost = %v (scan10 = %v)", ins, scan10)
+	}
+	if s.Cost(nil, false) <= 0 {
+		t.Fatal("zero cost for empty payload")
+	}
+}
+
+func TestOpCodeHelpers(t *testing.T) {
+	if !OpScan.IsReadOnly() || !OpGet.IsReadOnly() {
+		t.Fatal("read ops misclassified")
+	}
+	if OpInsert.IsReadOnly() || OpSet.IsReadOnly() {
+		t.Fatal("write ops misclassified")
+	}
+	if OpScan.String() != "SCAN" || OpCode(99).String() != "OP(99)" {
+		t.Fatalf("stringer: %s %s", OpScan, OpCode(99))
+	}
+}

@@ -1,0 +1,241 @@
+// Package linearize checks histories of concurrent operations for
+// linearizability against a sequential model — the Wing & Gong algorithm
+// with the Lowe memoization refinement (the approach popularized by the
+// Porcupine checker), implemented from scratch.
+//
+// HovercRaft's correctness claim is exactly linearizability ("provides
+// exactly the same linearizability guarantees as Raft", §5): every
+// client-visible operation appears to take effect atomically at some
+// point between its invocation and its response. The integration suite
+// records real client histories from the simulator — including across
+// leader failures and reply load balancing — and feeds them through this
+// checker.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Op is one client-observed operation.
+type Op struct {
+	// ClientID orders ops of one client (purely informational).
+	ClientID int
+	// Input is the operation submitted.
+	Input []byte
+	// Output is the observed response (ignored when Pending).
+	Output []byte
+	// Call and Return are the invocation and response times.
+	Call   time.Duration
+	Return time.Duration
+	// Pending marks an operation that never returned (e.g. timed out
+	// during a failover). A pending op may have taken effect at any
+	// time after Call — or never; the checker explores both.
+	Pending bool
+}
+
+// Model is a sequential specification.
+type Model interface {
+	// Init returns the initial state.
+	Init() interface{}
+	// Step applies input to state, returning the successor state and
+	// the output a sequential execution would produce.
+	Step(state interface{}, input []byte) (interface{}, []byte)
+	// Key returns a hashable fingerprint of a state (memoization).
+	Key(state interface{}) string
+	// Match reports whether the model output satisfies the observed
+	// output (usually bytes equality; models may be more permissive).
+	Match(modelOutput, observed []byte) bool
+}
+
+// entry is an event in the history: an op's call or return.
+type entry struct {
+	op      int // index into ops
+	isCall  bool
+	time    time.Duration
+	matched int // for calls: index of the return entry (-1 pending)
+}
+
+// Check reports whether history is linearizable under model.
+//
+// Complexity is exponential in the worst case; practical histories with
+// bounded concurrency (tens of clients) check quickly thanks to
+// memoization. Histories beyond a few thousand operations should be
+// partitioned by key by the caller if the model allows.
+func Check(model Model, history []Op) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 64*1024 {
+		panic("linearize: history too large")
+	}
+
+	// Build the event list: calls and returns sorted by time; returns
+	// before calls at equal timestamps (an op that returned at t
+	// happened before one invoked at t).
+	events := make([]entry, 0, 2*n)
+	for i, op := range history {
+		events = append(events, entry{op: i, isCall: true, time: op.Call})
+		if !op.Pending {
+			if op.Return < op.Call {
+				panic(fmt.Sprintf("linearize: op %d returns before call", i))
+			}
+			events = append(events, entry{op: i, isCall: false, time: op.Return})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].time != events[b].time {
+			return events[a].time < events[b].time
+		}
+		return !events[a].isCall && events[b].isCall
+	})
+
+	return search(model, history, events)
+}
+
+// node is a doubly linked list element over events.
+type node struct {
+	prev, next *node
+	e          entry
+}
+
+func buildList(events []entry) *node {
+	head := &node{} // sentinel
+	cur := head
+	for _, e := range events {
+		nn := &node{e: e, prev: cur}
+		cur.next = nn
+		cur = nn
+	}
+	return head
+}
+
+// lift removes the call node and its matching return from the list.
+func lift(call *node, ret *node) {
+	call.prev.next = call.next
+	if call.next != nil {
+		call.next.prev = call.prev
+	}
+	if ret != nil {
+		ret.prev.next = ret.next
+		if ret.next != nil {
+			ret.next.prev = ret.prev
+		}
+	}
+}
+
+// unlift restores what lift removed.
+func unlift(call *node, ret *node) {
+	if ret != nil {
+		ret.prev.next = ret
+		if ret.next != nil {
+			ret.next.prev = ret
+		}
+	}
+	call.prev.next = call
+	if call.next != nil {
+		call.next.prev = call
+	}
+}
+
+type frame struct {
+	call  *node
+	ret   *node
+	state interface{}
+}
+
+// search runs the Wing-Gong-Lowe backtracking over the event list.
+func search(model Model, ops []Op, events []entry) bool {
+	head := buildList(events)
+	// Pre-link returns to calls.
+	retNode := make(map[int]*node, len(ops))
+	for cur := head.next; cur != nil; cur = cur.next {
+		if !cur.e.isCall {
+			retNode[cur.e.op] = cur
+		}
+	}
+
+	linearized := newBitset(len(ops))
+	cache := make(map[string]bool)
+	var stack []frame
+	state := model.Init()
+
+	cur := head.next
+	for {
+		if onlyPendingLeft(head, ops) {
+			return true // all completed ops linearized; pending ones dropped
+		}
+		if cur == nil {
+			// Dead end at this level: backtrack.
+			if len(stack) == 0 {
+				return false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.call.e.op)
+			unlift(top.call, top.ret)
+			cur = top.call.next
+			continue
+		}
+		if !cur.e.isCall {
+			// Hit a return before linearizing its op: the op (and any
+			// others) must have been linearized before this point;
+			// nothing further at this level can help.
+			cur = nil
+			continue
+		}
+		op := &ops[cur.e.op]
+		next, out := model.Step(state, op.Input)
+		ok := op.Pending || model.Match(out, op.Output)
+		if ok {
+			linearized.set(cur.e.op)
+			key := linearized.key() + "/" + model.Key(next)
+			if cache[key] {
+				linearized.clear(cur.e.op)
+				// Seen this configuration; skip.
+				cur = cur.next
+				continue
+			}
+			cache[key] = true
+			stack = append(stack, frame{call: cur, ret: retNode[cur.e.op], state: state})
+			lift(cur, retNode[cur.e.op])
+			state = next
+			cur = head.next
+			continue
+		}
+		cur = cur.next
+	}
+}
+
+// onlyPendingLeft reports whether every remaining event belongs to a
+// pending operation — a legal end state: a pending op may simply never
+// have taken effect.
+func onlyPendingLeft(head *node, ops []Op) bool {
+	for cur := head.next; cur != nil; cur = cur.next {
+		if !ops[cur.e.op].Pending {
+			return false
+		}
+	}
+	return true
+}
+
+// bitset tracks which ops are linearized.
+type bitset struct{ w []uint64 }
+
+func newBitset(n int) *bitset { return &bitset{w: make([]uint64, (n+63)/64)} }
+
+func (b *bitset) set(i int)   { b.w[i/64] |= 1 << uint(i%64) }
+func (b *bitset) clear(i int) { b.w[i/64] &^= 1 << uint(i%64) }
+
+func (b *bitset) key() string {
+	buf := make([]byte, 0, len(b.w)*8)
+	for _, w := range b.w {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>uint(s)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,208 @@
+package linearize
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// registerModel is a sequential read/write register over byte values:
+// inputs "w<v>" write v, "r" reads.
+type registerModel struct{}
+
+func (registerModel) Init() interface{} { return []byte(nil) }
+
+func (registerModel) Step(state interface{}, input []byte) (interface{}, []byte) {
+	cur := state.([]byte)
+	if len(input) > 0 && input[0] == 'w' {
+		return input[1:], input[1:]
+	}
+	return cur, cur
+}
+
+func (registerModel) Key(state interface{}) string { return string(state.([]byte)) }
+
+func (registerModel) Match(modelOut, observed []byte) bool {
+	return bytes.Equal(modelOut, observed)
+}
+
+func op(client int, in, out string, call, ret int) Op {
+	return Op{
+		ClientID: client, Input: []byte(in), Output: []byte(out),
+		Call: time.Duration(call), Return: time.Duration(ret),
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(registerModel{}, nil) {
+		t.Fatal("empty history not linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	h := []Op{
+		op(1, "wA", "A", 0, 10),
+		op(1, "r", "A", 20, 30),
+		op(1, "wB", "B", 40, 50),
+		op(1, "r", "B", 60, 70),
+	}
+	if !Check(registerModel{}, h) {
+		t.Fatal("sequential history rejected")
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	h := []Op{
+		op(1, "wA", "A", 0, 10),
+		op(1, "wB", "B", 20, 30),
+		op(2, "r", "A", 40, 50), // reads A strictly after B committed
+	}
+	if Check(registerModel{}, h) {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	// Two overlapping writes; a later read may see either winner.
+	base := []Op{
+		op(1, "wA", "A", 0, 100),
+		op(2, "wB", "B", 10, 90),
+	}
+	for _, final := range []string{"A", "B"} {
+		h := append(append([]Op(nil), base...), op(3, "r", final, 200, 210))
+		if !Check(registerModel{}, h) {
+			t.Fatalf("read of %q after concurrent writes rejected", final)
+		}
+	}
+	h := append(append([]Op(nil), base...), op(3, "r", "C", 200, 210))
+	if Check(registerModel{}, h) {
+		t.Fatal("read of never-written value accepted")
+	}
+}
+
+func TestReadInsideWriteWindow(t *testing.T) {
+	// A read concurrent with a write may see old or new value.
+	for _, val := range []string{"", "A"} {
+		h := []Op{
+			op(1, "wA", "A", 0, 100),
+			op(2, "r", val, 50, 60),
+		}
+		if !Check(registerModel{}, h) {
+			t.Fatalf("concurrent read of %q rejected", val)
+		}
+	}
+}
+
+func TestPendingWriteMayOrMayNotApply(t *testing.T) {
+	// A write that never returned may be observed...
+	h := []Op{
+		{ClientID: 1, Input: []byte("wA"), Call: 0, Pending: true},
+		op(2, "r", "A", 100, 110),
+	}
+	if !Check(registerModel{}, h) {
+		t.Fatal("applied pending write rejected")
+	}
+	// ...or not observed...
+	h2 := []Op{
+		{ClientID: 1, Input: []byte("wA"), Call: 0, Pending: true},
+		op(2, "r", "", 100, 110),
+	}
+	if !Check(registerModel{}, h2) {
+		t.Fatal("dropped pending write rejected")
+	}
+	// ...but a read cannot see a value nobody wrote.
+	h3 := []Op{
+		{ClientID: 1, Input: []byte("wA"), Call: 0, Pending: true},
+		op(2, "r", "Z", 100, 110),
+	}
+	if Check(registerModel{}, h3) {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestRealTimeOrderViolation(t *testing.T) {
+	// w(A) returns, then w(B) returns, then two reads both after that:
+	// first sees B then sees A — illegal regression.
+	h := []Op{
+		op(1, "wA", "A", 0, 10),
+		op(1, "wB", "B", 20, 30),
+		op(2, "r", "B", 40, 50),
+		op(2, "r", "A", 60, 70),
+	}
+	if Check(registerModel{}, h) {
+		t.Fatal("value regression accepted")
+	}
+}
+
+// counterModel: "i" increments and returns the new value (uint64 BE);
+// "g" reads.
+type counterModel struct{}
+
+func (counterModel) Init() interface{} { return uint64(0) }
+func (counterModel) Step(state interface{}, input []byte) (interface{}, []byte) {
+	v := state.(uint64)
+	if len(input) > 0 && input[0] == 'i' {
+		v++
+	}
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, v)
+	return v, out
+}
+func (counterModel) Key(state interface{}) string {
+	return fmt.Sprint(state.(uint64))
+}
+func (counterModel) Match(a, b []byte) bool { return bytes.Equal(a, b) }
+
+func TestCounterRandomLinearizableHistories(t *testing.T) {
+	// Generate histories by simulating a true linearizable counter with
+	// random overlap, then verify the checker accepts them.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var counter uint64
+		now := time.Duration(0)
+		var h []Op
+		for i := 0; i < 60; i++ {
+			// Overlapping windows whose effect order matches call
+			// order: a genuinely linearizable execution.
+			call := now + time.Duration(rng.Intn(5))
+			effect := call + time.Duration(1+rng.Intn(10))
+			ret := effect + time.Duration(1+rng.Intn(10))
+			now = call + time.Duration(1+rng.Intn(3))
+			counter++
+			out := make([]byte, 8)
+			binary.BigEndian.PutUint64(out, counter)
+			h = append(h, Op{
+				ClientID: i % 4, Input: []byte("i"), Output: out,
+				Call: call, Return: ret,
+			})
+		}
+		if !Check(counterModel{}, h) {
+			t.Fatalf("seed %d: linearizable counter history rejected", seed)
+		}
+	}
+}
+
+func TestCounterDuplicateIncrementRejected(t *testing.T) {
+	// Two increments both returning 1 is impossible.
+	one := make([]byte, 8)
+	binary.BigEndian.PutUint64(one, 1)
+	h := []Op{
+		{ClientID: 1, Input: []byte("i"), Output: one, Call: 0, Return: 10},
+		{ClientID: 2, Input: []byte("i"), Output: one, Call: 20, Return: 30},
+	}
+	if Check(counterModel{}, h) {
+		t.Fatal("duplicate increment result accepted")
+	}
+}
+
+func TestPanicsOnInvertedWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Check(registerModel{}, []Op{op(1, "r", "", 10, 5)})
+}

@@ -1,0 +1,238 @@
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/simnet"
+	"hovercraft/internal/stats"
+)
+
+// ClientConfig parameterizes one simulated load-generating host.
+type ClientConfig struct {
+	// Rate is the offered load in requests/second (open loop: arrivals
+	// are Poisson and do not wait for responses).
+	Rate float64
+	// Warmup is excluded from measurement; Duration is the measurement
+	// window. The client stops offering load at Warmup+Duration.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Timeout expires unanswered requests (counted, not retried).
+	Timeout time.Duration
+	// Workload generates request payloads and policies.
+	Workload Workload
+	// Target is where requests are sent (middlebox, leader, or server).
+	Target simnet.Addr
+	// Port must be unique per client endpoint (R2P2 identity space).
+	Port uint16
+	// SampleEvery, if nonzero, records a throughput/latency time series
+	// (for the failure experiment, Fig. 12).
+	SampleEvery time.Duration
+}
+
+type pendingReq struct {
+	sentAt  time.Duration
+	inMeas  bool
+	payload int
+}
+
+// Client is an open-loop Poisson load generator attached to a simulated
+// host, measuring per-request latency from send to response arrival
+// (hardware-timestamp-style: at the NIC handler, before any client-side
+// queueing).
+type Client struct {
+	cfg  ClientConfig
+	host *simnet.Host
+	sim  *simnet.Sim
+	rng  *rand.Rand
+
+	r2      *r2p2.Client
+	reasm   *r2p2.Reassembler
+	pending *r2p2.Pending[pendingReq]
+
+	// Measurement.
+	Latency   *stats.Histogram
+	Sent      uint64 // requests sent in the measurement window
+	Completed uint64 // responses for measurement-window requests
+	Nacked    uint64 // flow-control rejections (window)
+	Expired   uint64 // timeouts (window)
+
+	// Optional time series (all samples, including warmup).
+	Throughput stats.Series // completed/s per interval
+	TailP99    stats.Series // p99 per interval (ms)
+
+	intervalHist      *stats.Histogram
+	intervalCompleted uint64
+	stopped           bool
+}
+
+// NewClient attaches a client to the network on its own host.
+func NewClient(net *simnet.Network, name string, hostCfg simnet.HostConfig, cfg ClientConfig) *Client {
+	c := &Client{
+		cfg:          cfg,
+		sim:          net.Sim(),
+		rng:          net.Sim().Rand(),
+		reasm:        r2p2.NewReassembler(cfg.Timeout),
+		pending:      r2p2.NewPending[pendingReq](),
+		Latency:      stats.NewHistogram(),
+		intervalHist: stats.NewHistogram(),
+	}
+	c.host = net.NewHost(name, hostCfg)
+	c.r2 = r2p2.NewClient(uint32(c.host.Addr()), cfg.Port)
+	c.host.SetHandler(c.onPacket)
+	return c
+}
+
+// Host returns the client's simulated host.
+func (c *Client) Host() *simnet.Host { return c.host }
+
+// Start begins offering load.
+func (c *Client) Start() {
+	if c.cfg.Timeout <= 0 {
+		c.cfg.Timeout = 10 * time.Millisecond
+	}
+	c.scheduleNext()
+	c.sim.After(c.cfg.Timeout/2, c.expireTick)
+	if c.cfg.SampleEvery > 0 {
+		c.sim.After(c.cfg.SampleEvery, c.sampleTick)
+	}
+}
+
+// Stop ceases load generation (used by failure experiments).
+func (c *Client) Stop() { c.stopped = true }
+
+func (c *Client) end() time.Duration { return c.cfg.Warmup + c.cfg.Duration }
+
+func (c *Client) scheduleNext() {
+	if c.stopped {
+		return
+	}
+	// Poisson arrivals: exponential interarrival at rate λ.
+	gap := time.Duration(c.rng.ExpFloat64() / c.cfg.Rate * float64(time.Second))
+	c.sim.After(gap, func() {
+		if c.stopped || c.sim.Now() >= c.end() {
+			return
+		}
+		c.sendOne()
+		c.scheduleNext()
+	})
+}
+
+func (c *Client) sendOne() {
+	payload, policy := c.cfg.Workload.Next(c.rng)
+	id, dgs := c.r2.NewRequest(policy, payload)
+	now := c.sim.Now()
+	inMeas := now >= c.cfg.Warmup
+	if inMeas {
+		c.Sent++
+	}
+	c.pending.Add(id.ReqID, pendingReq{sentAt: now, inMeas: inMeas, payload: len(payload)}, now+c.cfg.Timeout)
+	for _, dg := range dgs {
+		c.host.Send(&simnet.Packet{Dst: c.cfg.Target, Payload: dg})
+	}
+}
+
+func (c *Client) onPacket(pkt *simnet.Packet) {
+	m, err := c.reasm.Ingest(pkt.Payload, uint32(pkt.Src), c.sim.Now())
+	if err != nil || m == nil {
+		return
+	}
+	switch m.Type {
+	case r2p2.TypeResponse:
+		req, ok := c.pending.Take(m.ID.ReqID)
+		if !ok {
+			return // late duplicate or post-expiry response
+		}
+		lat := c.sim.Now() - req.sentAt
+		c.intervalCompleted++
+		c.intervalHist.RecordDuration(lat)
+		if req.inMeas {
+			c.Completed++
+			c.Latency.RecordDuration(lat)
+		}
+	case r2p2.TypeNack:
+		if req, ok := c.pending.Take(m.ID.ReqID); ok && req.inMeas {
+			c.Nacked++
+		}
+	}
+}
+
+func (c *Client) expireTick() {
+	for _, req := range c.pending.Expire(c.sim.Now()) {
+		if req.inMeas {
+			c.Expired++
+		}
+	}
+	c.reasm.GC(c.sim.Now())
+	if c.sim.Now() < c.end()+c.cfg.Timeout {
+		c.sim.After(c.cfg.Timeout/2, c.expireTick)
+	}
+}
+
+func (c *Client) sampleTick() {
+	secs := c.cfg.SampleEvery.Seconds()
+	c.Throughput.Add(c.sim.Now(), float64(c.intervalCompleted)/secs)
+	c.TailP99.Add(c.sim.Now(), float64(c.intervalHist.P99())/1e6) // ms
+	c.intervalCompleted = 0
+	c.intervalHist.Reset()
+	if c.sim.Now() < c.end() {
+		c.sim.After(c.cfg.SampleEvery, c.sampleTick)
+	}
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	Offered    float64 // requests/s offered in the window
+	Achieved   float64 // responses/s achieved
+	NackRate   float64 // NACKs/s
+	LossRate   float64 // timeouts/s
+	Latency    stats.LatencySummary
+	Throughput *stats.Series
+	TailP99    *stats.Series
+}
+
+// Result computes the run summary.
+func (c *Client) Result() Result {
+	d := c.cfg.Duration.Seconds()
+	return Result{
+		Offered:    float64(c.Sent) / d,
+		Achieved:   float64(c.Completed) / d,
+		NackRate:   float64(c.Nacked) / d,
+		LossRate:   float64(c.Expired) / d,
+		Latency:    c.Latency.Summary(),
+		Throughput: &c.Throughput,
+		TailP99:    &c.TailP99,
+	}
+}
+
+// Merge combines per-client results (rates add; latency merges approximately
+// by summary-weighted max for the tail — callers needing exact merged
+// percentiles should merge the histograms instead).
+func Merge(results ...Result) Result {
+	var out Result
+	var worstP99 time.Duration
+	var n uint64
+	for _, r := range results {
+		out.Offered += r.Offered
+		out.Achieved += r.Achieved
+		out.NackRate += r.NackRate
+		out.LossRate += r.LossRate
+		if r.Latency.P99 > worstP99 {
+			worstP99 = r.Latency.P99
+		}
+		n += r.Latency.Count
+	}
+	out.Latency.Count = n
+	out.Latency.P99 = worstP99
+	return out
+}
+
+// MergeHistograms merges clients' raw latency histograms into one.
+func MergeHistograms(clients []*Client) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, c := range clients {
+		h.Merge(c.Latency)
+	}
+	return h
+}

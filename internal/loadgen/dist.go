@@ -1,0 +1,67 @@
+// Package loadgen is the measurement harness modeled on Lancet (Kogias
+// et al., ATC'19), which the paper uses for all experiments: an open-loop
+// load generator producing Poisson arrivals, with accurate tail-latency
+// accounting and throughput-under-SLO sweeps.
+package loadgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Dist samples service times (or any duration-valued distribution).
+type Dist interface {
+	// Sample draws one value.
+	Sample(rng *rand.Rand) time.Duration
+	// Mean returns the distribution mean.
+	Mean() time.Duration
+}
+
+// Fixed is a deterministic service time.
+type Fixed time.Duration
+
+// Sample implements Dist.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Mean implements Dist.
+func (f Fixed) Mean() time.Duration { return time.Duration(f) }
+
+// Exponential has exponentially distributed values with the given mean.
+type Exponential time.Duration
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return time.Duration(e) }
+
+// Bimodal draws Short with probability 1-PLong and Long otherwise — the
+// paper's high-dispersion workload (10% of requests 10× longer, §7.3).
+type Bimodal struct {
+	Short time.Duration
+	Long  time.Duration
+	PLong float64
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < b.PLong {
+		return b.Long
+	}
+	return b.Short
+}
+
+// Mean implements Dist.
+func (b Bimodal) Mean() time.Duration {
+	return time.Duration(float64(b.Short)*(1-b.PLong) + float64(b.Long)*b.PLong)
+}
+
+// PaperBimodal returns the Fig. 11 distribution: mean S̄, 10% of requests
+// 10× longer than the rest. Solving s(0.9 + 10·0.1) = S̄ gives the short
+// mode s = S̄/1.9.
+func PaperBimodal(mean time.Duration) Bimodal {
+	short := time.Duration(float64(mean) / 1.9)
+	return Bimodal{Short: short, Long: 10 * short, PLong: 0.1}
+}

@@ -1,0 +1,63 @@
+package loadgen
+
+import (
+	"math/rand"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/ycsb"
+)
+
+// Workload produces the request stream a client offers.
+type Workload interface {
+	// Next returns one request payload and its R2P2 policy.
+	Next(rng *rand.Rand) (payload []byte, policy r2p2.Policy)
+}
+
+// Synthetic is the paper's microbenchmark workload: configurable service
+// time distribution, request size, reply size, and read-only fraction.
+type Synthetic struct {
+	// ServiceTime distributes per-request CPU time.
+	ServiceTime Dist
+	// ReqSize and ReplySize are payload sizes in bytes (paper baseline:
+	// 24B requests, 8B replies).
+	ReqSize   int
+	ReplySize int
+	// ReadFraction of requests are tagged REPLICATED_REQ_R (read-only).
+	ReadFraction float64
+	// Unreplicated requests carry no replication policy (UnRep setup).
+	Unreplicated bool
+}
+
+// Next implements Workload.
+func (s *Synthetic) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
+	svc := s.ServiceTime.Sample(rng)
+	payload := app.SynthRequest(svc, s.ReplySize, s.ReqSize)
+	if s.Unreplicated {
+		return payload, r2p2.PolicyUnrestricted
+	}
+	if s.ReadFraction > 0 && rng.Float64() < s.ReadFraction {
+		return payload, r2p2.PolicyReplicatedRO
+	}
+	return payload, r2p2.PolicyReplicated
+}
+
+// YCSBE adapts the YCSB workload-E generator: SCANs are read-only,
+// INSERTs are read-write.
+type YCSBE struct {
+	Gen *ycsb.WorkloadE
+	// Unreplicated requests carry no replication policy (UnRep setup).
+	Unreplicated bool
+}
+
+// Next implements Workload.
+func (y *YCSBE) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
+	op := y.Gen.Next(rng)
+	if y.Unreplicated {
+		return op.Payload, r2p2.PolicyUnrestricted
+	}
+	if op.ReadOnly {
+		return op.Payload, r2p2.PolicyReplicatedRO
+	}
+	return op.Payload, r2p2.PolicyReplicated
+}

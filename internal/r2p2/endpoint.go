@@ -1,0 +1,107 @@
+package r2p2
+
+import "time"
+
+// MakeMsg builds the datagrams of an arbitrary R2P2 message. port and
+// reqID identify the message within the sender's namespace (for
+// request/response matching and reassembly); maxPayload <= 0 means
+// MaxFragPayload.
+func MakeMsg(t MessageType, policy Policy, port uint16, reqID uint32, payload []byte, maxPayload int) [][]byte {
+	h := Header{Type: t, Policy: policy, SrcPort: port, ReqID: reqID}
+	return Fragment(h, payload, maxPayload)
+}
+
+// MakeResponse builds the datagrams of a response to the request
+// identified by id. The response carries the *request's* (port, req_id),
+// which is how the client matches it even when the replier is not the
+// host the request was sent to — the mechanism behind HovercRaft's reply
+// load balancing.
+func MakeResponse(id RequestID, payload []byte, maxPayload int) [][]byte {
+	h := Header{Type: TypeResponse, SrcPort: id.SrcPort, ReqID: id.ReqID}
+	return Fragment(h, payload, maxPayload)
+}
+
+// MakeFeedback builds the single-datagram FEEDBACK message for the given
+// request, sent to the flow-control middlebox when a reply is emitted.
+func MakeFeedback(id RequestID) []byte {
+	h := Header{Type: TypeFeedback, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
+	h.PktID = 0
+	return h.Marshal(nil)
+}
+
+// MakeNack builds the single-datagram NACK for the given request, sent by
+// the middlebox to a client whose request was shed.
+func MakeNack(id RequestID) []byte {
+	h := Header{Type: TypeNack, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
+	return h.Marshal(nil)
+}
+
+// Client allocates request identifiers and builds request datagrams for
+// one (ip, port) client endpoint. Not safe for concurrent use.
+type Client struct {
+	IP   uint32
+	Port uint16
+	// MaxPayload caps per-fragment payload; 0 means MaxFragPayload.
+	MaxPayload int
+
+	nextReq uint32
+}
+
+// NewClient returns a client endpoint.
+func NewClient(ip uint32, port uint16) *Client {
+	return &Client{IP: ip, Port: port}
+}
+
+// NewRequest builds a request and returns its identity and datagrams.
+func (c *Client) NewRequest(policy Policy, payload []byte) (RequestID, [][]byte) {
+	c.nextReq++
+	id := RequestID{SrcIP: c.IP, SrcPort: c.Port, ReqID: c.nextReq}
+	dgs := MakeMsg(TypeRequest, policy, c.Port, c.nextReq, payload, c.MaxPayload)
+	return id, dgs
+}
+
+// Pending tracks outstanding requests with attached caller state, with
+// timeout-based expiry. It is generic so the load generator can attach
+// send timestamps and the UDP client can attach completion channels.
+type Pending[T any] struct {
+	entries map[uint32]pendEntry[T]
+}
+
+type pendEntry[T any] struct {
+	val      T
+	deadline time.Duration
+}
+
+// NewPending returns an empty tracker.
+func NewPending[T any]() *Pending[T] {
+	return &Pending[T]{entries: make(map[uint32]pendEntry[T])}
+}
+
+// Add registers an outstanding request by its ReqID.
+func (p *Pending[T]) Add(reqID uint32, val T, deadline time.Duration) {
+	p.entries[reqID] = pendEntry[T]{val: val, deadline: deadline}
+}
+
+// Take removes and returns the entry for reqID.
+func (p *Pending[T]) Take(reqID uint32) (T, bool) {
+	e, ok := p.entries[reqID]
+	if ok {
+		delete(p.entries, reqID)
+	}
+	return e.val, ok
+}
+
+// Len returns the number of outstanding requests.
+func (p *Pending[T]) Len() int { return len(p.entries) }
+
+// Expire removes and returns all entries whose deadline has passed.
+func (p *Pending[T]) Expire(now time.Duration) []T {
+	var out []T
+	for id, e := range p.entries {
+		if now >= e.deadline {
+			out = append(out, e.val)
+			delete(p.entries, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package r2p2
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultMTU is the Ethernet MTU assumed by the evaluation (paper §3.3).
+const DefaultMTU = 1500
+
+// FrameOverhead is the Ethernet+IPv4+UDP framing the network adds below
+// R2P2 (14+20+8 plus FCS).
+const FrameOverhead = 46
+
+// MaxFragPayload is the largest R2P2 payload per datagram such that one
+// fragment fits in a single MTU-sized frame.
+const MaxFragPayload = DefaultMTU - FrameOverhead - HeaderSize
+
+// Fragment encodes a message as one or more datagrams, each at most
+// maxPayload bytes of payload plus the R2P2 header. maxPayload <= 0 uses
+// MaxFragPayload. The header's PktID/PktCount/Flags are filled per
+// fragment; the other header fields are copied from h.
+func Fragment(h Header, payload []byte, maxPayload int) [][]byte {
+	if maxPayload <= 0 {
+		maxPayload = MaxFragPayload
+	}
+	n := (len(payload) + maxPayload - 1) / maxPayload
+	if n == 0 {
+		n = 1
+	}
+	if n > 0xFFFF {
+		panic(fmt.Sprintf("r2p2: message of %d bytes needs %d fragments (max 65535)", len(payload), n))
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		fh := h
+		fh.PktID = uint16(i)
+		fh.PktCount = uint16(n)
+		fh.Flags = 0
+		if i == 0 {
+			fh.Flags |= FlagFirst
+		}
+		if i == n-1 {
+			fh.Flags |= FlagLast
+		}
+		lo := i * maxPayload
+		hi := lo + maxPayload
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		dg := fh.Marshal(make([]byte, 0, HeaderSize+hi-lo))
+		dg = append(dg, payload[lo:hi]...)
+		out = append(out, dg)
+	}
+	return out
+}
+
+// WireBytes returns the total bytes on the wire (including framing) for a
+// message with the given payload length, accounting for fragmentation.
+// This is the quantity that hits NIC bandwidth limits.
+func WireBytes(payloadLen int) int {
+	frags := (payloadLen + MaxFragPayload - 1) / MaxFragPayload
+	if frags == 0 {
+		frags = 1
+	}
+	return payloadLen + frags*(HeaderSize+FrameOverhead)
+}
+
+// reasmKey identifies an in-progress reassembly. Type disambiguates a
+// request and a response with the same RPC identity.
+type reasmKey struct {
+	id RequestID
+	t  MessageType
+}
+
+type reasmState struct {
+	frags    [][]byte
+	have     int
+	total    int
+	policy   Policy
+	deadline time.Duration
+}
+
+// Reassembler reconstructs messages from datagrams. It tolerates loss,
+// duplication, and reordering of fragments; incomplete messages are
+// discarded by GC after a timeout. Not safe for concurrent use.
+type Reassembler struct {
+	// Timeout after which an incomplete message is dropped.
+	Timeout time.Duration
+	pending map[reasmKey]*reasmState
+}
+
+// NewReassembler returns a reassembler with the given GC timeout.
+func NewReassembler(timeout time.Duration) *Reassembler {
+	return &Reassembler{Timeout: timeout, pending: make(map[reasmKey]*reasmState)}
+}
+
+// Ingest consumes one datagram received from srcIP at virtual/wall time
+// now. It returns the completed message when the datagram completes one,
+// or nil. Errors indicate malformed packets (which are dropped).
+func (r *Reassembler) Ingest(datagram []byte, srcIP uint32, now time.Duration) (*Msg, error) {
+	var h Header
+	if err := h.Unmarshal(datagram); err != nil {
+		return nil, err
+	}
+	body := datagram[HeaderSize:]
+	id := IDOf(&h, srcIP)
+	if h.PktCount == 1 {
+		// Fast path: single-fragment message.
+		return &Msg{Type: h.Type, Policy: h.Policy, ID: id, Payload: body}, nil
+	}
+	key := reasmKey{id: id, t: h.Type}
+	st, ok := r.pending[key]
+	if !ok {
+		st = &reasmState{
+			frags:  make([][]byte, h.PktCount),
+			total:  int(h.PktCount),
+			policy: h.Policy,
+		}
+		r.pending[key] = st
+	}
+	if int(h.PktCount) != st.total {
+		// Mismatched fragment metadata: drop the whole message.
+		delete(r.pending, key)
+		return nil, ErrBadFragment
+	}
+	st.deadline = now + r.Timeout
+	if st.frags[h.PktID] == nil {
+		st.frags[h.PktID] = body
+		st.have++
+	}
+	if st.have < st.total {
+		return nil, nil
+	}
+	delete(r.pending, key)
+	size := 0
+	for _, f := range st.frags {
+		size += len(f)
+	}
+	payload := make([]byte, 0, size)
+	for _, f := range st.frags {
+		payload = append(payload, f...)
+	}
+	return &Msg{Type: h.Type, Policy: st.policy, ID: id, Payload: payload}, nil
+}
+
+// GC drops incomplete reassemblies whose deadline passed and returns how
+// many were dropped.
+func (r *Reassembler) GC(now time.Duration) int {
+	dropped := 0
+	for k, st := range r.pending {
+		if now >= st.deadline {
+			delete(r.pending, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Pending returns the number of incomplete reassemblies.
+func (r *Reassembler) Pending() int { return len(r.pending) }

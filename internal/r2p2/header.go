@@ -1,0 +1,213 @@
+// Package r2p2 implements the R2P2 datacenter RPC transport protocol
+// (Kogias et al., ATC'19) as used by HovercRaft: a UDP-based
+// request/response protocol whose header carries routing policy, making
+// RPCs first-class, in-network-steerable entities.
+//
+// The properties HovercRaft relies on, all implemented here:
+//
+//   - an RPC is uniquely identified by the 3-tuple (req_id, src_ip,
+//     src_port) carried in every packet, so any node that saw the request
+//     can be told to act on it by metadata alone;
+//   - the POLICY field tags requests needing total order
+//     (REPLICATED_REQ) or totally-ordered-but-read-only
+//     (REPLICATED_REQ_R) handling;
+//   - the replier of a request may differ from the host the request was
+//     sent to — responses are matched by the 3-tuple, not the peer
+//     address — which is what makes reply load balancing possible;
+//   - FEEDBACK messages are a repurposable signalling channel (HovercRaft
+//     uses them for multicast flow control);
+//   - requests and responses larger than one MTU are fragmented and
+//     reassembled by the transport.
+//
+// The package is transport-agnostic: it produces and consumes datagram
+// byte slices and is used both over the simulated fabric and over real
+// UDP sockets.
+package r2p2
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MessageType distinguishes R2P2 packets. HovercRaft adds the two Raft
+// types (§6.1 of the paper) so consensus traffic rides the same transport
+// and can be recognized by in-network devices.
+type MessageType uint8
+
+const (
+	// TypeRequest is a client RPC request.
+	TypeRequest MessageType = iota
+	// TypeResponse is an RPC response.
+	TypeResponse
+	// TypeFeedback is a repurposable signal; HovercRaft sends one to the
+	// flow-control middlebox per client reply.
+	TypeFeedback
+	// TypeNack tells a client its request was shed by flow control.
+	TypeNack
+	// TypeRaftReq carries a consensus-protocol request
+	// (append_entries, request_vote, recovery_request, ...).
+	TypeRaftReq
+	// TypeRaftResp carries a consensus-protocol response.
+	TypeRaftResp
+
+	numMessageTypes
+)
+
+func (t MessageType) String() string {
+	switch t {
+	case TypeRequest:
+		return "REQUEST"
+	case TypeResponse:
+		return "RESPONSE"
+	case TypeFeedback:
+		return "FEEDBACK"
+	case TypeNack:
+		return "NACK"
+	case TypeRaftReq:
+		return "RAFT_REQ"
+	case TypeRaftResp:
+		return "RAFT_RESP"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Policy is the R2P2 routing/consistency policy of a request.
+type Policy uint8
+
+const (
+	// PolicyUnrestricted requests may be served by any replica with no
+	// ordering guarantee (etcd-style possibly-stale reads).
+	PolicyUnrestricted Policy = iota
+	// PolicyReplicated requests read and modify the state machine and
+	// must be totally ordered and replicated before execution.
+	PolicyReplicated
+	// PolicyReplicatedRO requests are read-only: they must be totally
+	// ordered for linearizability but only the designated replier
+	// executes them.
+	PolicyReplicatedRO
+
+	numPolicies
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyUnrestricted:
+		return "UNRESTRICTED"
+	case PolicyReplicated:
+		return "REPLICATED_REQ"
+	case PolicyReplicatedRO:
+		return "REPLICATED_REQ_R"
+	default:
+		return fmt.Sprintf("POLICY(%d)", uint8(p))
+	}
+}
+
+// Header flags.
+const (
+	// FlagFirst marks the first fragment of a message.
+	FlagFirst uint8 = 1 << 0
+	// FlagLast marks the last fragment of a message.
+	FlagLast uint8 = 1 << 1
+)
+
+// magicByte identifies R2P2 packets on the wire.
+const magicByte uint8 = 0xA7
+
+// HeaderSize is the fixed R2P2 header length in bytes.
+const HeaderSize = 16
+
+// Header is the R2P2 packet header. Every fragment of a message carries
+// the full header; PktID/PktCount describe fragmentation.
+type Header struct {
+	Type     MessageType
+	Policy   Policy
+	Flags    uint8
+	SrcPort  uint16
+	ReqID    uint32
+	PktID    uint16 // fragment index, 0-based
+	PktCount uint16 // total fragments in the message
+}
+
+// Errors returned by Unmarshal and the reassembler.
+var (
+	ErrShortPacket = errors.New("r2p2: packet shorter than header")
+	ErrBadMagic    = errors.New("r2p2: bad magic byte")
+	ErrBadType     = errors.New("r2p2: unknown message type")
+	ErrBadPolicy   = errors.New("r2p2: unknown policy")
+	ErrBadFragment = errors.New("r2p2: inconsistent fragment fields")
+)
+
+// Marshal appends the encoded header to b and returns the result.
+func (h *Header) Marshal(b []byte) []byte {
+	var buf [HeaderSize]byte
+	buf[0] = magicByte
+	buf[1] = 1 // version
+	buf[2] = uint8(h.Type)
+	buf[3] = uint8(h.Policy)
+	buf[4] = h.Flags
+	// buf[5] reserved
+	binary.BigEndian.PutUint16(buf[6:8], h.SrcPort)
+	binary.BigEndian.PutUint32(buf[8:12], h.ReqID)
+	binary.BigEndian.PutUint16(buf[12:14], h.PktID)
+	binary.BigEndian.PutUint16(buf[14:16], h.PktCount)
+	return append(b, buf[:]...)
+}
+
+// Unmarshal decodes a header from the first HeaderSize bytes of b.
+func (h *Header) Unmarshal(b []byte) error {
+	if len(b) < HeaderSize {
+		return ErrShortPacket
+	}
+	if b[0] != magicByte {
+		return ErrBadMagic
+	}
+	if MessageType(b[2]) >= numMessageTypes {
+		return ErrBadType
+	}
+	if Policy(b[3]) >= numPolicies {
+		return ErrBadPolicy
+	}
+	h.Type = MessageType(b[2])
+	h.Policy = Policy(b[3])
+	h.Flags = b[4]
+	h.SrcPort = binary.BigEndian.Uint16(b[6:8])
+	h.ReqID = binary.BigEndian.Uint32(b[8:12])
+	h.PktID = binary.BigEndian.Uint16(b[12:14])
+	h.PktCount = binary.BigEndian.Uint16(b[14:16])
+	if h.PktCount == 0 || h.PktID >= h.PktCount {
+		return ErrBadFragment
+	}
+	return nil
+}
+
+// RequestID is the protocol-level unique identity of an RPC: the (req_id,
+// src_ip, src_port) 3-tuple of the paper (§3.2). Clients guarantee
+// uniqueness within their own (ip, port) space.
+type RequestID struct {
+	SrcIP   uint32
+	SrcPort uint16
+	ReqID   uint32
+}
+
+func (r RequestID) String() string {
+	return fmt.Sprintf("%d:%d/%d", r.SrcIP, r.SrcPort, r.ReqID)
+}
+
+// IDOf extracts the RequestID of a message given its header and the
+// sender's network address.
+func IDOf(h *Header, srcIP uint32) RequestID {
+	return RequestID{SrcIP: srcIP, SrcPort: h.SrcPort, ReqID: h.ReqID}
+}
+
+// Msg is a fully reassembled R2P2 message.
+type Msg struct {
+	Type    MessageType
+	Policy  Policy
+	ID      RequestID
+	Payload []byte
+}
+
+// IsReadOnly reports whether the message was tagged REPLICATED_REQ_R.
+func (m *Msg) IsReadOnly() bool { return m.Policy == PolicyReplicatedRO }

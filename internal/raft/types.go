@@ -1,0 +1,208 @@
+// Package raft implements the Raft consensus algorithm (Ongaro &
+// Ousterhout, ATC'14) as a deterministic step machine, in the style
+// popularized by etcd/raft: the Node has no goroutines, no wall clock and
+// no I/O — it is advanced by Tick() and Step(Message) and communicates by
+// draining an outbox of messages and a queue of committed entries.
+//
+// That shape is what lets HovercRaft run the *same* consensus code under
+// the discrete-event simulator (for the paper's evaluation) and under a
+// real UDP runtime, and makes the protocol directly property-testable.
+//
+// The package implements vanilla Raft: leader election, log replication,
+// commitment, log compaction with snapshot transfer, and a pluggable
+// storage interface. The HovercRaft extensions of the paper live in
+// entries (Replier, read-only Kind — §6.2), in the AppliedIndex carried
+// by AppendEntries replies (§3.4), and in two small hooks used by
+// HovercRaft++ (ForceCommit and group appends, §4); none of them alter
+// the core algorithm's safety logic, mirroring the paper's claim that
+// HovercRaft "does not modify the core of the Raft algorithm".
+package raft
+
+import (
+	"fmt"
+
+	"hovercraft/internal/r2p2"
+)
+
+// NodeID identifies a Raft participant. 0 is reserved for "none".
+type NodeID uint32
+
+// None is the zero NodeID.
+const None NodeID = 0
+
+// StateType is a node's role.
+type StateType uint8
+
+const (
+	// StateFollower nodes passively accept entries from the leader.
+	StateFollower StateType = iota
+	// StateCandidate nodes are running an election.
+	StateCandidate
+	// StateLeader nodes order and replicate client requests.
+	StateLeader
+)
+
+func (s StateType) String() string {
+	switch s {
+	case StateFollower:
+		return "follower"
+	case StateCandidate:
+		return "candidate"
+	case StateLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// EntryKind classifies log entries. HovercRaft adds the read-only kind
+// (paper §3.5): read-only requests are ordered like everything else but
+// executed only by the designated replier.
+type EntryKind uint8
+
+const (
+	// KindNoop is the empty entry a new leader commits to establish its
+	// term (Raft §8 safety requirement).
+	KindNoop EntryKind = iota
+	// KindReadWrite entries mutate the state machine; every node
+	// executes them.
+	KindReadWrite
+	// KindReadOnly entries only query the state machine; only the
+	// designated replier executes them.
+	KindReadOnly
+)
+
+func (k EntryKind) String() string {
+	switch k {
+	case KindNoop:
+		return "noop"
+	case KindReadWrite:
+		return "rw"
+	case KindReadOnly:
+		return "ro"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one slot of the replicated log, extended per HovercRaft §3.3
+// (Fig. 4): each entry records the request identity, its kind, and the
+// immutable designated replier chosen by the leader before first
+// announcement.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Kind  EntryKind
+
+	// Replier is the node designated to answer the client. None means
+	// not yet announced (only possible at the leader above
+	// announced_idx) or not applicable (noop entries).
+	Replier NodeID
+
+	// ID is the R2P2 identity of the client request; the follower uses
+	// it to promote the request body from its unordered set into the
+	// log without the leader resending the data.
+	ID r2p2.RequestID
+
+	// BodyHash guards against (astronomically unlikely) ID collisions
+	// in the unordered set (paper §5).
+	BodyHash uint64
+
+	// Data is the request body. Always present at the node that
+	// received the client request; nil while an entry travels as
+	// metadata-only in HovercRaft mode.
+	Data []byte
+}
+
+// HasBody reports whether the entry carries (or needs no) request data.
+func (e *Entry) HasBody() bool { return e.Kind == KindNoop || e.Data != nil }
+
+// MsgType enumerates Raft protocol messages.
+type MsgType uint8
+
+const (
+	// MsgVote is RequestVote.
+	MsgVote MsgType = iota
+	// MsgVoteResp answers MsgVote.
+	MsgVoteResp
+	// MsgApp is AppendEntries (empty = heartbeat).
+	MsgApp
+	// MsgAppResp answers MsgApp.
+	MsgAppResp
+	// MsgSnap transfers a snapshot to a lagging follower.
+	MsgSnap
+	// MsgSnapResp acknowledges a snapshot.
+	MsgSnapResp
+
+	numMsgTypes
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgVote:
+		return "vote"
+	case MsgVoteResp:
+		return "vote_resp"
+	case MsgApp:
+		return "append_entries"
+	case MsgAppResp:
+		return "append_entries_resp"
+	case MsgSnap:
+		return "install_snapshot"
+	case MsgSnapResp:
+		return "install_snapshot_resp"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// Message is a Raft protocol message. One struct covers all types;
+// irrelevant fields are zero (the wire codec omits them).
+type Message struct {
+	Type MsgType
+	From NodeID
+	To   NodeID
+	Term uint64
+
+	// MsgVote: candidate's last log position.
+	// MsgApp: previous entry position for the consistency check.
+	Index   uint64 // prevLogIndex / candidate lastLogIndex / snap index
+	LogTerm uint64 // prevLogTerm / candidate lastLogTerm / snap term
+
+	Entries []Entry
+	Commit  uint64 // leader commit index (MsgApp)
+
+	// Responses.
+	Success    bool
+	MatchIndex uint64 // MsgAppResp success: highest replicated index
+	RejectHint uint64 // MsgAppResp failure: follower's best guess next
+
+	// AppliedIndex piggybacks the follower's applied_idx on every
+	// MsgAppResp (HovercRaft §3.4 — feeds bounded queues and JBSQ).
+	AppliedIndex uint64
+
+	// SnapData is the application snapshot blob (MsgSnap).
+	SnapData []byte
+}
+
+// IsResponse reports whether the message is a reply type.
+func (m *Message) IsResponse() bool {
+	return m.Type == MsgVoteResp || m.Type == MsgAppResp || m.Type == MsgSnapResp
+}
+
+// Status is a point-in-time snapshot of a node's externally visible
+// state, for logging and tests.
+type Status struct {
+	ID      NodeID
+	State   StateType
+	Term    uint64
+	Lead    NodeID
+	Commit  uint64
+	Applied uint64
+	Last    uint64
+}
+
+func (s Status) String() string {
+	return fmt.Sprintf("id=%d state=%s term=%d lead=%d commit=%d applied=%d last=%d",
+		s.ID, s.State, s.Term, s.Lead, s.Commit, s.Applied, s.Last)
+}

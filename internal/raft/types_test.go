@@ -1,0 +1,200 @@
+package raft
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{StateFollower.String(), "follower"},
+		{StateCandidate.String(), "candidate"},
+		{StateLeader.String(), "leader"},
+		{StateType(9).String(), "state(9)"},
+		{KindNoop.String(), "noop"},
+		{KindReadWrite.String(), "rw"},
+		{KindReadOnly.String(), "ro"},
+		{EntryKind(9).String(), "kind(9)"},
+		{MsgVote.String(), "vote"},
+		{MsgVoteResp.String(), "vote_resp"},
+		{MsgApp.String(), "append_entries"},
+		{MsgAppResp.String(), "append_entries_resp"},
+		{MsgSnap.String(), "install_snapshot"},
+		{MsgSnapResp.String(), "install_snapshot_resp"},
+		{MsgType(99).String(), "msg(99)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.runUntilLeader()
+	s := lead.Status().String()
+	for _, want := range []string{"state=leader", "term=", "commit="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("status %q missing %q", s, want)
+		}
+	}
+}
+
+func TestMessageHelpers(t *testing.T) {
+	if !(&Message{Type: MsgAppResp}).IsResponse() {
+		t.Fatal("resp not detected")
+	}
+	if (&Message{Type: MsgApp}).IsResponse() {
+		t.Fatal("request detected as resp")
+	}
+	e := Entry{Kind: KindNoop}
+	if !e.HasBody() {
+		t.Fatal("noop needs no body")
+	}
+	e = Entry{Kind: KindReadWrite}
+	if e.HasBody() {
+		t.Fatal("bodyless rw entry reported as having body")
+	}
+	e.Data = []byte("x")
+	if !e.HasBody() {
+		t.Fatal("rw entry with data reported bodyless")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.runUntilLeader()
+	peers := lead.Peers()
+	if len(peers) != 3 {
+		t.Fatalf("peers = %v", peers)
+	}
+	// Peers returns a copy: mutating it must not affect the node.
+	peers[0] = 99
+	if lead.Peers()[0] == 99 {
+		t.Fatal("Peers leaked internal slice")
+	}
+	if lead.Quorum() != 2 {
+		t.Fatalf("quorum = %d", lead.Quorum())
+	}
+	// Progress of a non-leader is nil.
+	for id, n := range c.nodes {
+		if id != lead.ID() && n.Progress(1) != nil {
+			t.Fatal("follower exposes progress")
+		}
+	}
+	if lead.Progress(99) != nil {
+		t.Fatal("progress for unknown peer")
+	}
+}
+
+func TestSendAppendDirect(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.runUntilLeader()
+	lead.Propose(Entry{Kind: KindReadWrite, Data: []byte("x")})
+	lead.ReadMessages() // discard pending broadcasts
+	var other NodeID
+	for id := range c.nodes {
+		if id != lead.ID() {
+			other = id
+			break
+		}
+	}
+	lead.SendAppend(other)
+	msgs := lead.ReadMessages()
+	if len(msgs) != 1 || msgs[0].Type != MsgApp || msgs[0].To != other {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	// Self and non-leader sends are no-ops.
+	lead.SendAppend(lead.ID())
+	if len(lead.ReadMessages()) != 0 {
+		t.Fatal("self append sent")
+	}
+	c.nodes[other].SendAppend(lead.ID())
+	if len(c.nodes[other].ReadMessages()) != 0 {
+		t.Fatal("follower sent append")
+	}
+}
+
+func TestReplicationLimitBlocksEntries(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.runUntilLeader()
+	c.deliver()
+	base := lead.Log().LastIndex()
+	for i := 0; i < 5; i++ {
+		lead.Propose(Entry{Kind: KindReadWrite, Data: []byte{byte(i)}})
+	}
+	lead.SetReplicationLimit(base + 2)
+	lead.BroadcastAppend()
+	for _, m := range lead.ReadMessages() {
+		if m.Type != MsgApp {
+			continue
+		}
+		for _, e := range m.Entries {
+			if e.Index > base+2 {
+				t.Fatalf("entry %d sent beyond limit %d", e.Index, base+2)
+			}
+		}
+	}
+	// Clearing the limit releases the rest.
+	lead.SetReplicationLimit(0)
+	lead.BroadcastAppend()
+	maxSent := uint64(0)
+	for _, m := range lead.ReadMessages() {
+		for _, e := range m.Entries {
+			if e.Index > maxSent {
+				maxSent = e.Index
+			}
+		}
+	}
+	if maxSent != base+5 {
+		t.Fatalf("max sent = %d, want %d", maxSent, base+5)
+	}
+}
+
+func TestNopStorage(t *testing.T) {
+	var s NopStorage
+	s.SaveState(1, 2)
+	s.AppendEntries([]Entry{{Index: 1}})
+	s.SaveSnapshot(1, 1, nil)
+	// Nothing to assert: NopStorage must simply not blow up, and this
+	// keeps the interface contract exercised.
+}
+
+func TestStaleSnapshotIgnored(t *testing.T) {
+	c := newCluster(t, 3)
+	lead := c.runUntilLeader()
+	lead.Propose(Entry{Kind: KindReadWrite, Data: []byte("x")})
+	lead.BroadcastAppend()
+	c.deliver()
+	c.settle(3)
+	var fol *Node
+	for id, n := range c.nodes {
+		if id != lead.ID() {
+			fol = n
+			break
+		}
+	}
+	commit := fol.Log().Commit()
+	if commit == 0 {
+		t.Fatal("setup: follower has no commit")
+	}
+	// A snapshot at or below the follower's commit must be ignored.
+	fol.Step(Message{
+		Type: MsgSnap, From: lead.ID(), To: fol.ID(), Term: lead.Term(),
+		Index: commit, LogTerm: lead.Term(), SnapData: []byte("stale"),
+	})
+	if fol.Log().SnapIndex() == commit {
+		t.Fatal("stale snapshot applied")
+	}
+	msgs := fol.ReadMessages()
+	found := false
+	for _, m := range msgs {
+		if m.Type == MsgSnapResp && m.MatchIndex == commit {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no snapshot ack: %+v", msgs)
+	}
+}

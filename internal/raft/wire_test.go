@@ -1,0 +1,162 @@
+package raft
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hovercraft/internal/r2p2"
+)
+
+func sampleMessage() Message {
+	return Message{
+		Type: MsgApp, From: 1, To: 2, Term: 7,
+		Index: 10, LogTerm: 6, Commit: 9,
+		Entries: []Entry{
+			{
+				Term: 7, Index: 11, Kind: KindReadWrite, Replier: 3,
+				ID:       r2p2.RequestID{SrcIP: 9, SrcPort: 8, ReqID: 7},
+				BodyHash: 0xABCD, Data: []byte("payload"),
+			},
+			{
+				Term: 7, Index: 12, Kind: KindReadOnly, Replier: 2,
+				ID: r2p2.RequestID{SrcIP: 1, SrcPort: 2, ReqID: 3},
+				// metadata-only entry: Data nil
+			},
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	b := EncodeMessage(&m, nil)
+	if len(b) != EncodedSize(&m) {
+		t.Fatalf("size mismatch: %d vs %d", len(b), EncodedSize(&m))
+	}
+	got, err := DecodeMessage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, m) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", *got, m)
+	}
+	// nil vs empty Data must be preserved.
+	if got.Entries[1].Data != nil {
+		t.Fatal("nil data decoded as non-nil")
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	m := Message{
+		Type: MsgAppResp, From: 2, To: 1, Term: 7,
+		Success: true, MatchIndex: 12, AppliedIndex: 10,
+	}
+	got, err := DecodeMessage(EncodeMessage(&m, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, m) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWireSnapshotRoundTrip(t *testing.T) {
+	m := Message{
+		Type: MsgSnap, From: 1, To: 3, Term: 9,
+		Index: 100, LogTerm: 8, SnapData: []byte{1, 2, 3, 4},
+	}
+	got, err := DecodeMessage(EncodeMessage(&m, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*got, m) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Empty-but-present snapshot data round-trips too.
+	m.SnapData = []byte{}
+	got, err = DecodeMessage(EncodeMessage(&m, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SnapData == nil || len(got.SnapData) != 0 {
+		t.Fatalf("empty snap decoded as %v", got.SnapData)
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	if _, err := DecodeMessage([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message accepted")
+	}
+	m := sampleMessage()
+	b := EncodeMessage(&m, nil)
+	// Truncated entry section.
+	if _, err := DecodeMessage(b[:msgFixedSize+10]); err == nil {
+		t.Fatal("truncated entries accepted")
+	}
+	// Trailing garbage.
+	if _, err := DecodeMessage(append(b, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Bad type.
+	bad := append([]byte(nil), b...)
+	bad[0] = 200
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(typ uint8, from, to uint32, term, idx, lt, commit, match, hint, applied uint64,
+		success bool, data []byte, ip uint32, port uint16, rid uint32) bool {
+		m := Message{
+			Type: MsgType(typ % uint8(numMsgTypes)), From: NodeID(from), To: NodeID(to),
+			Term: term, Index: idx, LogTerm: lt, Commit: commit,
+			Success: success, MatchIndex: match, RejectHint: hint, AppliedIndex: applied,
+		}
+		if len(data) > 0 {
+			m.Entries = []Entry{{
+				Term: term, Index: idx + 1, Kind: KindReadWrite,
+				ID:       r2p2.RequestID{SrcIP: ip, SrcPort: port, ReqID: rid},
+				BodyHash: Hash64(data), Data: data,
+			}}
+		}
+		got, err := DecodeMessage(EncodeMessage(&m, nil))
+		return err == nil && reflect.DeepEqual(*got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripBodies(t *testing.T) {
+	in := []Entry{{Index: 1, Data: []byte("a")}, {Index: 2, Data: []byte("b")}}
+	out := StripBodies(in)
+	for _, e := range out {
+		if e.Data != nil {
+			t.Fatal("body not stripped")
+		}
+	}
+	if in[0].Data == nil {
+		t.Fatal("input mutated")
+	}
+	// Metadata-only entries are dramatically smaller — the HovercRaft
+	// bandwidth argument in one assertion.
+	big := Message{Type: MsgApp, Entries: []Entry{{Data: make([]byte, 512)}}}
+	small := Message{Type: MsgApp, Entries: StripBodies(big.Entries)}
+	if EncodedSize(&small) >= EncodedSize(&big)/4 {
+		t.Fatalf("metadata AE not small: %d vs %d", EncodedSize(&small), EncodedSize(&big))
+	}
+}
+
+func TestHash64(t *testing.T) {
+	a, b := Hash64([]byte("hello")), Hash64([]byte("hellp"))
+	if a == b {
+		t.Fatal("hash collision on trivial input")
+	}
+	if Hash64(nil) != Hash64([]byte{}) {
+		t.Fatal("nil vs empty hash mismatch")
+	}
+	if Hash64([]byte("hello")) != a {
+		t.Fatal("hash not deterministic")
+	}
+}

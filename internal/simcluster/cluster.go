@@ -1,0 +1,449 @@
+// Package simcluster assembles a complete HovercRaft deployment inside
+// the discrete-event simulator: server nodes running the protocol engine,
+// the flow-control middlebox, the in-network aggregator, multicast
+// groups, and hooks for load-generating clients. It is the simulated
+// equivalent of the paper's testbed (§7) and the substrate for every
+// experiment in the harness.
+package simcluster
+
+import (
+	"fmt"
+	"time"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/core"
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+	"hovercraft/internal/simnet"
+)
+
+// Setup selects one of the paper's four evaluated systems.
+type Setup uint8
+
+const (
+	// SetupUnreplicated is the non-fault-tolerant baseline (one node).
+	SetupUnreplicated Setup = iota
+	// SetupVanilla is Raft-on-R2P2 with no HovercRaft extensions.
+	SetupVanilla
+	// SetupHovercraft adds multicast replication, reply/read load
+	// balancing, and flow control.
+	SetupHovercraft
+	// SetupHovercraftPP adds the in-network aggregator.
+	SetupHovercraftPP
+)
+
+func (s Setup) String() string {
+	switch s {
+	case SetupUnreplicated:
+		return "UnRep"
+	case SetupVanilla:
+		return "VanillaRaft"
+	case SetupHovercraft:
+		return "HovercRaft"
+	case SetupHovercraftPP:
+		return "HovercRaft++"
+	default:
+		return fmt.Sprintf("setup(%d)", uint8(s))
+	}
+}
+
+// Options configures a simulated cluster.
+type Options struct {
+	Setup Setup
+	// Nodes is the cluster size (forced to 1 for SetupUnreplicated).
+	Nodes int
+	Seed  int64
+	// Host configures node NICs; zero value uses paper defaults.
+	Host simnet.HostConfig
+
+	// Engine knobs (zero values take core defaults).
+	TickInterval   time.Duration
+	ElectionTicks  int
+	HeartbeatTicks int
+	Bound          int
+	Policy         core.SelectPolicy
+	DisableReplyLB bool
+
+	// FlowLimit caps in-flight requests at the middlebox (0 = 4096).
+	FlowLimit int
+
+	// CompactEvery enables raft log compaction every N applied entries
+	// when the service implements core.Snapshotter (0 = off).
+	CompactEvery uint64
+
+	// NewService builds each node's application instance. The returned
+	// cost model charges the simulated app thread; return the service
+	// itself when it implements app.CostModel.
+	NewService func() (app.Service, app.CostModel)
+
+	// Preload is applied to every node's service before the cluster
+	// starts (dataset loading, outside the measured window).
+	Preload [][]byte
+}
+
+// Node is one simulated server.
+type Node struct {
+	ID      raft.NodeID
+	Host    *simnet.Host
+	Engine  *core.Engine             // nil for SetupUnreplicated
+	Unrep   *core.UnreplicatedEngine // nil unless SetupUnreplicated
+	Service app.Service
+
+	cluster *Cluster
+	reasm   *r2p2.Reassembler
+	crashed bool
+	ticks   uint64
+}
+
+// Cluster is the assembled deployment.
+type Cluster struct {
+	Sim  *simnet.Sim
+	Net  *simnet.Network
+	Opts Options
+
+	Nodes []*Node
+	Agg   *core.Aggregator
+	Flow  *core.FlowControl
+
+	// ServiceAddr is where clients send requests: the middlebox in
+	// HovercRaft modes, the (initial) leader in Vanilla, the server in
+	// UnRep.
+	ServiceAddr simnet.Addr
+
+	aggHost  *simnet.Host
+	flowHost *simnet.Host
+
+	groupAll    simnet.Addr
+	groupExcept map[raft.NodeID]simnet.Addr
+	addrOf      map[raft.NodeID]simnet.Addr
+}
+
+// New assembles a cluster (does not start ticking; call Start).
+func New(opts Options) *Cluster {
+	if opts.Setup == SetupUnreplicated {
+		opts.Nodes = 1
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 3
+	}
+	if opts.Host.LinkBps == 0 {
+		opts.Host = simnet.DefaultHostConfig()
+	}
+	if opts.FlowLimit <= 0 {
+		opts.FlowLimit = 4096
+	}
+	if opts.TickInterval <= 0 {
+		opts.TickInterval = 10 * time.Microsecond
+	}
+	if opts.NewService == nil {
+		opts.NewService = func() (app.Service, app.CostModel) {
+			s := &app.SynthService{}
+			return s, s
+		}
+	}
+
+	c := &Cluster{
+		Sim:         simnet.New(opts.Seed),
+		Opts:        opts,
+		groupExcept: make(map[raft.NodeID]simnet.Addr),
+		addrOf:      make(map[raft.NodeID]simnet.Addr),
+	}
+	c.Net = simnet.NewNetwork(c.Sim)
+
+	peers := make([]raft.NodeID, opts.Nodes)
+	for i := range peers {
+		peers[i] = raft.NodeID(i + 1)
+	}
+
+	// Server hosts.
+	for _, id := range peers {
+		h := c.Net.NewHost(fmt.Sprintf("node%d", id), opts.Host)
+		c.addrOf[id] = h.Addr()
+		svc, cost := opts.NewService()
+		for _, payload := range opts.Preload {
+			svc.Execute(payload, false)
+		}
+		n := &Node{
+			ID: id, Host: h, Service: svc, cluster: c,
+			reasm: r2p2.NewReassembler(20 * time.Millisecond),
+		}
+		runner := &simRunner{host: h, svc: svc, cost: cost}
+		if opts.Setup == SetupUnreplicated {
+			n.Unrep = core.NewUnreplicatedEngine(&nodeTransport{c: c, host: h}, runner)
+		} else {
+			mode := core.ModeVanilla
+			switch opts.Setup {
+			case SetupHovercraft:
+				mode = core.ModeHovercraft
+			case SetupHovercraftPP:
+				mode = core.ModeHovercraftPP
+			}
+			var snapshotter core.Snapshotter
+			if sn, ok := svc.(core.Snapshotter); ok && opts.CompactEvery > 0 {
+				snapshotter = sn
+			}
+			n.Engine = core.NewEngine(core.Config{
+				Mode: mode, ID: id, Peers: peers,
+				TickInterval:   opts.TickInterval,
+				ElectionTicks:  opts.ElectionTicks,
+				HeartbeatTicks: opts.HeartbeatTicks,
+				Bound:          opts.Bound,
+				Policy:         opts.Policy,
+				DisableReplyLB: opts.DisableReplyLB,
+				Rand:           c.Sim.Rand(),
+				Snapshotter:    snapshotter,
+				CompactEvery:   opts.CompactEvery,
+			}, &nodeTransport{c: c, host: h}, runner)
+		}
+		h.SetHandler(n.onPacket)
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Multicast groups.
+	addrs := make([]simnet.Addr, 0, len(peers))
+	for _, id := range peers {
+		addrs = append(addrs, c.addrOf[id])
+	}
+	c.groupAll = c.Net.NewGroup(addrs...)
+	for _, id := range peers {
+		var rest []simnet.Addr
+		for _, other := range peers {
+			if other != id {
+				rest = append(rest, c.addrOf[other])
+			}
+		}
+		c.groupExcept[id] = c.Net.NewGroup(rest...)
+	}
+
+	switch opts.Setup {
+	case SetupUnreplicated, SetupVanilla:
+		c.ServiceAddr = c.addrOf[1]
+	default:
+		// Flow-control middlebox in front of the multicast group. It is
+		// switch hardware: line-rate, negligible per-packet software cost.
+		mbCfg := opts.Host
+		mbCfg.LinkBps = 100_000_000_000
+		mbCfg.RxCost = 50 * time.Nanosecond
+		mbCfg.TxCost = 50 * time.Nanosecond
+		mbCfg.EgressQueue = 8192
+		mbCfg.IngressQueue = 8192
+		c.flowHost = c.Net.NewHost("flowctl", mbCfg)
+		c.Flow = core.NewFlowControl(opts.FlowLimit, 20*time.Millisecond)
+		c.flowHost.SetHandler(c.onFlowPacket)
+		c.ServiceAddr = c.flowHost.Addr()
+	}
+
+	if opts.Setup == SetupHovercraftPP {
+		agCfg := opts.Host
+		agCfg.LinkBps = 100_000_000_000
+		agCfg.RxCost = 50 * time.Nanosecond
+		agCfg.TxCost = 50 * time.Nanosecond
+		agCfg.EgressQueue = 8192
+		agCfg.IngressQueue = 8192
+		c.aggHost = c.Net.NewHost("aggregator", agCfg)
+		c.Agg = core.NewAggregator(peers, &aggTransport{c: c})
+		aggReasm := r2p2.NewReassembler(20 * time.Millisecond)
+		c.aggHost.SetHandler(func(pkt *simnet.Packet) {
+			m, err := aggReasm.Ingest(pkt.Payload, uint32(pkt.Src), c.Sim.Now())
+			if err == nil && m != nil {
+				c.Agg.HandleMessage(m)
+			}
+		})
+	}
+	return c
+}
+
+// Start launches tick loops and elects node 1 (deterministic bootstrap,
+// as in the paper's experiments where the leader is fixed).
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.startTicking()
+	}
+	if c.Opts.Setup != SetupUnreplicated {
+		c.Nodes[0].Engine.Campaign()
+	}
+	if c.Flow != nil {
+		c.flowGC()
+	}
+}
+
+func (c *Cluster) flowGC() {
+	c.Flow.GC(c.Sim.Now())
+	c.Sim.After(5*time.Millisecond, c.flowGC)
+}
+
+// AggHost exposes the aggregator's simulated host (failure injection in
+// tests; nil outside HovercRaft++).
+func (c *Cluster) AggHost() *simnet.Host { return c.aggHost }
+
+// Leader returns the current leader node, or nil.
+func (c *Cluster) Leader() *Node {
+	for _, n := range c.Nodes {
+		if !n.crashed && n.Engine != nil && n.Engine.IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) NodeByID(id raft.NodeID) *Node {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Run advances the simulation to the given virtual time.
+func (c *Cluster) Run(until time.Duration) { c.Sim.Run(until) }
+
+// --- node mechanics ------------------------------------------------------
+
+func (n *Node) startTicking() {
+	n.crashed = false
+	var loop func()
+	loop = func() {
+		if n.crashed {
+			return
+		}
+		n.ticks++
+		if n.Engine != nil {
+			n.Engine.Tick()
+		}
+		if n.ticks%1024 == 0 {
+			n.reasm.GC(n.cluster.Sim.Now())
+		}
+		n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
+	}
+	n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
+}
+
+func (n *Node) onPacket(pkt *simnet.Packet) {
+	m, err := n.reasm.Ingest(pkt.Payload, uint32(pkt.Src), n.cluster.Sim.Now())
+	if err != nil || m == nil {
+		return
+	}
+	if n.Unrep != nil {
+		n.Unrep.HandleMessage(m)
+	} else {
+		n.Engine.HandleMessage(m)
+	}
+}
+
+// Crash fail-stops the node.
+func (n *Node) Crash() {
+	n.crashed = true
+	n.Host.Crash()
+}
+
+// Restart revives a crashed node with its in-memory protocol state (the
+// network queues are lost; Raft recovery brings it back up to date).
+func (n *Node) Restart() {
+	n.Host.Restart()
+	n.startTicking()
+}
+
+// Crashed reports the node's failure state.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// --- transports ------------------------------------------------------------
+
+type nodeTransport struct {
+	c    *Cluster
+	host *simnet.Host
+}
+
+func (t *nodeTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	dst, ok := t.c.addrOf[id]
+	if !ok {
+		return
+	}
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: dst, Payload: dg})
+	}
+}
+
+func (t *nodeTransport) SendToAggregator(dgs [][]byte) {
+	if t.c.aggHost == nil {
+		return
+	}
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: t.c.aggHost.Addr(), Payload: dg})
+	}
+}
+
+func (t *nodeTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: simnet.Addr(id.SrcIP), Payload: dg})
+	}
+}
+
+func (t *nodeTransport) SendFeedback(dgs [][]byte) {
+	if t.c.flowHost == nil {
+		return
+	}
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: t.c.flowHost.Addr(), Payload: dg})
+	}
+}
+
+type aggTransport struct{ c *Cluster }
+
+func (t *aggTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
+	dst, ok := t.c.groupExcept[leader]
+	if !ok {
+		dst = t.c.groupAll
+	}
+	for _, dg := range dgs {
+		t.c.aggHost.Send(&simnet.Packet{Dst: dst, Payload: dg})
+	}
+}
+
+func (t *aggTransport) Broadcast(dgs [][]byte) {
+	for _, dg := range dgs {
+		t.c.aggHost.Send(&simnet.Packet{Dst: t.c.groupAll, Payload: dg})
+	}
+}
+
+func (t *aggTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	dst, ok := t.c.addrOf[id]
+	if !ok {
+		return
+	}
+	for _, dg := range dgs {
+		t.c.aggHost.Send(&simnet.Packet{Dst: dst, Payload: dg})
+	}
+}
+
+// onFlowPacket is the middlebox datapath.
+func (c *Cluster) onFlowPacket(pkt *simnet.Packet) {
+	verdict, nack := c.Flow.HandleDatagram(pkt.Payload, uint32(pkt.Src), c.Sim.Now())
+	switch verdict {
+	case core.VerdictForward:
+		// Rewrite destination to the cluster multicast group, keeping
+		// the client's source address.
+		c.flowHost.SendFrom(&simnet.Packet{Src: pkt.Src, Dst: c.groupAll, Payload: pkt.Payload})
+	case core.VerdictNack:
+		c.flowHost.Send(&simnet.Packet{Dst: pkt.Src, Payload: nack})
+	}
+}
+
+// --- app runner -------------------------------------------------------------
+
+type simRunner struct {
+	host *simnet.Host
+	svc  app.Service
+	cost app.CostModel
+}
+
+func (r *simRunner) Run(payload []byte, readOnly bool, done func([]byte)) {
+	var c time.Duration
+	if r.cost != nil {
+		c = r.cost.Cost(payload, readOnly)
+	}
+	r.host.App().Submit(c, func() {
+		done(r.svc.Execute(payload, readOnly))
+	})
+}

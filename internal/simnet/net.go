@@ -1,0 +1,380 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Addr identifies a network endpoint. Addresses at or above MulticastBase
+// are IP-multicast-style group addresses: the switch fans a packet sent to
+// a group out to every member.
+type Addr uint32
+
+// MulticastBase is the start of the multicast address range (224.0.0.0 in
+// IPv4 spirit).
+const MulticastBase Addr = 0xE0000000
+
+// IsMulticast reports whether a is a group address.
+func (a Addr) IsMulticast() bool { return a >= MulticastBase }
+
+func (a Addr) String() string {
+	if a.IsMulticast() {
+		return fmt.Sprintf("mcast-%d", uint32(a-MulticastBase))
+	}
+	return fmt.Sprintf("h%d", uint32(a))
+}
+
+// Packet is a datagram in flight. Payload is the full wire payload above
+// UDP (for HovercRaft, an encoded R2P2 packet); the simulator adds
+// FrameOverhead bytes of Ethernet/IP/UDP framing when computing
+// serialization time, so byte-level bottlenecks are faithful.
+type Packet struct {
+	Src Addr
+	Dst Addr
+	// FinalDst is set by middleboxes that rewrite Dst (the flow-control
+	// middlebox rewrites a unicast service address to the cluster
+	// multicast group); zero means Dst is original.
+	Payload []byte
+}
+
+// WireSize returns the on-wire size of the packet including framing.
+func (p *Packet) WireSize(overhead int) int { return len(p.Payload) + overhead }
+
+// Handler consumes packets delivered to a host, running on the host's
+// network thread.
+type Handler func(pkt *Packet)
+
+// HostConfig describes a host's NIC and network-thread capacities.
+type HostConfig struct {
+	// LinkBps is the NIC line rate in bits per second (both directions).
+	LinkBps int64
+	// RxCost and TxCost are the network thread's per-packet processing
+	// costs (kernel-bypass stacks spend a few hundred ns per packet).
+	RxCost time.Duration
+	TxCost time.Duration
+	// ProcBytesPerSec, when nonzero, adds a per-byte software cost to
+	// the *transmit* path (serializing payloads into packet buffers) —
+	// this is what makes shipping request bodies through the leader
+	// expensive compared to metadata-only replication. The receive path
+	// is zero-copy in kernel-bypass stacks (payloads stay in mbufs by
+	// reference), so no per-byte cost applies there.
+	ProcBytesPerSec int64
+	// ProcFilter, when non-nil, restricts the per-byte cost to packets
+	// whose payload it accepts. HovercRaft uses it to charge
+	// serialization only for consensus messages: AppendEntries bodies
+	// are marshaled entry by entry, while client replies are
+	// transmitted zero-copy from application buffers.
+	ProcFilter func(payload []byte) bool
+	// EgressQueue bounds the NIC transmit ring, in packets.
+	EgressQueue int
+	// IngressQueue bounds the network thread backlog, in packets.
+	// Packets arriving beyond it are dropped (receive livelock guard).
+	IngressQueue int
+}
+
+// DefaultHostConfig mirrors the paper's testbed: Intel x520 10GbE NICs
+// driven by DPDK. Receive-side per-packet software cost ~250ns (R2P2 +
+// protocol dispatch); transmit ~150ns (batch TX amortizes descriptor
+// work); ring sizes in the hundreds of packets.
+func DefaultHostConfig() HostConfig {
+	return HostConfig{
+		LinkBps:      10_000_000_000,
+		RxCost:       250 * time.Nanosecond,
+		TxCost:       150 * time.Nanosecond,
+		EgressQueue:  512,
+		IngressQueue: 512,
+	}
+}
+
+// Host is a simulated machine: a NIC, a network thread, and an
+// application thread.
+type Host struct {
+	name string
+	addr Addr
+	net  *Network
+	cfg  HostConfig
+
+	netThread *Proc // per-packet rx+tx software processing
+	egress    *Proc // NIC wire serialization
+	app       *Proc // application thread (service-time execution)
+
+	handler Handler
+	down    bool
+
+	// Accounting (packets/bytes exclude framing overhead).
+	TxPkts, RxPkts   uint64
+	TxBytes, RxBytes uint64
+	TxDrops, RxDrops uint64
+}
+
+// Name returns the host's human-readable name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's unicast address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// App returns the host's application-thread resource. Protocol engines
+// submit state-machine execution work here; its queue length is the app
+// backlog.
+func (h *Host) App() *Proc { return h.app }
+
+// NetThread returns the host's network-thread resource (exported for
+// tests and utilization reporting).
+func (h *Host) NetThread() *Proc { return h.netThread }
+
+// SetHandler installs the packet delivery callback.
+func (h *Host) SetHandler(f Handler) { h.handler = f }
+
+// Down reports whether the host is crashed.
+func (h *Host) Down() bool { return h.down }
+
+// Crash stops the host: all queued work is lost and future packets are
+// dropped, modeling a fail-stop node failure.
+func (h *Host) Crash() {
+	h.down = true
+	h.netThread.Stop()
+	h.egress.Stop()
+	h.app.Stop()
+}
+
+// Restart brings a crashed host back with empty queues. (Protocol state
+// recovery is the protocol's problem, exactly as in the paper.)
+func (h *Host) Restart() {
+	h.down = false
+	h.netThread.Restart()
+	h.egress.Restart()
+	h.app.Restart()
+}
+
+// wireTime returns the serialization delay of size bytes at the host's
+// line rate.
+func wireTime(sizeBytes int, bps int64) time.Duration {
+	return time.Duration(int64(sizeBytes) * 8 * int64(time.Second) / bps)
+}
+
+// SendFrom transmits a packet preserving its existing Src address —
+// middlebox forwarding: the flow-control middlebox rewrites only the
+// destination of client requests (to the cluster multicast group), so
+// replies and request identities still refer to the original client.
+func (h *Host) SendFrom(pkt *Packet) { h.send(pkt, true) }
+
+// Send transmits a packet from this host. The packet traverses, in order:
+// the network thread (TxCost), the NIC egress queue (wire time), the
+// switch (forwarding delay + output-port wire time), and the destination's
+// network thread (RxCost). Any full queue on the way drops the packet.
+func (h *Host) Send(pkt *Packet) { h.send(pkt, false) }
+
+// procCost is the network-thread time to serialize one packet.
+func (h *Host) procCost(base time.Duration, payload []byte) time.Duration {
+	if h.cfg.ProcBytesPerSec > 0 &&
+		(h.cfg.ProcFilter == nil || h.cfg.ProcFilter(payload)) {
+		base += time.Duration(int64(len(payload)) * int64(time.Second) / h.cfg.ProcBytesPerSec)
+	}
+	return base
+}
+
+func (h *Host) send(pkt *Packet, keepSrc bool) {
+	if h.down {
+		return
+	}
+	if !keepSrc {
+		pkt.Src = h.addr
+	}
+	ok := h.netThread.Submit(h.procCost(h.cfg.TxCost, pkt.Payload), func() {
+		if !h.egress.Submit(wireTime(pkt.WireSize(h.net.FrameOverhead), h.cfg.LinkBps), func() {
+			h.TxPkts++
+			h.TxBytes += uint64(len(pkt.Payload))
+			h.net.forward(h, pkt)
+		}) {
+			h.TxDrops++
+		}
+	})
+	if !ok {
+		h.TxDrops++
+	}
+}
+
+// receive is called by the network when a packet reaches this host's NIC.
+func (h *Host) receive(pkt *Packet) {
+	if h.down {
+		return
+	}
+	ok := h.netThread.Submit(h.cfg.RxCost, func() {
+		h.RxPkts++
+		h.RxBytes += uint64(len(pkt.Payload))
+		if h.handler != nil {
+			h.handler(pkt)
+		}
+	})
+	if !ok {
+		h.RxDrops++
+	}
+}
+
+// Network is a single-switch rack fabric. All hosts hang off one
+// cut-through switch; each host's downlink is an output-queued switch port
+// serialized at the host's line rate.
+type Network struct {
+	sim *Sim
+
+	// PropDelay is the one-way host↔switch propagation+PHY delay.
+	// Two hosts communicate in 2*PropDelay + SwitchDelay + wire time,
+	// matching the ≤10µs hardware budget of §2.3 of the paper.
+	PropDelay time.Duration
+	// SwitchDelay is the cut-through forwarding latency.
+	SwitchDelay time.Duration
+	// FrameOverhead is per-packet framing bytes (Eth+IP+UDP = 46).
+	FrameOverhead int
+	// PortQueue bounds each switch output port, in packets.
+	PortQueue int
+
+	hosts  map[Addr]*Host
+	ports  map[Addr]*Proc // per-host downlink
+	groups map[Addr][]Addr
+
+	nextAddr  Addr
+	nextGroup Addr
+
+	// failure injection
+	dropRate   float64
+	partitions map[[2]Addr]bool
+	filter     func(pkt *Packet, dst Addr) bool // false → drop
+
+	// accounting
+	SwitchDrops uint64
+	RandomDrops uint64
+}
+
+// NewNetwork creates an empty fabric with paper-calibrated defaults.
+func NewNetwork(sim *Sim) *Network {
+	return &Network{
+		sim:           sim,
+		PropDelay:     2500 * time.Nanosecond,
+		SwitchDelay:   500 * time.Nanosecond,
+		FrameOverhead: 46,
+		PortQueue:     1024,
+		hosts:         make(map[Addr]*Host),
+		ports:         make(map[Addr]*Proc),
+		groups:        make(map[Addr][]Addr),
+		nextAddr:      1,
+		nextGroup:     MulticastBase,
+		partitions:    make(map[[2]Addr]bool),
+	}
+}
+
+// Sim returns the simulation driving this network.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// NewHost attaches a host to the fabric.
+func (n *Network) NewHost(name string, cfg HostConfig) *Host {
+	addr := n.nextAddr
+	n.nextAddr++
+	h := &Host{
+		name:      name,
+		addr:      addr,
+		net:       n,
+		cfg:       cfg,
+		netThread: NewProc(n.sim, cfg.IngressQueue),
+		egress:    NewProc(n.sim, cfg.EgressQueue),
+		app:       NewProc(n.sim, 0),
+	}
+	n.hosts[addr] = h
+	n.ports[addr] = NewProc(n.sim, n.PortQueue)
+	return h
+}
+
+// Host returns the host with the given unicast address, or nil.
+func (n *Network) Host(addr Addr) *Host { return n.hosts[addr] }
+
+// NewGroup allocates a multicast group containing members.
+func (n *Network) NewGroup(members ...Addr) Addr {
+	g := n.nextGroup
+	n.nextGroup++
+	n.groups[g] = append([]Addr(nil), members...)
+	return g
+}
+
+// SetGroup replaces the membership of group g.
+func (n *Network) SetGroup(g Addr, members ...Addr) {
+	n.groups[g] = append([]Addr(nil), members...)
+}
+
+// GroupMembers returns a copy of g's membership.
+func (n *Network) GroupMembers(g Addr) []Addr {
+	return append([]Addr(nil), n.groups[g]...)
+}
+
+// SetDropRate makes the switch drop each packet copy independently with
+// probability p (deterministic given the sim seed).
+func (n *Network) SetDropRate(p float64) { n.dropRate = p }
+
+// SetFilter installs a per-delivery predicate; returning false drops the
+// copy destined to dst. Pass nil to clear. Used by tests to target
+// specific message types.
+func (n *Network) SetFilter(f func(pkt *Packet, dst Addr) bool) { n.filter = f }
+
+func pairKey(a, b Addr) [2]Addr {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
+}
+
+// Partition blocks all traffic between a and b (both directions).
+func (n *Network) Partition(a, b Addr) { n.partitions[pairKey(a, b)] = true }
+
+// Heal removes the partition between a and b.
+func (n *Network) Heal(a, b Addr) { delete(n.partitions, pairKey(a, b)) }
+
+// HealAll removes every partition.
+func (n *Network) HealAll() { n.partitions = make(map[[2]Addr]bool) }
+
+// Partitioned reports whether a↔b traffic is blocked.
+func (n *Network) Partitioned(a, b Addr) bool { return n.partitions[pairKey(a, b)] }
+
+// forward is invoked when src finishes serializing pkt onto its uplink.
+func (n *Network) forward(src *Host, pkt *Packet) {
+	n.sim.After(n.PropDelay+n.SwitchDelay, func() {
+		dsts := []Addr{pkt.Dst}
+		if pkt.Dst.IsMulticast() {
+			dsts = n.groups[pkt.Dst]
+		}
+		for _, dst := range dsts {
+			n.deliverCopy(src.addr, dst, pkt)
+		}
+	})
+}
+
+// deliverCopy pushes one copy of pkt through dst's switch output port.
+func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
+	h, ok := n.hosts[dst]
+	if !ok {
+		return
+	}
+	if n.partitions[pairKey(src, dst)] {
+		return
+	}
+	if n.dropRate > 0 && n.sim.rng.Float64() < n.dropRate {
+		n.RandomDrops++
+		return
+	}
+	if n.filter != nil && !n.filter(pkt, dst) {
+		return
+	}
+	// Each copy is an independent datagram from here on.
+	cp := &Packet{Src: pkt.Src, Dst: dst, Payload: pkt.Payload}
+	port := n.ports[dst]
+	if !port.Submit(wireTime(cp.WireSize(n.FrameOverhead), h.cfg.LinkBps), func() {
+		n.sim.After(n.PropDelay, func() { h.receive(cp) })
+	}) {
+		n.SwitchDrops++
+	}
+}
+
+// BaseRTT returns the minimum request/response round-trip between two
+// hosts for a payload of the given size, excluding software costs: two
+// traversals of (prop + switch + prop + wire).
+func (n *Network) BaseRTT(size int, bps int64) time.Duration {
+	oneWay := 2*n.PropDelay + n.SwitchDelay + 2*wireTime(size+n.FrameOverhead, bps)
+	return 2 * oneWay
+}

@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func twoHosts(t *testing.T) (*Sim, *Network, *Host, *Host) {
+	t.Helper()
+	s := New(7)
+	n := NewNetwork(s)
+	a := n.NewHost("a", DefaultHostConfig())
+	b := n.NewHost("b", DefaultHostConfig())
+	return s, n, a, b
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s, _, a, b := twoHosts(t)
+	var got *Packet
+	b.SetHandler(func(pkt *Packet) { got = pkt })
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("hello")})
+	s.Run(time.Millisecond)
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if string(got.Payload) != "hello" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+	if got.Src != a.Addr() || got.Dst != b.Addr() {
+		t.Fatalf("src/dst = %v/%v", got.Src, got.Dst)
+	}
+	if a.TxPkts != 1 || b.RxPkts != 1 {
+		t.Fatalf("counters tx=%d rx=%d", a.TxPkts, b.RxPkts)
+	}
+}
+
+func TestDeliveryLatencyBudget(t *testing.T) {
+	// A small packet should arrive within the µs-scale hardware budget
+	// of paper §2.3 (≤10µs one way with our defaults).
+	s, _, a, b := twoHosts(t)
+	var at Time
+	b.SetHandler(func(pkt *Packet) { at = s.Now() })
+	a.Send(&Packet{Dst: b.Addr(), Payload: make([]byte, 24)})
+	s.Run(time.Millisecond)
+	if at == 0 {
+		t.Fatal("not delivered")
+	}
+	if at > 10*time.Microsecond {
+		t.Fatalf("one-way latency %v exceeds 10µs budget", at)
+	}
+	if at < 5*time.Microsecond {
+		t.Fatalf("one-way latency %v implausibly low (props not applied?)", at)
+	}
+}
+
+func TestMulticastFanout(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	src := n.NewHost("src", DefaultHostConfig())
+	var dsts []*Host
+	recv := make(map[Addr]int)
+	for i := 0; i < 3; i++ {
+		h := n.NewHost("d", DefaultHostConfig())
+		h.SetHandler(func(pkt *Packet) { recv[h.Addr()]++ })
+		dsts = append(dsts, h)
+	}
+	g := n.NewGroup(dsts[0].Addr(), dsts[1].Addr(), dsts[2].Addr())
+	src.Send(&Packet{Dst: g, Payload: make([]byte, 100)})
+	s.Run(time.Millisecond)
+	for _, h := range dsts {
+		if recv[h.Addr()] != 1 {
+			t.Fatalf("host %v received %d copies", h.Addr(), recv[h.Addr()])
+		}
+	}
+	// The sender serialized the packet exactly once: multicast fan-out
+	// happens at the switch. That is the HovercRaft bandwidth argument.
+	if src.TxPkts != 1 {
+		t.Fatalf("src tx = %d, want 1", src.TxPkts)
+	}
+}
+
+func TestMulticastGroupUpdate(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	src := n.NewHost("src", DefaultHostConfig())
+	a := n.NewHost("a", DefaultHostConfig())
+	b := n.NewHost("b", DefaultHostConfig())
+	got := map[Addr]int{}
+	a.SetHandler(func(pkt *Packet) { got[a.Addr()]++ })
+	b.SetHandler(func(pkt *Packet) { got[b.Addr()]++ })
+	g := n.NewGroup(a.Addr())
+	if !g.IsMulticast() {
+		t.Fatal("group addr not multicast")
+	}
+	src.Send(&Packet{Dst: g, Payload: []byte("x")})
+	s.Run(time.Millisecond)
+	n.SetGroup(g, a.Addr(), b.Addr())
+	if len(n.GroupMembers(g)) != 2 {
+		t.Fatalf("members = %v", n.GroupMembers(g))
+	}
+	src.Send(&Packet{Dst: g, Payload: []byte("y")})
+	s.Run(2 * time.Millisecond)
+	if got[a.Addr()] != 2 || got[b.Addr()] != 1 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	count := 0
+	b.SetHandler(func(pkt *Packet) { count++ })
+	n.Partition(a.Addr(), b.Addr())
+	if !n.Partitioned(b.Addr(), a.Addr()) {
+		t.Fatal("partition not symmetric")
+	}
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(time.Millisecond)
+	if count != 0 {
+		t.Fatal("packet crossed partition")
+	}
+	n.Heal(a.Addr(), b.Addr())
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(2 * time.Millisecond)
+	if count != 1 {
+		t.Fatal("packet lost after heal")
+	}
+}
+
+func TestCrashedHostDropsTraffic(t *testing.T) {
+	s, _, a, b := twoHosts(t)
+	count := 0
+	b.SetHandler(func(pkt *Packet) { count++ })
+	b.Crash()
+	if !b.Down() {
+		t.Fatal("not down")
+	}
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(time.Millisecond)
+	if count != 0 {
+		t.Fatal("crashed host received packet")
+	}
+	b.Restart()
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(2 * time.Millisecond)
+	if count != 1 {
+		t.Fatal("restarted host did not receive")
+	}
+	// A crashed host also cannot send.
+	a.Crash()
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(3 * time.Millisecond)
+	if count != 1 {
+		t.Fatal("crashed host sent packet")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	count := 0
+	b.SetHandler(func(pkt *Packet) { count++ })
+	n.SetDropRate(0.5)
+	for i := 0; i < 2000; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Microsecond, func() {
+			a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+		})
+	}
+	s.Run(time.Second)
+	if count < 800 || count > 1200 {
+		t.Fatalf("delivered %d of 2000 at 50%% drop", count)
+	}
+	if n.RandomDrops == 0 {
+		t.Fatal("drop accounting missing")
+	}
+}
+
+func TestFilterDropsSelectively(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	count := 0
+	b.SetHandler(func(pkt *Packet) { count++ })
+	n.SetFilter(func(pkt *Packet, dst Addr) bool { return len(pkt.Payload) > 1 })
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("xx")})
+	s.Run(time.Millisecond)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	n.SetFilter(nil)
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(2 * time.Millisecond)
+	if count != 2 {
+		t.Fatal("filter not cleared")
+	}
+}
+
+func TestBandwidthBottleneck(t *testing.T) {
+	// Saturate a 10G link with 1500B frames: throughput must be capped
+	// near line rate, and the egress queue must drop the excess.
+	s := New(7)
+	n := NewNetwork(s)
+	a := n.NewHost("a", DefaultHostConfig())
+	b := n.NewHost("b", DefaultHostConfig())
+	received := 0
+	b.SetHandler(func(pkt *Packet) { received++ })
+	// Offer 2x line rate for 10ms: 10G/(1500*8) ≈ 833kpps → offer 1.6M pps.
+	payload := make([]byte, 1454) // 1500 on the wire with 46B framing
+	interval := 625 * time.Nanosecond
+	var next func()
+	sent := 0
+	next = func() {
+		a.Send(&Packet{Dst: b.Addr(), Payload: payload})
+		sent++
+		if Time(sent)*interval < 10*time.Millisecond {
+			s.After(interval, next)
+		}
+	}
+	s.After(0, next)
+	s.Run(20 * time.Millisecond)
+	// Line rate for 1500B frames is ~833 pkts/ms → ~8333 over 10ms.
+	if received < 7500 || received > 9200 {
+		t.Fatalf("received %d, want ≈8333 (line-rate cap)", received)
+	}
+	if a.TxDrops == 0 {
+		t.Fatal("expected egress drops at 2x line rate")
+	}
+}
+
+func TestPacketRateBottleneck(t *testing.T) {
+	// With 300ns/packet rx cost the network thread caps at ~3.3Mpps;
+	// tiny packets offered at 10Mpps must be dropped at the ingress.
+	s := New(7)
+	n := NewNetwork(s)
+	cfg := DefaultHostConfig()
+	a := n.NewHost("a", cfg)
+	// Sender with a huge link and zero tx cost so only b's rx thread binds.
+	fast := cfg
+	fast.LinkBps = 1_000_000_000_000
+	fast.TxCost = 0
+	fat := n.NewHost("fat", fast)
+	received := 0
+	a.SetHandler(func(pkt *Packet) { received++ })
+	payload := make([]byte, 8)
+	interval := 100 * time.Nanosecond // 10Mpps
+	sent := 0
+	var next func()
+	next = func() {
+		fat.Send(&Packet{Dst: a.Addr(), Payload: payload})
+		sent++
+		if sent < 20000 {
+			s.After(interval, next)
+		}
+	}
+	s.After(0, next)
+	s.Run(time.Second)
+	if a.RxDrops == 0 {
+		t.Fatalf("expected rx drops (received=%d sent=%d)", received, sent)
+	}
+	if received >= sent {
+		t.Fatal("no packets were shed")
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	// 1250 bytes at 10Gbps = 1µs.
+	if got := wireTime(1250, 10_000_000_000); got != time.Microsecond {
+		t.Fatalf("wireTime = %v", got)
+	}
+}
+
+func TestBaseRTT(t *testing.T) {
+	s := New(7)
+	n := NewNetwork(s)
+	rtt := n.BaseRTT(24, 10_000_000_000)
+	if rtt < 10*time.Microsecond || rtt > 30*time.Microsecond {
+		t.Fatalf("base rtt = %v, want 10-30µs", rtt)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if Addr(3).String() != "h3" {
+		t.Fatalf("addr string = %s", Addr(3))
+	}
+	if !MulticastBase.IsMulticast() || Addr(5).IsMulticast() {
+		t.Fatal("multicast detection broken")
+	}
+	if MulticastBase.String() != "mcast-0" {
+		t.Fatalf("mcast string = %s", MulticastBase)
+	}
+}

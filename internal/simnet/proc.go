@@ -1,0 +1,120 @@
+package simnet
+
+import "time"
+
+// Proc models a serial resource: something that processes work items one
+// at a time, each with a caller-specified duration. It is used to model
+// four distinct bottleneck resources of the paper's testbed:
+//
+//   - a NIC egress link (work duration = wire serialization time),
+//   - a switch output port (same),
+//   - a host's network thread (fixed per-packet processing cost),
+//   - a host's application thread (per-request service time).
+//
+// A Proc has an optional queue bound; submissions beyond the bound are
+// rejected and reported via the drop callback. This is what produces
+// realistic drop-under-overload behaviour (and hence the flow-control and
+// recovery paths of HovercRaft get exercised for real).
+type Proc struct {
+	sim *Sim
+
+	// Limit bounds the number of queued-but-not-started work items
+	// (the in-service item does not count). 0 means unbounded.
+	Limit int
+
+	// OnDrop, if non-nil, is called when a submission is rejected.
+	OnDrop func()
+
+	queue   []procWork
+	busy    bool
+	stopped bool
+
+	// accounting
+	completed uint64
+	dropped   uint64
+	busyTime  time.Duration
+}
+
+type procWork struct {
+	cost time.Duration
+	fn   func()
+}
+
+// NewProc returns a serial resource bound to sim. limit==0 means an
+// unbounded queue.
+func NewProc(sim *Sim, limit int) *Proc {
+	return &Proc{sim: sim, Limit: limit}
+}
+
+// Submit enqueues a work item that takes cost to process; fn (may be nil)
+// runs at completion. It reports false if the queue bound rejected the item.
+func (p *Proc) Submit(cost time.Duration, fn func()) bool {
+	if p.stopped {
+		return false
+	}
+	if p.Limit > 0 && len(p.queue) >= p.Limit {
+		p.dropped++
+		if p.OnDrop != nil {
+			p.OnDrop()
+		}
+		return false
+	}
+	p.queue = append(p.queue, procWork{cost: cost, fn: fn})
+	if !p.busy {
+		p.startNext()
+	}
+	return true
+}
+
+func (p *Proc) startNext() {
+	if len(p.queue) == 0 || p.stopped {
+		p.busy = false
+		return
+	}
+	w := p.queue[0]
+	p.queue = p.queue[1:]
+	p.busy = true
+	p.busyTime += w.cost
+	p.sim.After(w.cost, func() {
+		if p.stopped {
+			return
+		}
+		p.completed++
+		if w.fn != nil {
+			w.fn()
+		}
+		p.startNext()
+	})
+}
+
+// QueueLen returns the number of queued (not yet started) items.
+func (p *Proc) QueueLen() int { return len(p.queue) }
+
+// Busy reports whether an item is currently in service.
+func (p *Proc) Busy() bool { return p.busy }
+
+// Completed returns the number of finished work items.
+func (p *Proc) Completed() uint64 { return p.completed }
+
+// Dropped returns the number of rejected submissions.
+func (p *Proc) Dropped() uint64 { return p.dropped }
+
+// BusyTime returns the cumulative service time of accepted items
+// (a utilization proxy: BusyTime/elapsed ≈ resource utilization).
+func (p *Proc) BusyTime() time.Duration { return p.busyTime }
+
+// Stop makes the resource drop everything and reject future work;
+// used to model a crashed host. In-flight completion callbacks are
+// suppressed.
+func (p *Proc) Stop() {
+	p.stopped = true
+	p.queue = nil
+	p.busy = false
+}
+
+// Restart re-enables a stopped resource with an empty queue.
+func (p *Proc) Restart() {
+	p.stopped = false
+	p.queue = nil
+	p.busy = false
+}

@@ -1,0 +1,135 @@
+// Package simnet is a deterministic discrete-event simulator of a
+// datacenter rack: hosts with NICs (finite bandwidth, finite queues,
+// per-packet CPU costs), a cut-through switch with IP multicast, and
+// injectable failures (drops, partitions, host crashes).
+//
+// It substitutes for the DPDK/10GbE/Tofino testbed of the HovercRaft paper
+// (EuroSys'20 §7): the paper's results are bottleneck results — leader NIC
+// transmit bandwidth, leader packet-processing rate, and application CPU —
+// and simnet models exactly those resources, so experiment *shapes*
+// (who wins, crossover points, scaling trends) reproduce deterministically
+// on any machine.
+//
+// Everything is driven by a single event loop; there are no goroutines and
+// no wall-clock reads, so a simulation with a fixed seed is bit-for-bit
+// reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is virtual time since the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (deterministic FIFO ordering).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation. Create one with New.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// stopped aborts Run early (used by experiment harnesses).
+	stopped bool
+}
+
+// New returns a simulation whose randomness is derived from seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. All protocol
+// jitter (election timeouts, load-generator arrivals) must come from here
+// to keep runs reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a simulation bug, not a recoverable condition.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the single next event, if any, and reports whether one ran.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until virtual time exceeds until, no events remain,
+// or Stop is called. On return Now() is min(until, time of last event).
+func (s *Sim) Run(until Time) {
+	s.stopped = false
+	for !s.stopped && len(s.events) > 0 {
+		if s.events[0].at > until {
+			s.now = until
+			return
+		}
+		s.Step()
+	}
+	if s.now < until && !s.stopped {
+		s.now = until
+	}
+}
+
+// RunAll executes every pending event (including ones scheduled while
+// running). Useful for draining short scenarios in tests. Panics if more
+// than maxEvents fire, to catch runaway timer loops.
+func (s *Sim) RunAll(maxEvents int) {
+	for i := 0; i < maxEvents; i++ {
+		if !s.Step() {
+			return
+		}
+	}
+	panic("simnet: RunAll exceeded maxEvents; runaway event loop?")
+}
+
+// Stop aborts a Run in progress after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }

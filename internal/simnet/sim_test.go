@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(3*time.Microsecond, func() { got = append(got, 3) })
+	s.After(1*time.Microsecond, func() { got = append(got, 1) })
+	s.After(2*time.Microsecond, func() { got = append(got, 2) })
+	s.Run(time.Millisecond)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Microsecond, func() { got = append(got, i) })
+	}
+	s.Run(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Microsecond, func() {
+		s.After(time.Microsecond, func() { fired++ })
+	})
+	s.Run(10 * time.Microsecond)
+	if fired != 1 {
+		t.Fatalf("nested event did not fire")
+	}
+}
+
+func TestSimPastSchedulingPanics(t *testing.T) {
+	s := New(1)
+	s.After(10*time.Microsecond, func() {})
+	s.Run(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(time.Microsecond, func() {})
+}
+
+func TestSimStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			s.Stop()
+		}
+		s.After(time.Microsecond, tick)
+	}
+	s.After(time.Microsecond, tick)
+	s.Run(time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestSimRunUntilDoesNotExecuteLater(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.After(time.Millisecond, func() { fired = true })
+	s.Run(100 * time.Microsecond)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run(2 * time.Millisecond)
+	if !fired {
+		t.Fatal("event did not fire on second run")
+	}
+}
+
+func TestSimRunAllGuard(t *testing.T) {
+	s := New(1)
+	var loop func()
+	loop = func() { s.After(time.Nanosecond, loop) }
+	s.After(time.Nanosecond, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected runaway panic")
+		}
+	}()
+	s.RunAll(100)
+}
+
+func TestProcSerialExecution(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0)
+	var doneAt []Time
+	for i := 0; i < 3; i++ {
+		p.Submit(10*time.Microsecond, func() { doneAt = append(doneAt, s.Now()) })
+	}
+	s.Run(time.Second)
+	want := []Time{10 * time.Microsecond, 20 * time.Microsecond, 30 * time.Microsecond}
+	for i, w := range want {
+		if doneAt[i] != w {
+			t.Fatalf("completion %d at %v, want %v", i, doneAt[i], w)
+		}
+	}
+	if p.Completed() != 3 {
+		t.Fatalf("completed = %d", p.Completed())
+	}
+	if p.BusyTime() != 30*time.Microsecond {
+		t.Fatalf("busy = %v", p.BusyTime())
+	}
+}
+
+func TestProcBoundedQueueDrops(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 2)
+	drops := 0
+	p.OnDrop = func() { drops++ }
+	accepted := 0
+	// One in service + 2 queued fit; the rest must drop.
+	for i := 0; i < 10; i++ {
+		if p.Submit(time.Microsecond, nil) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted = %d, want 3", accepted)
+	}
+	if drops != 7 || p.Dropped() != 7 {
+		t.Fatalf("drops = %d/%d, want 7", drops, p.Dropped())
+	}
+	s.Run(time.Second)
+	if p.Completed() != 3 {
+		t.Fatalf("completed = %d", p.Completed())
+	}
+}
+
+func TestProcStopDiscardsWork(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0)
+	ran := false
+	p.Submit(time.Microsecond, func() { ran = true })
+	p.Submit(time.Microsecond, func() { ran = true })
+	p.Stop()
+	s.Run(time.Second)
+	if ran {
+		t.Fatal("work ran after Stop")
+	}
+	if p.Submit(time.Microsecond, nil) {
+		t.Fatal("stopped proc accepted work")
+	}
+	p.Restart()
+	ok := p.Submit(time.Microsecond, func() { ran = true })
+	if !ok {
+		t.Fatal("restarted proc rejected work")
+	}
+	s.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("work did not run after Restart")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(99)
+		n := NewNetwork(s)
+		a := n.NewHost("a", DefaultHostConfig())
+		b := n.NewHost("b", DefaultHostConfig())
+		var arrivals []Time
+		b.SetHandler(func(pkt *Packet) { arrivals = append(arrivals, s.Now()) })
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Nanosecond
+			i := i
+			s.After(d*time.Duration(i+1), func() {
+				a.Send(&Packet{Dst: b.Addr(), Payload: make([]byte, 100)})
+			})
+		}
+		s.Run(time.Second)
+		return arrivals
+	}
+	x, y := run(), run()
+	if len(x) != len(y) || len(x) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}

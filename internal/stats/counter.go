@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// CounterSet is a named collection of counters, used for per-node message
+// accounting (paper Table 1). Not safe for concurrent registration; the
+// individual counters are concurrency-safe.
+type CounterSet struct {
+	names    []string
+	counters map[string]*Counter
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counters: make(map[string]*Counter)}
+}
+
+// Get returns the counter with the given name, creating it on first use.
+func (cs *CounterSet) Get(name string) *Counter {
+	if c, ok := cs.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	cs.counters[name] = c
+	cs.names = append(cs.names, name)
+	return c
+}
+
+// Value returns the current value of the named counter (0 if absent).
+func (cs *CounterSet) Value(name string) uint64 {
+	if c, ok := cs.counters[name]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Names returns the registered counter names, sorted.
+func (cs *CounterSet) Names() []string {
+	out := make([]string, len(cs.names))
+	copy(out, cs.names)
+	sort.Strings(out)
+	return out
+}
+
+// ResetAll zeroes every counter in the set.
+func (cs *CounterSet) ResetAll() {
+	for _, c := range cs.counters {
+		c.Reset()
+	}
+}
+
+// Snapshot returns name→value for all counters.
+func (cs *CounterSet) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(cs.counters))
+	for n, c := range cs.counters {
+		out[n] = c.Load()
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs, sorted by name.
+func (cs *CounterSet) String() string {
+	names := cs.Names()
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, cs.Value(n)))
+	}
+	return strings.Join(parts, " ")
+}

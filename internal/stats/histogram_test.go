@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero: %v", h)
+	}
+	if h.P99() != 0 {
+		t.Fatalf("empty P99 = %d, want 0", h.P99())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1234)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1234 || h.Max() != 1234 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.P99(); got != 1234 {
+		t.Fatalf("p99 = %d, want 1234", got)
+	}
+	if got := h.Quantile(0); got != 1234 {
+		t.Fatalf("q0 = %d, want 1234", got)
+	}
+	if got := h.Quantile(1); got != 1234 {
+		t.Fatalf("q1 = %d, want 1234", got)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below subBuckets are recorded exactly.
+	h := NewHistogram()
+	for v := int64(0); v < subBuckets; v++ {
+		h.Record(v)
+	}
+	// With the ceil(q*n) rank convention the 0.5-quantile of 0..31 is
+	// the 16th smallest value, i.e. 15.
+	if got := h.Quantile(0.5); got != subBuckets/2-1 {
+		t.Fatalf("median = %d, want %d", got, subBuckets/2-1)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Compare against exact percentile on a pseudo-random sample:
+	// relative error must be under 5%.
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var raw []time.Duration
+	for i := 0; i < 100000; i++ {
+		// Log-uniformish mix covering 1µs..10ms.
+		v := int64(1000 + rng.Intn(10_000_000))
+		h.Record(v)
+		raw = append(raw, time.Duration(v))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := float64(Percentile(raw, q))
+		est := float64(h.Quantile(q))
+		relerr := (est - exact) / exact
+		if relerr < -0.05 || relerr > 0.05 {
+			t.Errorf("q=%g exact=%g est=%g relerr=%g", q, exact, est, relerr)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Negative values clamp to bucket 0 but min tracks the raw value.
+	if h.Quantile(0.5) > 0 {
+		t.Fatalf("median of clamped negative = %d", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(int64(1000 + i))
+		b.Record(int64(100000 + i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1000 {
+		t.Fatalf("merged min = %d", a.Min())
+	}
+	if a.Max() != 100099 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("reset did not clear: %v", h)
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("post-reset record broken: %v", h)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	// bucketIndex must be monotone non-decreasing in v.
+	prev := -1
+	for v := int64(0); v < 1_000_000; v += 37 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketLowInvertsIndex(t *testing.T) {
+	// Property: bucketLow(bucketIndex(v)) <= v and re-indexing the low
+	// bound lands in the same bucket.
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		idx := bucketIndex(v)
+		low := bucketLow(idx)
+		return low <= v && bucketIndex(low) == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	// Property: for any recorded sample set, quantile is monotone in q
+	// and bounded by min/max.
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev || cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.RecordDuration(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P99 < 900*time.Microsecond || s.P99 > time.Millisecond {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 100)
+	s.Add(2*time.Second, 300)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	tm, v := s.At(1)
+	if tm != 2*time.Second || v != 300 {
+		t.Fatalf("At(1) = %v, %v", tm, v)
+	}
+	if s.MaxValue() != 300 {
+		t.Fatalf("max = %v", s.MaxValue())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"a", "bee"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("longer", "x")
+	out := tb.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"demo", "longer", "bee"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPercentileExact(t *testing.T) {
+	samples := []time.Duration{5, 1, 4, 2, 3}
+	if got := Percentile(samples, 0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(samples, 1.0); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// Input must not be reordered.
+	if samples[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("load = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("reset = %d", c.Load())
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	cs := NewCounterSet()
+	cs.Get("tx").Add(3)
+	cs.Get("rx").Inc()
+	cs.Get("tx").Inc()
+	if cs.Value("tx") != 4 || cs.Value("rx") != 1 {
+		t.Fatalf("values: %s", cs)
+	}
+	if cs.Value("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	names := cs.Names()
+	if len(names) != 2 || names[0] != "rx" || names[1] != "tx" {
+		t.Fatalf("names = %v", names)
+	}
+	snap := cs.Snapshot()
+	if snap["tx"] != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	cs.ResetAll()
+	if cs.Value("tx") != 0 {
+		t.Fatal("reset all failed")
+	}
+	if cs.String() != "rx=0 tx=0" {
+		t.Fatalf("string = %q", cs.String())
+	}
+}

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hovercraft/internal/core"
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// AggregatorServer runs the HovercRaft++ in-network aggregator as a UDP
+// process. The paper implements it on a Tofino ASIC but notes it is "an
+// IP connected device that can be placed anywhere inside the datacenter";
+// this is that software placement. Fan-out happens by unicast loop (a
+// real deployment would use switch multicast).
+type AggregatorServer struct {
+	conn  *net.UDPConn
+	agg   *core.Aggregator
+	peers map[raft.NodeID]*net.UDPAddr
+
+	mu    sync.Mutex
+	reasm *r2p2.Reassembler
+	start time.Time
+
+	closed  chan struct{}
+	closeMu sync.Once
+	done    chan struct{}
+}
+
+// NewAggregatorServer binds the aggregator to listenAddr for the given
+// cluster membership.
+func NewAggregatorServer(listenAddr string, peers map[uint32]string) (*AggregatorServer, error) {
+	addr, err := net.ResolveUDPAddr("udp4", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: aggregator resolve: %w", err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: aggregator listen: %w", err)
+	}
+	a := &AggregatorServer{
+		conn:   conn,
+		peers:  make(map[raft.NodeID]*net.UDPAddr),
+		reasm:  r2p2.NewReassembler(2 * time.Second),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	ids := make([]raft.NodeID, 0, len(peers))
+	for id, pa := range peers {
+		ua, err := net.ResolveUDPAddr("udp4", pa)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: aggregator peer %d: %w", id, err)
+		}
+		a.peers[raft.NodeID(id)] = ua
+		ids = append(ids, raft.NodeID(id))
+	}
+	a.agg = core.NewAggregator(ids, (*aggUDPTransport)(a))
+	go a.readLoop()
+	return a, nil
+}
+
+// Addr returns the bound UDP address.
+func (a *AggregatorServer) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close shuts the aggregator down.
+func (a *AggregatorServer) Close() error {
+	a.closeMu.Do(func() {
+		close(a.closed)
+		a.conn.Close()
+	})
+	<-a.done
+	return nil
+}
+
+func (a *AggregatorServer) readLoop() {
+	defer close(a.done)
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := a.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.closed:
+				return
+			default:
+				continue
+			}
+		}
+		dg := make([]byte, n)
+		copy(dg, buf[:n])
+		a.mu.Lock()
+		msg, err := a.reasm.Ingest(dg, ipKey(from), time.Since(a.start))
+		if err == nil && msg != nil {
+			a.agg.HandleMessage(msg)
+		}
+		a.mu.Unlock()
+	}
+}
+
+type aggUDPTransport AggregatorServer
+
+func (t *aggUDPTransport) send(addr *net.UDPAddr, dgs [][]byte) {
+	for _, dg := range dgs {
+		_, _ = t.conn.WriteToUDP(dg, addr)
+	}
+}
+
+func (t *aggUDPTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
+	for id, addr := range t.peers {
+		if id != leader {
+			t.send(addr, dgs)
+		}
+	}
+}
+
+func (t *aggUDPTransport) Broadcast(dgs [][]byte) {
+	for _, addr := range t.peers {
+		t.send(addr, dgs)
+	}
+}
+
+func (t *aggUDPTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	if addr, ok := t.peers[id]; ok {
+		t.send(addr, dgs)
+	}
+}

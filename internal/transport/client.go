@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"hovercraft/internal/r2p2"
+)
+
+// ClientOptions tune a UDP client.
+type ClientOptions struct {
+	// Timeout bounds one attempt (default 500ms).
+	Timeout time.Duration
+	// Retries caps resends after timeouts or NACK redirects (default 5).
+	// Note Raft offers at-most-once semantics: a retried write may
+	// execute twice if the original reply was lost; idempotent commands
+	// (or RIFL-style dedup above this layer) are the caller's business,
+	// exactly as in the paper (§5).
+	Retries int
+}
+
+// Client issues R2P2 requests against a HovercRaft cluster over UDP.
+// Safe for concurrent use.
+type Client struct {
+	opts  ClientOptions
+	conn  *net.UDPConn
+	peers []*net.UDPAddr
+	r2cl  *r2p2.Client
+
+	mu      sync.Mutex
+	reasm   *r2p2.Reassembler
+	waiting map[uint32]*callState
+	start   time.Time
+
+	closed  chan struct{}
+	closeMu sync.Once
+}
+
+type clientResult struct {
+	payload []byte
+	nack    bool
+}
+
+// callState tracks one in-flight request. Because requests fan out to
+// every node, VanillaRaft followers NACK-redirect while the leader
+// answers; a call only fails on NACK once every peer rejected it.
+type callState struct {
+	ch    chan clientResult
+	nacks int
+}
+
+// ErrTimeout reports that all attempts of a Call expired.
+var ErrTimeout = errors.New("transport: request timed out")
+
+// Dial creates a client bound to an ephemeral UDP port.
+func Dial(peerAddrs []string, opts ...ClientOptions) (*Client, error) {
+	var o ClientOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 500 * time.Millisecond
+	}
+	if o.Retries <= 0 {
+		o.Retries = 5
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		// Fall back to the unspecified address for non-loopback peers.
+		conn, err = net.ListenUDP("udp4", nil)
+		if err != nil {
+			return nil, fmt.Errorf("transport: client listen: %w", err)
+		}
+	}
+	c := &Client{
+		opts:    o,
+		conn:    conn,
+		reasm:   r2p2.NewReassembler(o.Timeout),
+		waiting: make(map[uint32]*callState),
+		start:   time.Now(),
+		closed:  make(chan struct{}),
+	}
+	for _, pa := range peerAddrs {
+		ua, err := net.ResolveUDPAddr("udp4", pa)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve %q: %w", pa, err)
+		}
+		c.peers = append(c.peers, ua)
+	}
+	if len(c.peers) == 0 {
+		conn.Close()
+		return nil, errors.New("transport: no peers")
+	}
+	local := conn.LocalAddr().(*net.UDPAddr)
+	// The r2p2 port is the client's identity within its IP; derive it
+	// from the UDP port plus randomness against port reuse.
+	c.r2cl = r2p2.NewClient(ipKey(local), uint16(local.Port)^uint16(rand.Int()))
+	go c.readLoop()
+	return c, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error {
+	c.closeMu.Do(func() {
+		close(c.closed)
+		c.conn.Close()
+	})
+	return nil
+}
+
+func (c *Client) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+				return
+			default:
+				continue
+			}
+		}
+		dg := make([]byte, n)
+		copy(dg, buf[:n])
+		c.mu.Lock()
+		msg, err := c.reasm.Ingest(dg, ipKey(from), time.Since(c.start))
+		if err == nil && msg != nil {
+			if st, ok := c.waiting[msg.ID.ReqID]; ok {
+				switch msg.Type {
+				case r2p2.TypeResponse:
+					delete(c.waiting, msg.ID.ReqID)
+					st.ch <- clientResult{payload: msg.Payload}
+				case r2p2.TypeNack:
+					st.nacks++
+					if st.nacks >= len(c.peers) {
+						delete(c.waiting, msg.ID.ReqID)
+						st.ch <- clientResult{nack: true}
+					}
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Call executes one command against the cluster and returns the reply.
+// readOnly commands are tagged REPLICATED_REQ_R: still totally ordered,
+// but executed by a single replica.
+//
+// The request is fanned out to every node (the client-side stand-in for
+// the paper's switch multicast); whichever replica the leader designates
+// answers directly.
+func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
+	policy := r2p2.PolicyReplicated
+	if readOnly {
+		policy = r2p2.PolicyReplicatedRO
+	}
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		payload, err := c.callOnce(policy, cmd)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		select {
+		case <-c.closed:
+			return nil, errors.New("transport: client closed")
+		case <-time.After(time.Duration(attempt+1) * 2 * time.Millisecond):
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) callOnce(policy r2p2.Policy, cmd []byte) ([]byte, error) {
+	c.mu.Lock()
+	id, dgs := c.r2cl.NewRequest(policy, cmd)
+	st := &callState{ch: make(chan clientResult, 1)}
+	c.waiting[id.ReqID] = st
+	c.mu.Unlock()
+	ch := st.ch
+
+	for _, peer := range c.peers {
+		for _, dg := range dgs {
+			_, _ = c.conn.WriteToUDP(dg, peer)
+		}
+	}
+
+	select {
+	case res := <-ch:
+		if res.nack {
+			return nil, errors.New("transport: request rejected (redirect/overload)")
+		}
+		return res.payload, nil
+	case <-time.After(c.opts.Timeout):
+		c.mu.Lock()
+		delete(c.waiting, id.ReqID)
+		c.mu.Unlock()
+		return nil, ErrTimeout
+	case <-c.closed:
+		return nil, errors.New("transport: client closed")
+	}
+}

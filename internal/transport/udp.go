@@ -1,0 +1,330 @@
+// Package transport binds the HovercRaft engine to real UDP sockets
+// (stdlib net), making the library deployable outside the simulator.
+//
+// Differences from the paper's datacenter deployment, by necessity:
+//
+//   - no kernel bypass: packets travel through the host UDP stack, so
+//     absolute latency is tens of µs on loopback rather than sub-10µs;
+//   - request dissemination uses client-side fan-out (the client unicasts
+//     each request to every node) instead of switch multicast — the same
+//     packets arrive at the same nodes, just spending client (not switch)
+//     fan-out bandwidth;
+//   - the flow-control middlebox is optional (datacenter switches do it
+//     in hardware; over plain UDP the engine simply drops feedback when
+//     no middlebox address is configured);
+//   - the HovercRaft++ aggregator runs as a normal UDP process
+//     (AggregatorServer) — the paper notes it is "an IP connected device
+//     that can be placed anywhere inside the datacenter".
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/core"
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// ipKey converts an IPv4 UDP address to the uint32 identity R2P2 uses.
+func ipKey(a *net.UDPAddr) uint32 {
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(ip4)
+}
+
+type clientKey struct {
+	ip   uint32
+	port uint16
+}
+
+// ServerConfig configures one HovercRaft UDP node.
+type ServerConfig struct {
+	// ID is this node's Raft identity (1-based).
+	ID uint32
+	// Peers maps every node ID (including this one) to its UDP address.
+	Peers map[uint32]string
+	// Mode selects the protocol variant.
+	Mode core.Mode
+	// Aggregator is the HovercRaft++ aggregator address (required for
+	// ModeHovercraftPP).
+	Aggregator string
+	// TickInterval defaults to 1ms — kernel UDP latencies are three
+	// orders of magnitude above the simulator's, so protocol timers
+	// scale accordingly.
+	TickInterval   time.Duration
+	ElectionTicks  int
+	HeartbeatTicks int
+	// Bound, Policy, DisableReplyLB mirror core.Config.
+	Bound          int
+	Policy         core.SelectPolicy
+	DisableReplyLB bool
+	// Storage receives raft persistence callbacks (nil = volatile).
+	Storage raft.Storage
+	// Recovered, when set alongside Storage (from
+	// raft.OpenFileStorage), restores the node's durable state.
+	Recovered *raft.RecoveredState
+	// CompactEvery enables raft log compaction every N applied entries
+	// when the service implements core.Snapshotter.
+	CompactEvery uint64
+}
+
+// Server is a running HovercRaft node on a UDP socket.
+type Server struct {
+	cfg     ServerConfig
+	conn    *net.UDPConn
+	engine  *core.Engine
+	service app.Service
+
+	mu      sync.Mutex
+	reasm   *r2p2.Reassembler
+	peers   map[raft.NodeID]*net.UDPAddr
+	agg     *net.UDPAddr
+	clients map[clientKey]*net.UDPAddr
+	start   time.Time
+
+	runq chan runJob
+
+	closed  chan struct{}
+	closeMu sync.Once
+	wg      sync.WaitGroup
+}
+
+type runJob struct {
+	payload  []byte
+	readOnly bool
+	done     func([]byte)
+}
+
+// NewServer binds the node to its configured address and starts serving.
+func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = time.Millisecond
+	}
+	if cfg.ElectionTicks <= 0 {
+		cfg.ElectionTicks = 150
+	}
+	if cfg.HeartbeatTicks <= 0 {
+		cfg.HeartbeatTicks = 20
+	}
+	self, ok := cfg.Peers[cfg.ID]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %d not in peer map", cfg.ID)
+	}
+	addr, err := net.ResolveUDPAddr("udp4", self)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve self: %w", err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		conn:    conn,
+		service: svc,
+		reasm:   r2p2.NewReassembler(2 * time.Second),
+		peers:   make(map[raft.NodeID]*net.UDPAddr),
+		clients: make(map[clientKey]*net.UDPAddr),
+		start:   time.Now(),
+		runq:    make(chan runJob, 1024),
+		closed:  make(chan struct{}),
+	}
+	ids := make([]raft.NodeID, 0, len(cfg.Peers))
+	for id, pa := range cfg.Peers {
+		ua, err := net.ResolveUDPAddr("udp4", pa)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve peer %d: %w", id, err)
+		}
+		s.peers[raft.NodeID(id)] = ua
+		ids = append(ids, raft.NodeID(id))
+	}
+	if cfg.Aggregator != "" {
+		ua, err := net.ResolveUDPAddr("udp4", cfg.Aggregator)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: resolve aggregator: %w", err)
+		}
+		s.agg = ua
+	} else if cfg.Mode == core.ModeHovercraftPP {
+		conn.Close()
+		return nil, errors.New("transport: HovercRaft++ needs an aggregator address")
+	}
+
+	var snapshotter core.Snapshotter
+	if sn, ok := svc.(core.Snapshotter); ok && cfg.CompactEvery > 0 {
+		snapshotter = sn
+	}
+	s.engine = core.NewEngine(core.Config{
+		Mode: cfg.Mode, ID: raft.NodeID(cfg.ID), Peers: ids,
+		TickInterval:   cfg.TickInterval,
+		ElectionTicks:  cfg.ElectionTicks,
+		HeartbeatTicks: cfg.HeartbeatTicks,
+		Bound:          cfg.Bound,
+		Policy:         cfg.Policy,
+		DisableReplyLB: cfg.DisableReplyLB,
+		Storage:        cfg.Storage,
+		Snapshotter:    snapshotter,
+		CompactEvery:   cfg.CompactEvery,
+		// Real networks have ms-scale timers; scale the unordered GC.
+		UnorderedTimeout: 10 * time.Second,
+	}, (*serverTransport)(s), (*serverRunner)(s))
+	if cfg.Recovered != nil {
+		if err := s.engine.Bootstrap(cfg.Recovered); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: bootstrap: %w", err)
+		}
+	}
+
+	s.wg.Add(3)
+	go s.readLoop()
+	go s.tickLoop()
+	go s.appLoop()
+	return s, nil
+}
+
+// Addr returns the bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// IsLeader reports whether this node currently leads (racy snapshot).
+func (s *Server) IsLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.IsLeader()
+}
+
+// Status returns the node's raft status (racy snapshot).
+func (s *Server) Status() raft.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Node().Status()
+}
+
+// Campaign triggers an immediate election (cluster bootstrap helper).
+func (s *Server) Campaign() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.Campaign()
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	s.closeMu.Do(func() {
+		close(s.closed)
+		s.conn.Close()
+		// runq is deliberately never closed: serverRunner.Run may race
+		// a send against shutdown; appLoop exits via the closed signal
+		// and the buffered queue is garbage collected.
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		dg := make([]byte, n)
+		copy(dg, buf[:n])
+		s.mu.Lock()
+		msg, err := s.reasm.Ingest(dg, ipKey(from), time.Since(s.start))
+		if err == nil && msg != nil {
+			if msg.Type == r2p2.TypeRequest {
+				// Remember where to send this client's replies. The
+				// r2p2 SrcPort disambiguates clients sharing an IP.
+				s.clients[clientKey{ip: msg.ID.SrcIP, port: msg.ID.SrcPort}] = from
+			}
+			s.engine.HandleMessage(msg)
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.engine.Tick()
+			s.reasm.GC(time.Since(s.start))
+			s.mu.Unlock()
+		}
+	}
+}
+
+// appLoop is the application thread: it executes state-machine operations
+// one at a time (outside the engine lock), then re-enters the engine
+// under the lock to deliver the completion.
+func (s *Server) appLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case job := <-s.runq:
+			reply := s.service.Execute(job.payload, job.readOnly)
+			s.mu.Lock()
+			job.done(reply)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// serverTransport adapts Server to core.Transport.
+type serverTransport Server
+
+func (t *serverTransport) sendAll(addr *net.UDPAddr, dgs [][]byte) {
+	if addr == nil {
+		return
+	}
+	for _, dg := range dgs {
+		// Best-effort datagrams; the protocol tolerates loss.
+		_, _ = t.conn.WriteToUDP(dg, addr)
+	}
+}
+
+func (t *serverTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	t.sendAll(t.peers[id], dgs)
+}
+
+func (t *serverTransport) SendToAggregator(dgs [][]byte) { t.sendAll(t.agg, dgs) }
+
+func (t *serverTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
+	t.sendAll(t.clients[clientKey{ip: id.SrcIP, port: id.SrcPort}], dgs)
+}
+
+func (t *serverTransport) SendFeedback(dgs [][]byte) {
+	// No middlebox over plain UDP: flow control is a switch service.
+}
+
+// serverRunner adapts Server to core.AppRunner.
+type serverRunner Server
+
+func (r *serverRunner) Run(payload []byte, readOnly bool, done func([]byte)) {
+	select {
+	case r.runq <- runJob{payload: payload, readOnly: readOnly, done: done}:
+	case <-r.closed:
+	}
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/core"
+)
+
+// counterService is a deterministic state machine: "incr" bumps a
+// counter and returns it; "get" (read-only) returns it.
+type counterService struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counterService) Execute(payload []byte, readOnly bool) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if string(payload) == "incr" && !readOnly {
+		c.n++
+	}
+	return []byte(fmt.Sprintf("%d", c.n))
+}
+
+var _ app.Service = (*counterService)(nil)
+
+// freePorts grabs n distinct loopback UDP ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		// Bind port 0, record, release. Tiny race window is acceptable
+		// in tests.
+		c, err := newEphemeral()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = c.LocalAddr().String()
+		c.Close()
+	}
+	return addrs
+}
+
+func startCluster(t *testing.T, mode core.Mode, n int) ([]*Server, map[uint32]string, func()) {
+	t.Helper()
+	ports := freePorts(t, n+1)
+	peers := make(map[uint32]string, n)
+	for i := 0; i < n; i++ {
+		peers[uint32(i+1)] = ports[i]
+	}
+	var aggAddr string
+	var agg *AggregatorServer
+	if mode == core.ModeHovercraftPP {
+		var err error
+		agg, err = NewAggregatorServer(ports[n], peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggAddr = agg.Addr().String()
+	}
+	var servers []*Server
+	for id := uint32(1); id <= uint32(n); id++ {
+		s, err := NewServer(ServerConfig{
+			ID: id, Peers: peers, Mode: mode, Aggregator: aggAddr,
+			TickInterval: 2 * time.Millisecond,
+			// Fast elections for tests.
+			ElectionTicks: 20, HeartbeatTicks: 4,
+		}, &counterService{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+	}
+	servers[0].Campaign()
+	waitForLeader(t, servers)
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		if agg != nil {
+			agg.Close()
+		}
+	}
+	return servers, peers, cleanup
+}
+
+func waitForLeader(t *testing.T, servers []*Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range servers {
+			if s.IsLeader() {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no leader elected over UDP")
+}
+
+func dialCluster(t *testing.T, peers map[uint32]string) *Client {
+	t.Helper()
+	var addrs []string
+	for _, a := range peers {
+		addrs = append(addrs, a)
+	}
+	cl, err := Dial(addrs, ClientOptions{Timeout: time.Second, Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestUDPHovercraftEndToEnd(t *testing.T) {
+	servers, peers, cleanup := startCluster(t, core.ModeHovercraft, 3)
+	defer cleanup()
+	cl := dialCluster(t, peers)
+	defer cl.Close()
+
+	for i := 1; i <= 20; i++ {
+		got, err := cl.Call([]byte("incr"), false)
+		if err != nil {
+			t.Fatalf("incr %d: %v", i, err)
+		}
+		if string(got) != fmt.Sprintf("%d", i) {
+			t.Fatalf("incr %d = %q", i, got)
+		}
+	}
+	// Linearizable read.
+	got, err := cl.Call([]byte("get"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "20" {
+		t.Fatalf("get = %q", got)
+	}
+	// Every replica applied all writes.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, s := range servers {
+		for time.Now().Before(deadline) && s.Status().Applied < 21 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if st := s.Status(); st.Applied < 21 {
+			t.Fatalf("replica applied only %d", st.Applied)
+		}
+	}
+}
+
+func TestUDPVanillaEndToEnd(t *testing.T) {
+	_, peers, cleanup := startCluster(t, core.ModeVanilla, 3)
+	defer cleanup()
+	cl := dialCluster(t, peers)
+	defer cl.Close()
+	for i := 1; i <= 5; i++ {
+		got, err := cl.Call([]byte("incr"), false)
+		if err != nil {
+			t.Fatalf("incr: %v", err)
+		}
+		if string(got) != fmt.Sprintf("%d", i) {
+			t.Fatalf("incr %d = %q", i, got)
+		}
+	}
+}
+
+func TestUDPHovercraftPPEndToEnd(t *testing.T) {
+	servers, peers, cleanup := startCluster(t, core.ModeHovercraftPP, 3)
+	defer cleanup()
+	cl := dialCluster(t, peers)
+	defer cl.Close()
+	for i := 1; i <= 10; i++ {
+		if _, err := cl.Call([]byte("incr"), false); err != nil {
+			t.Fatalf("incr: %v", err)
+		}
+	}
+	got, err := cl.Call([]byte("get"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "10" {
+		t.Fatalf("get = %q", got)
+	}
+	_ = servers
+}
+
+func TestUDPLeaderFailover(t *testing.T) {
+	servers, peers, cleanup := startCluster(t, core.ModeHovercraft, 3)
+	defer cleanup()
+	cl := dialCluster(t, peers)
+	defer cl.Close()
+	if _, err := cl.Call([]byte("incr"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the leader.
+	var dead *Server
+	for _, s := range servers {
+		if s.IsLeader() {
+			dead = s
+			break
+		}
+	}
+	if dead == nil {
+		t.Fatal("no leader")
+	}
+	dead.Close()
+	var live []*Server
+	for _, s := range servers {
+		if s != dead {
+			live = append(live, s)
+		}
+	}
+	waitForLeader(t, live)
+	// The cluster still serves (retries cover the election window).
+	got, err := cl.Call([]byte("incr"), false)
+	if err != nil {
+		t.Fatalf("post-failover call: %v", err)
+	}
+	if string(got) != "2" {
+		t.Fatalf("post-failover = %q", got)
+	}
+}
+
+func TestUDPServerConfigErrors(t *testing.T) {
+	if _, err := NewServer(ServerConfig{ID: 9, Peers: map[uint32]string{1: "127.0.0.1:0"}}, &counterService{}); err == nil {
+		t.Fatal("missing self accepted")
+	}
+	if _, err := NewServer(ServerConfig{
+		ID: 1, Peers: map[uint32]string{1: "127.0.0.1:0"},
+		Mode: core.ModeHovercraftPP,
+	}, &counterService{}); err == nil {
+		t.Fatal("H++ without aggregator accepted")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatal("no peers accepted")
+	}
+	if _, err := Dial([]string{"not a host:xx"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -1,0 +1,10 @@
+package transport
+
+import "net"
+
+// newEphemeral binds an ephemeral loopback UDP socket (test helper shared
+// with freePorts; kept in the package so production code can't grow an
+// accidental dependency on it).
+func newEphemeral() (*net.UDPConn, error) {
+	return net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+}

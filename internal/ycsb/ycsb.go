@@ -1,0 +1,221 @@
+// Package ycsb implements the YCSB core-workload generator (Cooper et
+// al., SoCC'10) as needed to reproduce the paper's Redis evaluation:
+// workload E — 95% SCAN / 5% INSERT over 1kB records of 10×100-byte
+// fields, modeling threaded conversations (§7.5).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hovercraft/internal/kvstore"
+)
+
+// Standard YCSB constants.
+const (
+	// ZipfianConstant is YCSB's default skew.
+	ZipfianConstant = 0.99
+	// FieldCount and FieldLength define the 1kB record shape.
+	FieldCount  = 10
+	FieldLength = 100
+)
+
+// Zipfian generates zipf-distributed values in [0, n) using the
+// Gray et al. incremental algorithm, as in YCSB's ZipfianGenerator.
+// It supports a growing item count (for INSERT-heavy workloads).
+type Zipfian struct {
+	items          uint64
+	base           uint64
+	constant       float64
+	alpha          float64
+	zetan          float64
+	theta          float64
+	eta            float64
+	zeta2theta     float64
+	countForZeta   uint64
+	allowItemDecr  bool
+	lastComputedZn float64
+}
+
+// NewZipfian returns a generator over [0, items).
+func NewZipfian(items uint64) *Zipfian {
+	z := &Zipfian{
+		items:    items,
+		constant: ZipfianConstant,
+		theta:    ZipfianConstant,
+	}
+	z.zeta2theta = zetaStatic(2, z.theta)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.zetan = zetaStatic(items, z.theta)
+	z.countForZeta = items
+	z.eta = z.etaNow()
+	return z
+}
+
+func (z *Zipfian) etaNow() float64 {
+	return (1 - math.Pow(2.0/float64(z.items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+// SetItems grows the item count, incrementally extending zeta.
+func (z *Zipfian) SetItems(n uint64) {
+	if n <= z.items {
+		return
+	}
+	for i := z.countForZeta; i < n; i++ {
+		z.zetan += 1 / math.Pow(float64(i+1), z.theta)
+	}
+	z.countForZeta = n
+	z.items = n
+	z.eta = z.etaNow()
+}
+
+// Next draws a zipf value in [0, items).
+func (z *Zipfian) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads zipf popularity across the keyspace with a
+// hash, matching YCSB's ScrambledZipfianGenerator (popular items are
+// scattered, not clustered at low keys).
+type ScrambledZipfian struct {
+	z     *Zipfian
+	items uint64
+}
+
+// NewScrambledZipfian returns a generator over [0, items).
+func NewScrambledZipfian(items uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(items), items: items}
+}
+
+// SetItems grows the keyspace.
+func (s *ScrambledZipfian) SetItems(n uint64) {
+	s.z.SetItems(n)
+	s.items = n
+}
+
+// Next draws a scrambled zipf value in [0, items).
+func (s *ScrambledZipfian) Next(rng *rand.Rand) uint64 {
+	return fnvHash64(s.z.Next(rng)) % s.items
+}
+
+func fnvHash64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// Uniform draws uniformly over the current keyspace.
+type Uniform struct{ items uint64 }
+
+// NewUniform returns a generator over [0, items).
+func NewUniform(items uint64) *Uniform { return &Uniform{items: items} }
+
+// SetItems grows the keyspace.
+func (u *Uniform) SetItems(n uint64) { u.items = n }
+
+// Next draws a value.
+func (u *Uniform) Next(rng *rand.Rand) uint64 { return uint64(rng.Int63n(int64(u.items))) }
+
+// Chooser is the common interface of key choosers.
+type Chooser interface {
+	Next(rng *rand.Rand) uint64
+	SetItems(n uint64)
+}
+
+// Op is one generated operation.
+type Op struct {
+	// Payload is the encoded kvstore command.
+	Payload []byte
+	// ReadOnly reports whether this is a SCAN.
+	ReadOnly bool
+}
+
+// WorkloadE generates the paper's benchmark: 95% SCAN (max 10 records) /
+// 5% INSERT of 1kB records. Inserted keys extend the scanned keyspace,
+// exactly like YCSB's insertion-ordered key sequence.
+type WorkloadE struct {
+	// ScanFraction is the probability of a SCAN (default 0.95).
+	ScanFraction float64
+	// MaxScanLength caps records per SCAN (paper: 10).
+	MaxScanLength int
+
+	records uint64
+	chooser Chooser
+	fields  []kvstore.Field
+}
+
+// NewWorkloadE returns a generator over an initial table of records keys
+// using a scrambled-zipfian chooser.
+func NewWorkloadE(records uint64) *WorkloadE {
+	w := &WorkloadE{
+		ScanFraction:  0.95,
+		MaxScanLength: 10,
+		records:       records,
+		chooser:       NewScrambledZipfian(records),
+	}
+	w.fields = make([]kvstore.Field, FieldCount)
+	for i := range w.fields {
+		val := make([]byte, FieldLength)
+		for j := range val {
+			val[j] = byte('a' + (i+j)%26)
+		}
+		w.fields[i] = kvstore.Field{Name: fmt.Sprintf("field%d", i), Value: val}
+	}
+	return w
+}
+
+// Key formats record number i as a YCSB user key.
+func Key(i uint64) string { return fmt.Sprintf("user%019d", i) }
+
+// Records returns the current record count.
+func (w *WorkloadE) Records() uint64 { return w.records }
+
+// LoadOps returns the initial-load INSERT operations for the table.
+func (w *WorkloadE) LoadOps() []Op {
+	ops := make([]Op, 0, w.records)
+	for i := uint64(0); i < w.records; i++ {
+		ops = append(ops, Op{Payload: kvstore.EncodeInsert(Key(i), w.fields)})
+	}
+	return ops
+}
+
+// Next generates one operation.
+func (w *WorkloadE) Next(rng *rand.Rand) Op {
+	if rng.Float64() < w.ScanFraction {
+		start := w.chooser.Next(rng)
+		n := 1 + rng.Intn(w.MaxScanLength)
+		return Op{
+			Payload:  kvstore.EncodeScan(Key(start), uint16(n)),
+			ReadOnly: true,
+		}
+	}
+	key := Key(w.records)
+	w.records++
+	w.chooser.SetItems(w.records)
+	return Op{Payload: kvstore.EncodeInsert(key, w.fields)}
+}

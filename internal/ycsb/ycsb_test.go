@@ -1,0 +1,168 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"hovercraft/internal/kvstore"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipfian(1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := z.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Zipf 0.99: item 0 must be far more popular than the median item.
+	if counts[0] < 20*counts[500] && counts[500] > 0 {
+		t.Fatalf("no skew: c0=%d c500=%d", counts[0], counts[500])
+	}
+	// Head mass: top-10 items should carry a large share.
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if head < 20000 {
+		t.Fatalf("head mass = %d/100000, want heavy head", head)
+	}
+}
+
+func TestZipfianGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipfian(10)
+	z.SetItems(100)
+	seenHigh := false
+	for i := 0; i < 10000; i++ {
+		v := z.Next(rng)
+		if v >= 100 {
+			t.Fatalf("out of range after growth: %d", v)
+		}
+		if v >= 10 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("growth never sampled new items")
+	}
+	// Shrinking is a no-op.
+	z.SetItems(5)
+	if z.items != 100 {
+		t.Fatal("items shrank")
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewScrambledZipfian(1000)
+	counts := map[uint64]int{}
+	for i := 0; i < 50000; i++ {
+		v := s.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The hottest item must NOT be item 0 systematically — scrambling
+	// spreads popularity. Check the top item is somewhere random but
+	// skew is preserved.
+	var maxKey uint64
+	maxCount := 0
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if maxCount < 1000 {
+		t.Fatalf("no hot key after scrambling: max=%d", maxCount)
+	}
+	_ = maxKey
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := NewUniform(100)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[u.Next(rng)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("bucket %d = %d, not uniform", i, c)
+		}
+	}
+	u.SetItems(200)
+	if u.items != 200 {
+		t.Fatal("SetItems failed")
+	}
+}
+
+func TestWorkloadEMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := NewWorkloadE(1000)
+	scans, inserts := 0, 0
+	for i := 0; i < 10000; i++ {
+		op := w.Next(rng)
+		if op.ReadOnly {
+			scans++
+			if kvstore.OpCode(op.Payload[0]) != kvstore.OpScan {
+				t.Fatal("read op is not SCAN")
+			}
+		} else {
+			inserts++
+			if kvstore.OpCode(op.Payload[0]) != kvstore.OpInsert {
+				t.Fatal("write op is not INSERT")
+			}
+		}
+	}
+	if scans < 9300 || scans > 9700 {
+		t.Fatalf("scan fraction = %d/10000, want ≈9500", scans)
+	}
+	if w.Records() != 1000+uint64(inserts) {
+		t.Fatalf("records = %d after %d inserts", w.Records(), inserts)
+	}
+}
+
+func TestWorkloadELoadAndReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := NewWorkloadE(50)
+	store := kvstore.New()
+	for _, op := range w.LoadOps() {
+		st, _ := kvstore.DecodeStatus(store.Execute(op.Payload, false))
+		if st != kvstore.StatusOK {
+			t.Fatal("load insert failed")
+		}
+	}
+	if store.TableLen() != 50 {
+		t.Fatalf("table = %d", store.TableLen())
+	}
+	// Run the workload against the store: every op must succeed.
+	for i := 0; i < 500; i++ {
+		op := w.Next(rng)
+		st, _ := kvstore.DecodeStatus(store.Execute(op.Payload, op.ReadOnly))
+		if st != kvstore.StatusOK {
+			t.Fatalf("op %d (%v) failed", i, kvstore.OpCode(op.Payload[0]))
+		}
+	}
+	if store.TableLen() <= 50 {
+		t.Fatal("inserts did not grow the table")
+	}
+	// Record shape: 10 fields × 100B ≈ 1kB on insert payloads.
+	op := Op{Payload: kvstore.EncodeInsert(Key(1), NewWorkloadE(1).fields)}
+	if len(op.Payload) < 1000 || len(op.Payload) > 1200 {
+		t.Fatalf("insert payload = %dB, want ≈1kB", len(op.Payload))
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(5) != "user0000000000000000005" {
+		t.Fatalf("key = %q", Key(5))
+	}
+	if Key(5) >= Key(10) {
+		t.Fatal("keys not ordered")
+	}
+}
