@@ -14,6 +14,7 @@ import (
 	"hovercraft/internal/core"
 	"hovercraft/internal/harness"
 	"hovercraft/internal/loadgen"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/simcluster"
 	"hovercraft/internal/simnet"
 )
@@ -157,6 +158,47 @@ func BenchmarkAblationBoundB(b *testing.B) {
 			b.ReportMetric(float64(res.Point.P99.Microseconds()),
 				"p99us_B"+itoa(bound))
 		}
+	}
+}
+
+// BenchmarkTracingDisabled / BenchmarkTracingEnabled guard the
+// observability layer's overhead claim: with tracing off (nil *Obs) the
+// hooks are single pointer tests and the run must stay within ~5% of the
+// pre-instrumentation cost; with tracing on, the extra cost buys the full
+// per-request decomposition. Compare:
+//
+//	go test -bench 'BenchmarkTracing' -benchtime 3x
+func BenchmarkTracingDisabled(b *testing.B) {
+	benchTracing(b, false)
+}
+
+func BenchmarkTracingEnabled(b *testing.B) {
+	benchTracing(b, true)
+}
+
+func benchTracing(b *testing.B, traced bool) {
+	wl := harness.SyntheticSpec{
+		Service: loadgen.Fixed(time.Microsecond), ReqSize: 24, ReplySize: 8,
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := harness.RunConfig{
+			Seed: 42, Warmup: 5 * time.Millisecond,
+			Duration: 25 * time.Millisecond, Clients: 2,
+		}
+		var res harness.RunResult
+		if traced {
+			var o *obs.Obs
+			res, o = harness.TracedPoint(harness.Hovercraft(3), wl, 300_000, cfg)
+			if o.Completed() == 0 {
+				b.Fatal("traced run recorded nothing")
+			}
+		} else {
+			res = harness.RunPoint(harness.Hovercraft(3), wl, 300_000, cfg)
+		}
+		if res.Point.AchievedKRPS <= 0 {
+			b.Fatal("no throughput")
+		}
+		b.ReportMetric(float64(res.Point.P99.Microseconds()), "p99us")
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced sweep for fast runs")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		trace      = flag.String("trace", "", "directory for Perfetto trace + metrics artifacts (enables tracing)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,13 @@ func main() {
 		scale = harness.QuickScale()
 	}
 	scale.Seed = *seed
+	if *trace != "" {
+		if err := os.MkdirAll(*trace, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		scale.TraceDir = *trace
+	}
 
 	ids := harness.Experiments()
 	if *experiment != "all" {

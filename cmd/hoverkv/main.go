@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -28,7 +30,15 @@ func main() {
 	peersFlag := flag.String("peers", "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
 		"comma-separated node addresses")
 	benchN := flag.Int("n", 10000, "operations for the bench subcommand")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /debug/pprof (profile long bench runs)")
 	flag.Parse()
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug endpoint: %v", err)
+			}
+		}()
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()

@@ -16,9 +16,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -79,6 +82,7 @@ func main() {
 
 		aggDaemon = flag.Bool("aggregator-daemon", false, "run the in-network aggregator instead of a replica")
 		listen    = flag.String("listen", "", "listen address for -aggregator-daemon")
+		debugAddr = flag.String("debug-addr", "", "HTTP address for /debug/vars (expvar) and /debug/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -134,6 +138,19 @@ func main() {
 		log.Fatalf("hovernode: %v", err)
 	}
 	log.Printf("node %d (%s) serving kvstore on %s", *id, mode, srv.Addr())
+	if *debugAddr != "" {
+		expvar.Publish("hovernode", expvar.Func(func() interface{} {
+			return srv.DebugVars()
+		}))
+		go func() {
+			// DefaultServeMux carries expvar's /debug/vars and pprof's
+			// /debug/pprof from their package inits.
+			log.Printf("debug endpoint on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug endpoint: %v", err)
+			}
+		}()
+	}
 	if *bootstrap {
 		srv.Campaign()
 	}

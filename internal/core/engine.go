@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/stats"
@@ -116,6 +117,10 @@ type Config struct {
 	// state restored through the same interface.
 	Snapshotter  Snapshotter
 	CompactEvery uint64
+
+	// Obs, when non-nil, receives request lifecycle stamps and cluster
+	// events. A nil value disables tracing at zero allocation cost.
+	Obs *obs.Obs
 }
 
 // Snapshotter captures and restores application state for log
@@ -169,6 +174,11 @@ type Engine struct {
 	unordered *UnorderedStore
 	queues    *BoundedQueues
 	counters  *stats.CounterSet
+	obs       *obs.Obs
+
+	// obsCommitSeen is the commit watermark already stamped into the
+	// tracer (leader-side StageCommit walk; unused when obs is nil).
+	obsCommitSeen uint64
 
 	now   time.Duration
 	ticks uint64
@@ -233,6 +243,7 @@ func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
 		unordered: NewUnorderedStore(cfg.UnorderedTimeout),
 		queues:    NewBoundedQueues(cfg.Peers, cfg.Bound),
 		counters:  stats.NewCounterSet(),
+		obs:       cfg.Obs,
 		missing:   make(map[uint64]r2p2.RequestID),
 		heardTerm: make(map[raft.NodeID]uint64),
 	}
@@ -334,6 +345,7 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 			e.transport.SendToClient(m.ID, [][]byte{r2p2.MakeNack(m.ID)})
 			return
 		}
+		e.obs.Stage(m.ID, obs.StageLeaderRx)
 		_, err := e.node.Propose(raft.Entry{
 			Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
 			Data: m.Payload, Replier: e.cfg.ID,
@@ -341,6 +353,7 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 		if err != nil {
 			return
 		}
+		e.obs.Stage(m.ID, obs.StageAppend)
 		e.finish()
 	default:
 		// Every node parks the request; if we are (or become) the
@@ -350,11 +363,13 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 		// here for promotion when its AE metadata arrives.
 		e.unordered.Put(m.ID, m.Policy, m.Payload, e.now)
 		if e.IsLeader() {
+			e.obs.Stage(m.ID, obs.StageLeaderRx)
 			_, err := e.node.Propose(raft.Entry{
 				Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
 				Data: m.Payload,
 			})
 			if err == nil {
+				e.obs.Stage(m.ID, obs.StageAppend)
 				e.finish()
 			}
 		}
@@ -537,6 +552,10 @@ func (e *Engine) sendRecovery(force bool) {
 		}
 	}
 	e.counters.Get("tx_recovery_req").Inc()
+	if e.obs.Active() {
+		e.obs.Emitf("raft", "recovery_request", "node=%d target=%d missing=%d",
+			e.cfg.ID, lead, len(req.Indexes))
+	}
 	e.transport.SendToNode(lead, e.consensusDatagrams(r2p2.TypeRaftReq, EncodeRecoveryReq(req)))
 }
 
@@ -770,6 +789,9 @@ func (e *Engine) checkTransitions() {
 	case leading && !e.wasLeader:
 		e.becomeLeader()
 	case !leading && e.wasLeader:
+		if e.obs.Active() {
+			e.obs.Emitf("raft", "leader_stepdown", "node=%d term=%d", e.cfg.ID, e.node.Term())
+		}
 		e.wasLeader = false
 		e.queues.Reset()
 		e.announced = 0
@@ -783,6 +805,9 @@ func (e *Engine) checkTransitions() {
 func (e *Engine) becomeLeader() {
 	e.wasLeader = true
 	e.counters.Get("became_leader").Inc()
+	if e.obs.Active() {
+		e.obs.Emitf("raft", "leader_elected", "node=%d term=%d", e.cfg.ID, e.node.Term())
+	}
 	log := e.node.Log()
 	e.noopIndex = log.LastIndex() // the noop becomeLeader just appended
 	e.groupMode = false
@@ -860,8 +885,17 @@ func (e *Engine) maybeApply() {
 		}
 		e.applyBusy = true
 		entry := *le // capture: the log slot may be truncated meanwhile
+		// Only the replier's execution is part of the traced request
+		// path (read-write entries execute on every node).
+		traced := e.obs.Active() && entry.Replier == e.cfg.ID
+		if traced {
+			e.obs.Stage(entry.ID, obs.StageApplyStart)
+		}
 		e.runner.Run(entry.Data, entry.Kind == raft.KindReadOnly, func(reply []byte) {
 			e.applyBusy = false
+			if traced {
+				e.obs.Stage(entry.ID, obs.StageApplyDone)
+			}
 			// A snapshot restore may have advanced applied past this
 			// entry while it executed; its result is still valid
 			// (computed on consistent pre-restore state) but the
@@ -900,9 +934,32 @@ func (e *Engine) reply(id r2p2.RequestID, payload []byte) {
 func (e *Engine) finish() {
 	e.checkTransitions()
 	e.maybeSnapshot()
+	e.noteCommits()
 	e.maybeApply()
 	e.maybeCompact()
 	e.flush()
+}
+
+// noteCommits stamps StageCommit for entries whose commit the leader just
+// learned about (quorum replication finished). Only the leader stamps, so
+// the replicate segment measures append→quorum at the ordering node.
+func (e *Engine) noteCommits() {
+	if !e.obs.Active() {
+		return
+	}
+	log := e.node.Log()
+	commit := log.Commit()
+	if commit <= e.obsCommitSeen {
+		return
+	}
+	if e.IsLeader() {
+		for i := e.obsCommitSeen + 1; i <= commit; i++ {
+			if le := log.Entry(i); le != nil && le.Kind != raft.KindNoop {
+				e.obs.Stage(le.ID, obs.StageCommit)
+			}
+		}
+	}
+	e.obsCommitSeen = commit
 }
 
 // maybeSnapshot restores application state after an InstallSnapshot

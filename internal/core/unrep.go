@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/stats"
 )
@@ -14,6 +15,7 @@ type UnreplicatedEngine struct {
 	transport Transport
 	runner    AppRunner
 	counters  *stats.CounterSet
+	obs       *obs.Obs
 
 	queue []r2p2.Msg
 	busy  bool
@@ -31,6 +33,9 @@ func NewUnreplicatedEngine(transport Transport, runner AppRunner) *UnreplicatedE
 // Counters exposes message counters.
 func (e *UnreplicatedEngine) Counters() *stats.CounterSet { return e.counters }
 
+// SetObs attaches a tracer (nil disables tracing).
+func (e *UnreplicatedEngine) SetObs(o *obs.Obs) { e.obs = o }
+
 // Tick is a no-op (kept for interface symmetry with Engine).
 func (e *UnreplicatedEngine) Tick() {}
 
@@ -41,6 +46,12 @@ func (e *UnreplicatedEngine) HandleMessage(m *r2p2.Msg) {
 		return
 	}
 	e.counters.Get("rx_req").Inc()
+	// UnRep has no ordering or replication work: stamp those stages at
+	// ingest so its decomposition shows order=replicate=0 and the
+	// apply_queue segment isolates app-thread queueing.
+	e.obs.Stage(m.ID, obs.StageLeaderRx)
+	e.obs.Stage(m.ID, obs.StageAppend)
+	e.obs.Stage(m.ID, obs.StageCommit)
 	e.queue = append(e.queue, *m)
 	e.pump()
 }
@@ -53,8 +64,10 @@ func (e *UnreplicatedEngine) pump() {
 	m := e.queue[0]
 	e.queue = e.queue[1:]
 	e.busy = true
+	e.obs.Stage(m.ID, obs.StageApplyStart)
 	e.runner.Run(m.Payload, m.IsReadOnly(), func(reply []byte) {
 		e.busy = false
+		e.obs.Stage(m.ID, obs.StageApplyDone)
 		e.counters.Get("tx_resp").Inc()
 		e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
 		e.pump()

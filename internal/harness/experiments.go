@@ -17,6 +17,10 @@ type Scale struct {
 	Duration time.Duration
 	Points   int // sweep points per curve
 	Seed     int64
+	// TraceDir, when set, makes experiments attach a tracer to one
+	// representative run per system and drop Perfetto-loadable
+	// *.trace.json plus *.metrics.json artifacts into the directory.
+	TraceDir string
 }
 
 // FullScale is the figure-quality configuration.
@@ -143,6 +147,22 @@ func Fig7(sc Scale) *Report {
 	for _, sys := range systems {
 		curves = append(curves, RunCurve(sys, wl, rates, sc.runCfg()))
 	}
+	rep := fig7Report(curves)
+	if sc.TraceDir != "" {
+		// One traced run per system at the lightest sweep load: the
+		// per-stage decomposition shows where the replication latency
+		// offset lives, and the trace files open in Perfetto.
+		for _, sys := range systems {
+			_, o := TracedPoint(sys, wl, rates[0], sc.runCfg())
+			rep.Tables = append(rep.Tables, o.BreakdownTable(fmt.Sprintf(
+				"Latency decomposition: %s at %.0f kRPS", label(sys), rates[0]/1000)))
+			writeTraceArtifacts(rep, o, sc.TraceDir, "fig7_"+slug(label(sys)))
+		}
+	}
+	return rep
+}
+
+func fig7Report(curves []Curve) *Report {
 	rep := &Report{
 		ID:    "fig7",
 		Title: "Tail latency vs throughput, S=1µs, 24B req / 8B reply, N=3",
@@ -346,7 +366,7 @@ func Fig12(sc Scale) *Report {
 			})
 		},
 	}
-	res := RunPoint(sys, wl, 165_000, cfg)
+	res, o := TracedPoint(sys, wl, 165_000, cfg)
 
 	// Merge per-client series into cluster-wide throughput and worst p99.
 	tput := &stats.Series{Name: "throughput", YLegend: "kRPS"}
@@ -378,10 +398,17 @@ func Fig12(sc Scale) *Report {
 			"capacity (≈160k) with ≈5 kRPS shed by flow control; latency spikes " +
 			"briefly during the election but the system does not collapse",
 		Series: []*stats.Series{tput, p99},
+		Tables: []*stats.Table{
+			o.BreakdownTable("Latency decomposition across the failure (full run)"),
+			o.EventTable("Failure timeline: what happened when", 30, "raft", "node", "flow"),
+		},
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("leader killed at t=%v; post-failure achieved %.0f kRPS, NACKed %.1f kRPS, lost %.1f kRPS",
 			killAt, res.Point.AchievedKRPS, res.Point.NackKRPS, res.Point.LossKRPS))
+	if sc.TraceDir != "" {
+		writeTraceArtifacts(rep, o, sc.TraceDir, "fig12_leader_failure")
+	}
 	return rep
 }
 

@@ -19,6 +19,7 @@ import (
 	"hovercraft/internal/core"
 	"hovercraft/internal/kvstore"
 	"hovercraft/internal/loadgen"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/simcluster"
 	"hovercraft/internal/simnet"
@@ -153,6 +154,9 @@ type RunConfig struct {
 	SampleEvery time.Duration
 	// OnCluster runs right after Start (failure injection etc).
 	OnCluster func(c *simcluster.Cluster)
+	// Obs, if non-nil, traces the run: request lifecycle stamps across
+	// cluster and clients, plus the structured cluster event log.
+	Obs *obs.Obs
 }
 
 func (rc *RunConfig) defaults() {
@@ -227,6 +231,7 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 		FlowLimit:      sys.FlowLimit,
 		NewService:     wl.NewService,
 		Preload:        wl.Preload(),
+		Obs:            rc.Obs,
 	})
 	unrep := sys.Setup == simcluster.SetupUnreplicated
 	workload := wl.NewWorkload(unrep)
@@ -248,6 +253,7 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 			SampleEvery: func() time.Duration {
 				return rc.SampleEvery
 			}(),
+			Obs: rc.Obs,
 		})
 		clients = append(clients, c)
 	}

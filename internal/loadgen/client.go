@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/simnet"
 	"hovercraft/internal/stats"
@@ -29,9 +30,15 @@ type ClientConfig struct {
 	// SampleEvery, if nonzero, records a throughput/latency time series
 	// (for the failure experiment, Fig. 12).
 	SampleEvery time.Duration
+	// Obs, if non-nil, stamps the client-side lifecycle stages (send and
+	// receive) so the tracer can close each request's end-to-end span.
+	Obs *obs.Obs
 }
 
 type pendingReq struct {
+	// id is the full request identity. Responses carry the replier's
+	// address in their ID, so the original must be kept for obs lookups.
+	id      r2p2.RequestID
 	sentAt  time.Duration
 	inMeas  bool
 	payload int
@@ -127,7 +134,8 @@ func (c *Client) sendOne() {
 	if inMeas {
 		c.Sent++
 	}
-	c.pending.Add(id.ReqID, pendingReq{sentAt: now, inMeas: inMeas, payload: len(payload)}, now+c.cfg.Timeout)
+	c.pending.Add(id.ReqID, pendingReq{id: id, sentAt: now, inMeas: inMeas, payload: len(payload)}, now+c.cfg.Timeout)
+	c.cfg.Obs.Stage(id, obs.StageClientSend)
 	for _, dg := range dgs {
 		c.host.Send(&simnet.Packet{Dst: c.cfg.Target, Payload: dg})
 	}
@@ -144,6 +152,7 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 		if !ok {
 			return // late duplicate or post-expiry response
 		}
+		c.cfg.Obs.Stage(req.id, obs.StageClientRecv)
 		lat := c.sim.Now() - req.sentAt
 		c.intervalCompleted++
 		c.intervalHist.RecordDuration(lat)
@@ -152,14 +161,18 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 			c.Latency.RecordDuration(lat)
 		}
 	case r2p2.TypeNack:
-		if req, ok := c.pending.Take(m.ID.ReqID); ok && req.inMeas {
-			c.Nacked++
+		if req, ok := c.pending.Take(m.ID.ReqID); ok {
+			c.cfg.Obs.Abandon(req.id)
+			if req.inMeas {
+				c.Nacked++
+			}
 		}
 	}
 }
 
 func (c *Client) expireTick() {
 	for _, req := range c.pending.Expire(c.sim.Now()) {
+		c.cfg.Obs.Abandon(req.id)
 		if req.inMeas {
 			c.Expired++
 		}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"hovercraft/internal/stats"
+)
+
+// Event is one structured cluster event: elections, leader changes,
+// crashes, drops, retransmissions, flow-control decisions. Events are
+// appended in execution order, so under the deterministic simulator the
+// log is bit-for-bit reproducible for a fixed seed.
+type Event struct {
+	T      time.Duration
+	Cat    string // "raft", "node", "net", "flow"
+	Name   string
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v  %-5s %-18s %s", e.T, e.Cat, e.Name, e.Detail)
+}
+
+// EventLog is a bounded append-only event buffer. Appends beyond the cap
+// are counted, not stored, so overload bursts (e.g. thousands of switch
+// drops) cannot exhaust memory.
+type EventLog struct {
+	max     int
+	evs     []Event
+	dropped uint64
+}
+
+func newEventLog(max int) *EventLog { return &EventLog{max: max} }
+
+// Emit appends one event with a preformatted detail string.
+func (o *Obs) Emit(cat, name, detail string) {
+	if o == nil {
+		return
+	}
+	l := o.events
+	if len(l.evs) >= l.max {
+		l.dropped++
+		return
+	}
+	l.evs = append(l.evs, Event{T: o.now(), Cat: cat, Name: name, Detail: detail})
+}
+
+// Emitf is Emit with fmt formatting. Callers on hot paths must guard
+// with Active() — the variadic boxing allocates even for a nil receiver.
+func (o *Obs) Emitf(cat, name, format string, args ...interface{}) {
+	if o == nil {
+		return
+	}
+	if len(o.events.evs) >= o.events.max {
+		o.events.dropped++
+		return
+	}
+	o.Emit(cat, name, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in order.
+func (o *Obs) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	return o.events.evs
+}
+
+// EventsDropped returns how many events were discarded at the cap.
+func (o *Obs) EventsDropped() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.events.dropped
+}
+
+// EventTable renders up to max events as a table, keeping only the given
+// categories (nil/empty keeps all). Used by the failure experiments to
+// show *what happened when*; the full log also rides in the trace export.
+func (o *Obs) EventTable(title string, max int, cats ...string) *stats.Table {
+	t := &stats.Table{Title: title, Headers: []string{"t", "cat", "event", "detail"}}
+	if o == nil {
+		return t
+	}
+	keep := func(c string) bool {
+		if len(cats) == 0 {
+			return true
+		}
+		for _, want := range cats {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	shown, matched := 0, 0
+	for _, e := range o.events.evs {
+		if !keep(e.Cat) {
+			continue
+		}
+		matched++
+		if shown < max {
+			t.AddRow(fmt.Sprintf("%v", e.T), e.Cat, e.Name, e.Detail)
+			shown++
+		}
+	}
+	if matched > shown {
+		t.AddRow("...", "", fmt.Sprintf("(+%d more)", matched-shown), "")
+	}
+	return t
+}

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hovercraft/internal/r2p2"
+)
+
+func testClock(now *time.Duration) func() time.Duration {
+	return func() time.Duration { return *now }
+}
+
+func rid(n uint32) r2p2.RequestID {
+	return r2p2.RequestID{SrcIP: 0x0a000001, SrcPort: 1000, ReqID: n}
+}
+
+// stamp advances the clock to t and stamps stage s.
+func stamp(o *Obs, now *time.Duration, id r2p2.RequestID, s Stage, t time.Duration) {
+	*now = t
+	o.Stage(id, s)
+}
+
+func TestNilObsIsInert(t *testing.T) {
+	var o *Obs
+	if o.Active() {
+		t.Fatal("nil Obs reports active")
+	}
+	// Every hook must tolerate the nil receiver.
+	o.Stage(rid(1), StageClientSend)
+	o.Abandon(rid(1))
+	o.Emit("net", "drop", "x")
+	o.Emitf("net", "drop", "%d", 1)
+	o.SetClock(func() time.Duration { return 0 })
+	o.LimitTrace(10)
+	if o.Completed() != 0 || o.Pending() != 0 || o.EventsDropped() != 0 {
+		t.Fatal("nil Obs not zero")
+	}
+	if o.Events() != nil || o.SegmentHist("total") != nil || o.Metrics() != nil {
+		t.Fatal("nil Obs returned non-nil state")
+	}
+	if o.BreakdownTable("x") == nil {
+		t.Fatal("nil BreakdownTable")
+	}
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var f map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil trace not JSON: %v", err)
+	}
+}
+
+func TestSegmentDecomposition(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+
+	id := rid(1)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageLeaderRx, 10*time.Microsecond)
+	stamp(o, &now, id, StageAppend, 12*time.Microsecond)
+	stamp(o, &now, id, StageCommit, 30*time.Microsecond)
+	stamp(o, &now, id, StageApplyStart, 33*time.Microsecond)
+	stamp(o, &now, id, StageApplyDone, 40*time.Microsecond)
+	stamp(o, &now, id, StageClientRecv, 50*time.Microsecond)
+
+	if o.Completed() != 1 {
+		t.Fatalf("completed = %d", o.Completed())
+	}
+	if o.Pending() != 0 {
+		t.Fatalf("pending = %d (span not finalized)", o.Pending())
+	}
+	want := map[string]time.Duration{
+		"net_out":     10 * time.Microsecond,
+		"order":       2 * time.Microsecond,
+		"replicate":   18 * time.Microsecond,
+		"apply_queue": 3 * time.Microsecond,
+		"service":     7 * time.Microsecond,
+		"net_back":    10 * time.Microsecond,
+		"total":       50 * time.Microsecond,
+	}
+	for name, d := range want {
+		h := o.SegmentHist(name)
+		if h == nil {
+			t.Fatalf("no histogram for %s", name)
+		}
+		if h.Count() != 1 || time.Duration(h.Max()) != d {
+			t.Errorf("%s: count=%d max=%v, want one sample of %v",
+				name, h.Count(), time.Duration(h.Max()), d)
+		}
+	}
+}
+
+func TestFirstStampWins(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	id := rid(2)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageLeaderRx, 5*time.Microsecond)
+	// Duplicate delivery at a later time must not move the stamp.
+	stamp(o, &now, id, StageLeaderRx, 500*time.Microsecond)
+	stamp(o, &now, id, StageClientRecv, 20*time.Microsecond)
+	h := o.SegmentHist("net_out")
+	if time.Duration(h.Max()) != 5*time.Microsecond {
+		t.Fatalf("net_out = %v, duplicate stamp overwrote the first", time.Duration(h.Max()))
+	}
+}
+
+func TestNegativeSegmentClamped(t *testing.T) {
+	// Cross-node stamps can invert (aggregator fast path commits at a
+	// replier before the leader notices); segments clamp to zero.
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	id := rid(3)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageApplyStart, 10*time.Microsecond)
+	stamp(o, &now, id, StageCommit, 15*time.Microsecond) // after ApplyStart
+	stamp(o, &now, id, StageApplyDone, 20*time.Microsecond)
+	stamp(o, &now, id, StageClientRecv, 30*time.Microsecond)
+	h := o.SegmentHist("apply_queue")
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("inverted apply_queue not clamped: count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestPartialSpanOnlyRecordsDefinedSegments(t *testing.T) {
+	// An UnRep-style span never sees raft stages stamped apart; segments
+	// whose endpoints are missing must not be recorded.
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	id := rid(4)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageClientRecv, 40*time.Microsecond)
+	if got := o.SegmentHist("total").Count(); got != 1 {
+		t.Fatalf("total count = %d", got)
+	}
+	for _, name := range []string{"net_out", "order", "replicate", "apply_queue", "service", "net_back"} {
+		if got := o.SegmentHist(name).Count(); got != 0 {
+			t.Errorf("%s recorded %d samples from a partial span", name, got)
+		}
+	}
+}
+
+func TestAbandon(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	id := rid(5)
+	stamp(o, &now, id, StageClientSend, 0)
+	if o.Pending() != 1 {
+		t.Fatalf("pending = %d", o.Pending())
+	}
+	o.Abandon(id)
+	if o.Pending() != 0 || o.Completed() != 0 {
+		t.Fatalf("abandon left pending=%d completed=%d", o.Pending(), o.Completed())
+	}
+	o.Abandon(id) // double abandon is a no-op
+	snap := o.Metrics().Snapshot()
+	if snap["counters"].(map[string]uint64)["obs.requests_abandoned"] != 1 {
+		t.Fatal("abandoned counter != 1")
+	}
+}
+
+func TestEventLogCap(t *testing.T) {
+	o := New()
+	o.events = newEventLog(3)
+	for i := 0; i < 10; i++ {
+		o.Emit("net", "drop", "x")
+	}
+	if len(o.Events()) != 3 {
+		t.Fatalf("stored %d events, cap 3", len(o.Events()))
+	}
+	if o.EventsDropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", o.EventsDropped())
+	}
+}
+
+func TestEventTableFilterAndOverflow(t *testing.T) {
+	o := New()
+	o.SetClock(func() time.Duration { return time.Millisecond })
+	for i := 0; i < 5; i++ {
+		o.Emit("raft", "leader_elected", "node=1")
+		o.Emit("net", "random", "drop")
+	}
+	tb := o.EventTable("timeline", 3, "raft")
+	// 3 shown + 1 overflow marker row.
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Render(), "(+2 more)") {
+		t.Fatalf("missing overflow marker:\n%s", tb.Render())
+	}
+	if strings.Contains(tb.Render(), "random") {
+		t.Fatal("category filter leaked net events")
+	}
+}
+
+func TestLimitTrace(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	o.LimitTrace(2)
+	for i := uint32(0); i < 5; i++ {
+		id := rid(100 + i)
+		stamp(o, &now, id, StageClientSend, time.Duration(i)*time.Microsecond)
+		stamp(o, &now, id, StageClientRecv, time.Duration(i+10)*time.Microsecond)
+	}
+	if o.Completed() != 5 {
+		t.Fatalf("completed = %d", o.Completed())
+	}
+	if len(o.traced) != 2 {
+		t.Fatalf("retained %d traced spans, limit 2", len(o.traced))
+	}
+}
+
+func TestWriteTraceValidAndDeterministic(t *testing.T) {
+	build := func() *Obs {
+		var now time.Duration
+		o := New()
+		o.SetClock(testClock(&now))
+		for i := uint32(0); i < 3; i++ {
+			id := rid(i)
+			base := time.Duration(i) * 100 * time.Microsecond
+			stamp(o, &now, id, StageClientSend, base)
+			stamp(o, &now, id, StageLeaderRx, base+10*time.Microsecond)
+			stamp(o, &now, id, StageAppend, base+11*time.Microsecond)
+			stamp(o, &now, id, StageCommit, base+25*time.Microsecond)
+			stamp(o, &now, id, StageApplyStart, base+26*time.Microsecond)
+			stamp(o, &now, id, StageApplyDone, base+27*time.Microsecond)
+			stamp(o, &now, id, StageClientRecv, base+37*time.Microsecond)
+		}
+		o.Emit("raft", "leader_elected", "node=1 term=1")
+		return o
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical sessions serialized differently")
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 process + 7 thread metadata, 3 requests x 7 segments, 1 instant.
+	if want := 2 + len(segments) + 3*len(segments) + 1; len(f.TraceEvents) != want {
+		t.Fatalf("trace has %d events, want %d", len(f.TraceEvents), want)
+	}
+	var sawX, sawI bool
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			sawX = true
+		case "i":
+			sawI = true
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("trace missing slice or instant events (X=%v i=%v)", sawX, sawI)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	o := New()
+	n := uint64(0)
+	o.Metrics().Counter("test.counter", func() uint64 { return n })
+	o.Metrics().Gauge("test.gauge", func() float64 { return 2.5 })
+	n = 7
+	var buf bytes.Buffer
+	if err := o.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Hists    map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap.Counters["test.counter"] != 7 {
+		t.Fatalf("counter read %d at snapshot time, want live value 7", snap.Counters["test.counter"])
+	}
+	if snap.Gauges["test.gauge"] != 2.5 {
+		t.Fatalf("gauge = %v", snap.Gauges["test.gauge"])
+	}
+	if _, ok := snap.Hists["latency.total"]; !ok {
+		t.Fatal("latency.total histogram missing from snapshot")
+	}
+}
+
+func TestBreakdownTableShares(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	id := rid(9)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageLeaderRx, 25*time.Microsecond)
+	stamp(o, &now, id, StageAppend, 25*time.Microsecond)
+	stamp(o, &now, id, StageCommit, 50*time.Microsecond)
+	stamp(o, &now, id, StageApplyStart, 50*time.Microsecond)
+	stamp(o, &now, id, StageApplyDone, 75*time.Microsecond)
+	stamp(o, &now, id, StageClientRecv, 100*time.Microsecond)
+	out := o.BreakdownTable("decomp").Render()
+	for _, want := range []string{"net_out", "25.0%", "total", "100.0µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSegmentNamesOrder(t *testing.T) {
+	names := SegmentNames()
+	if len(names) != numSegments {
+		t.Fatalf("len = %d", len(names))
+	}
+	if names[len(names)-1] != "total" {
+		t.Fatal("'total' must stay last (BreakdownTable share denominator)")
+	}
+}

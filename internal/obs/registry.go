@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"hovercraft/internal/stats"
+)
+
+// Registry is a unified metrics namespace: counters, gauges, and latency
+// histograms registered by name and snapshotted together. Sources are
+// registered as closures, so a snapshot always reads live values; the
+// JSON rendering sorts keys, making it deterministic for a fixed run.
+type Registry struct {
+	counters map[string]func() uint64
+	gauges   map[string]func() float64
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]func() uint64),
+		gauges:   make(map[string]func() float64),
+		hists:    make(map[string]*stats.Histogram),
+	}
+}
+
+// Counter registers a monotonic counter source under name.
+func (r *Registry) Counter(name string, f func() uint64) {
+	if r != nil {
+		r.counters[name] = f
+	}
+}
+
+// Gauge registers an instantaneous value source under name.
+func (r *Registry) Gauge(name string, f func() float64) {
+	if r != nil {
+		r.gauges[name] = f
+	}
+}
+
+// Histogram registers a latency histogram under name.
+func (r *Registry) Histogram(name string, h *stats.Histogram) {
+	if r != nil {
+		r.hists[name] = h
+	}
+}
+
+// CounterSet registers every counter of cs under prefix+".".
+func (r *Registry) CounterSet(prefix string, cs *stats.CounterSet) {
+	if r == nil || cs == nil {
+		return
+	}
+	for _, name := range cs.Names() {
+		name := name
+		r.counters[prefix+"."+name] = func() uint64 { return cs.Value(name) }
+	}
+}
+
+// histJSON is the snapshot shape of one histogram (all durations ns).
+type histJSON struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min_ns"`
+	P50   int64   `json:"p50_ns"`
+	P90   int64   `json:"p90_ns"`
+	P99   int64   `json:"p99_ns"`
+	P999  int64   `json:"p999_ns"`
+	Max   int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+}
+
+// Snapshot captures every registered source into plain maps.
+func (r *Registry) Snapshot() map[string]interface{} {
+	counters := make(map[string]uint64, len(r.counters))
+	for name, f := range r.counters {
+		counters[name] = f()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, f := range r.gauges {
+		gauges[name] = f()
+	}
+	hists := make(map[string]histJSON, len(r.hists))
+	for name, h := range r.hists {
+		s := h.Summary()
+		hists[name] = histJSON{
+			Count: s.Count, Min: int64(s.Min), P50: int64(s.P50),
+			P90: int64(s.P90), P99: int64(s.P99), P999: int64(s.P999),
+			Max: int64(s.Max), Mean: float64(s.Mean) / float64(time.Nanosecond),
+		}
+	}
+	return map[string]interface{}{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": hists,
+	}
+}
+
+// WriteJSON renders the snapshot as indented JSON with sorted keys.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := w.Write([]byte("{}\n"))
+		return err
+	}
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event format (the "JSON Array with metadata" flavour),
+// viewable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Layout: pid 0 carries the cluster event log as instant events; pid 1
+// carries the request lifecycle, one track (tid) per decomposition
+// segment, one complete ("X") slice per traced request per segment.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+const (
+	pidEvents   = 0
+	pidRequests = 1
+)
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteTrace serializes the session as Chrome trace-event JSON. The
+// output is deterministic: events are emitted in recording order and
+// encoding/json sorts the args maps.
+func (o *Obs) WriteTrace(w io.Writer) error {
+	f := traceFile{DisplayTimeUnit: "ns", TraceEvents: []traceEvent{}}
+	if o == nil {
+		return json.NewEncoder(w).Encode(&f)
+	}
+	f.TraceEvents = append(f.TraceEvents,
+		traceEvent{Name: "process_name", Ph: "M", Pid: pidEvents,
+			Args: map[string]string{"name": "cluster events"}},
+		traceEvent{Name: "process_name", Ph: "M", Pid: pidRequests,
+			Args: map[string]string{"name": "request lifecycle"}},
+	)
+	for i, def := range segments {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pidRequests, Tid: i,
+			Args: map[string]string{"name": def.name},
+		})
+	}
+	for _, tr := range o.traced {
+		id := tr.id.String()
+		for i, def := range segments {
+			if tr.seen&(1<<def.from) == 0 || tr.seen&(1<<def.to) == 0 {
+				continue
+			}
+			start, end := tr.ts[def.from], tr.ts[def.to]
+			if end < start {
+				end = start
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: def.name, Cat: "request", Ph: "X",
+				Ts: usec(int64(start)), Dur: usec(int64(end - start)),
+				Pid: pidRequests, Tid: i,
+				Args: map[string]string{"req": id},
+			})
+		}
+	}
+	for _, e := range o.events.evs {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: e.Name, Cat: e.Cat, Ph: "i", Ts: usec(int64(e.T)),
+			Pid: pidEvents, S: "g",
+			Args: map[string]string{"detail": e.Detail},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

@@ -12,6 +12,7 @@ import (
 
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/simnet"
@@ -79,6 +80,11 @@ type Options struct {
 	// Preload is applied to every node's service before the cluster
 	// starts (dataset loading, outside the measured window).
 	Preload [][]byte
+
+	// Obs, when non-nil, traces the request path and records cluster
+	// events across every node, the fabric, and the middleboxes. Its
+	// clock is bound to this cluster's virtual time.
+	Obs *obs.Obs
 }
 
 // Node is one simulated server.
@@ -149,6 +155,12 @@ func New(opts Options) *Cluster {
 		addrOf:      make(map[raft.NodeID]simnet.Addr),
 	}
 	c.Net = simnet.NewNetwork(c.Sim)
+	if opts.Obs.Active() {
+		opts.Obs.SetClock(c.Sim.Now)
+		c.Net.SetObserver(func(kind, detail string) {
+			opts.Obs.Emit("net", kind, detail)
+		})
+	}
 
 	peers := make([]raft.NodeID, opts.Nodes)
 	for i := range peers {
@@ -170,6 +182,7 @@ func New(opts Options) *Cluster {
 		runner := &simRunner{host: h, svc: svc, cost: cost}
 		if opts.Setup == SetupUnreplicated {
 			n.Unrep = core.NewUnreplicatedEngine(&nodeTransport{c: c, host: h}, runner)
+			n.Unrep.SetObs(opts.Obs)
 		} else {
 			mode := core.ModeVanilla
 			switch opts.Setup {
@@ -193,6 +206,7 @@ func New(opts Options) *Cluster {
 				Rand:           c.Sim.Rand(),
 				Snapshotter:    snapshotter,
 				CompactEvery:   opts.CompactEvery,
+				Obs:            opts.Obs,
 			}, &nodeTransport{c: c, host: h}, runner)
 		}
 		h.SetHandler(n.onPacket)
@@ -268,7 +282,9 @@ func (c *Cluster) Start() {
 }
 
 func (c *Cluster) flowGC() {
-	c.Flow.GC(c.Sim.Now())
+	if n := c.Flow.GC(c.Sim.Now()); n > 0 && c.Opts.Obs.Active() {
+		c.Opts.Obs.Emitf("flow", "slot_reclaim", "reclaimed %d leaked in-flight slots", n)
+	}
 	c.Sim.After(5*time.Millisecond, c.flowGC)
 }
 
@@ -336,6 +352,9 @@ func (n *Node) onPacket(pkt *simnet.Packet) {
 func (n *Node) Crash() {
 	n.crashed = true
 	n.Host.Crash()
+	if n.cluster.Opts.Obs.Active() {
+		n.cluster.Opts.Obs.Emitf("node", "crash", "node %d fail-stopped", n.ID)
+	}
 }
 
 // Restart revives a crashed node with its in-memory protocol state (the
@@ -343,6 +362,9 @@ func (n *Node) Crash() {
 func (n *Node) Restart() {
 	n.Host.Restart()
 	n.startTicking()
+	if n.cluster.Opts.Obs.Active() {
+		n.cluster.Opts.Obs.Emitf("node", "restart", "node %d restarted", n.ID)
+	}
 }
 
 // Crashed reports the node's failure state.
@@ -426,6 +448,9 @@ func (c *Cluster) onFlowPacket(pkt *simnet.Packet) {
 		// the client's source address.
 		c.flowHost.SendFrom(&simnet.Packet{Src: pkt.Src, Dst: c.groupAll, Payload: pkt.Payload})
 	case core.VerdictNack:
+		if c.Opts.Obs.Active() {
+			c.Opts.Obs.Emitf("flow", "nack", "middlebox nacked request from %v (window full)", pkt.Src)
+		}
 		c.flowHost.Send(&simnet.Packet{Dst: pkt.Src, Payload: nack})
 	}
 }

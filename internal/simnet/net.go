@@ -187,10 +187,12 @@ func (h *Host) send(pkt *Packet, keepSrc bool) {
 			h.net.forward(h, pkt)
 		}) {
 			h.TxDrops++
+			h.net.noteDrop("egress", h.addr, pkt.Dst)
 		}
 	})
 	if !ok {
 		h.TxDrops++
+		h.net.noteDrop("tx_thread", h.addr, pkt.Dst)
 	}
 }
 
@@ -208,6 +210,7 @@ func (h *Host) receive(pkt *Packet) {
 	})
 	if !ok {
 		h.RxDrops++
+		h.net.noteDrop("rx_thread", pkt.Src, h.addr)
 	}
 }
 
@@ -239,6 +242,10 @@ type Network struct {
 	dropRate   float64
 	partitions map[[2]Addr]bool
 	filter     func(pkt *Packet, dst Addr) bool // false → drop
+
+	// observer, when non-nil, receives structured fabric events (drops,
+	// partitions) for the observability event log. nil costs nothing.
+	observer func(kind, detail string)
 
 	// accounting
 	SwitchDrops uint64
@@ -304,6 +311,17 @@ func (n *Network) GroupMembers(g Addr) []Addr {
 	return append([]Addr(nil), n.groups[g]...)
 }
 
+// SetObserver installs a fabric event callback (drops, partition
+// changes). Pass nil to clear; formatting only happens when set.
+func (n *Network) SetObserver(f func(kind, detail string)) { n.observer = f }
+
+// noteDrop reports one dropped packet copy to the observer.
+func (n *Network) noteDrop(kind string, src, dst Addr) {
+	if n.observer != nil {
+		n.observer("drop", fmt.Sprintf("kind=%s src=%v dst=%v", kind, src, dst))
+	}
+}
+
 // SetDropRate makes the switch drop each packet copy independently with
 // probability p (deterministic given the sim seed).
 func (n *Network) SetDropRate(p float64) { n.dropRate = p }
@@ -321,13 +339,28 @@ func pairKey(a, b Addr) [2]Addr {
 }
 
 // Partition blocks all traffic between a and b (both directions).
-func (n *Network) Partition(a, b Addr) { n.partitions[pairKey(a, b)] = true }
+func (n *Network) Partition(a, b Addr) {
+	n.partitions[pairKey(a, b)] = true
+	if n.observer != nil {
+		n.observer("partition", fmt.Sprintf("a=%v b=%v", a, b))
+	}
+}
 
 // Heal removes the partition between a and b.
-func (n *Network) Heal(a, b Addr) { delete(n.partitions, pairKey(a, b)) }
+func (n *Network) Heal(a, b Addr) {
+	delete(n.partitions, pairKey(a, b))
+	if n.observer != nil {
+		n.observer("heal", fmt.Sprintf("a=%v b=%v", a, b))
+	}
+}
 
 // HealAll removes every partition.
-func (n *Network) HealAll() { n.partitions = make(map[[2]Addr]bool) }
+func (n *Network) HealAll() {
+	n.partitions = make(map[[2]Addr]bool)
+	if n.observer != nil {
+		n.observer("heal", "all")
+	}
+}
 
 // Partitioned reports whether a↔b traffic is blocked.
 func (n *Network) Partitioned(a, b Addr) bool { return n.partitions[pairKey(a, b)] }
@@ -356,6 +389,7 @@ func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
 	}
 	if n.dropRate > 0 && n.sim.rng.Float64() < n.dropRate {
 		n.RandomDrops++
+		n.noteDrop("random", src, dst)
 		return
 	}
 	if n.filter != nil && !n.filter(pkt, dst) {
@@ -368,6 +402,7 @@ func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
 		n.sim.After(n.PropDelay, func() { h.receive(cp) })
 	}) {
 		n.SwitchDrops++
+		n.noteDrop("switch_port", src, dst)
 	}
 }
 

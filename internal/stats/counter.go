@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -26,32 +27,51 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 func (c *Counter) Reset() { c.v.Store(0) }
 
 // CounterSet is a named collection of counters, used for per-node message
-// accounting (paper Table 1). Not safe for concurrent registration; the
-// individual counters are concurrency-safe.
+// accounting (paper Table 1). Safe for concurrent use, including first-use
+// registration (the live UDP path can race Get from the read, tick, and
+// app goroutines): lookups go through an atomic copy-on-write map, so the
+// hot path is one atomic load; registration of a new name takes a mutex
+// and publishes a fresh map.
 type CounterSet struct {
-	names    []string
-	counters map[string]*Counter
+	m  atomic.Pointer[map[string]*Counter]
+	mu sync.Mutex // serializes registration; guards names
+	// names preserves registration order (Names sorts a copy).
+	names []string
 }
 
 // NewCounterSet returns an empty set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{counters: make(map[string]*Counter)}
+	cs := &CounterSet{}
+	m := make(map[string]*Counter)
+	cs.m.Store(&m)
+	return cs
 }
 
 // Get returns the counter with the given name, creating it on first use.
 func (cs *CounterSet) Get(name string) *Counter {
-	if c, ok := cs.counters[name]; ok {
+	if c, ok := (*cs.m.Load())[name]; ok {
 		return c
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	old := *cs.m.Load()
+	if c, ok := old[name]; ok { // lost the registration race
+		return c
+	}
+	next := make(map[string]*Counter, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
 	c := &Counter{}
-	cs.counters[name] = c
+	next[name] = c
+	cs.m.Store(&next)
 	cs.names = append(cs.names, name)
 	return c
 }
 
 // Value returns the current value of the named counter (0 if absent).
 func (cs *CounterSet) Value(name string) uint64 {
-	if c, ok := cs.counters[name]; ok {
+	if c, ok := (*cs.m.Load())[name]; ok {
 		return c.Load()
 	}
 	return 0
@@ -59,23 +79,26 @@ func (cs *CounterSet) Value(name string) uint64 {
 
 // Names returns the registered counter names, sorted.
 func (cs *CounterSet) Names() []string {
+	cs.mu.Lock()
 	out := make([]string, len(cs.names))
 	copy(out, cs.names)
+	cs.mu.Unlock()
 	sort.Strings(out)
 	return out
 }
 
 // ResetAll zeroes every counter in the set.
 func (cs *CounterSet) ResetAll() {
-	for _, c := range cs.counters {
+	for _, c := range *cs.m.Load() {
 		c.Reset()
 	}
 }
 
 // Snapshot returns name→value for all counters.
 func (cs *CounterSet) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(cs.counters))
-	for n, c := range cs.counters {
+	m := *cs.m.Load()
+	out := make(map[string]uint64, len(m))
+	for n, c := range m {
 		out[n] = c.Load()
 	}
 	return out

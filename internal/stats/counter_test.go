@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCounterSetConcurrentGet hammers registration and increments from
+// many goroutines; run with -race. The live UDP transport calls Get from
+// the read, tick, and app goroutines, so first-use registration must be
+// safe, and every increment must land exactly once.
+func TestCounterSetConcurrentGet(t *testing.T) {
+	cs := NewCounterSet()
+	const (
+		goroutines = 8
+		names      = 16
+		incs       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < incs; i++ {
+				cs.Get(fmt.Sprintf("ctr%d", i%names)).Inc()
+			}
+		}()
+	}
+	// Readers race the writers: values must only ever be observed intact.
+	var rd sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		rd.Add(1)
+		go func() {
+			defer rd.Done()
+			for i := 0; i < 200; i++ {
+				cs.Snapshot()
+				cs.Names()
+				cs.Value("ctr0")
+			}
+		}()
+	}
+	wg.Wait()
+	rd.Wait()
+
+	if got := len(cs.Names()); got != names {
+		t.Fatalf("registered %d names, want %d", got, names)
+	}
+	var total uint64
+	for _, v := range cs.Snapshot() {
+		total += v
+	}
+	if want := uint64(goroutines * incs); total != want {
+		t.Fatalf("total increments = %d, want %d (lost updates)", total, want)
+	}
+}
+
+// TestCounterSetSameCounterAcrossGoroutines checks that concurrent
+// first-use of the SAME name converges on one counter instance.
+func TestCounterSetSameCounterAcrossGoroutines(t *testing.T) {
+	cs := NewCounterSet()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	ptrs := make([]*Counter, 8)
+	for g := range ptrs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			ptrs[g] = cs.Get("shared")
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for g := 1; g < len(ptrs); g++ {
+		if ptrs[g] != ptrs[0] {
+			t.Fatalf("goroutine %d got a different counter instance", g)
+		}
+	}
+}

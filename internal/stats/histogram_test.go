@@ -84,6 +84,84 @@ func TestHistogramNegativeClamped(t *testing.T) {
 	}
 }
 
+func TestHistogramEmptyQuantileSweep(t *testing.T) {
+	// Every quantile of an empty histogram is 0, including the extremes
+	// and out-of-range q values.
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantileOutOfRange(t *testing.T) {
+	// q<0 and q>1 clamp to min/max rather than panicking or extrapolating.
+	h := NewHistogram()
+	h.Record(100)
+	h.Record(200)
+	if got := h.Quantile(-0.5); got != 100 {
+		t.Fatalf("Quantile(-0.5) = %d, want min 100", got)
+	}
+	if got := h.Quantile(1.5); got != 200 {
+		t.Fatalf("Quantile(1.5) = %d, want max 200", got)
+	}
+}
+
+func TestHistogramHugeValueClamped(t *testing.T) {
+	// Values beyond the last bucket clamp to it; count, max, and quantiles
+	// stay sane.
+	h := NewHistogram()
+	huge := int64(1) << 62
+	h.Record(huge)
+	h.Record(huge + 12345)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != huge+12345 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got := h.Quantile(0.99); got > h.Max() || got < h.Min() {
+		t.Fatalf("q99 = %d outside [min,max]", got)
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	// Merging an empty histogram (either direction) must not disturb
+	// min/max bookkeeping.
+	a, empty := NewHistogram(), NewHistogram()
+	a.Record(500)
+	a.Merge(empty)
+	if a.Count() != 1 || a.Min() != 500 || a.Max() != 500 {
+		t.Fatalf("merge(empty) disturbed: %v", a)
+	}
+	empty.Merge(a)
+	if empty.Count() != 1 || empty.Min() != 500 || empty.Max() != 500 {
+		t.Fatalf("empty.Merge(a) wrong: %v", empty)
+	}
+}
+
+func TestHistogramMergeDisjointQuantiles(t *testing.T) {
+	// After merging two disjoint populations the median must fall between
+	// them and the extreme quantiles must come from the right population.
+	lo, hi := NewHistogram(), NewHistogram()
+	for i := 0; i < 1000; i++ {
+		lo.Record(int64(1000 + i))      // ~1µs
+		hi.Record(int64(1_000_000 + i)) // ~1ms
+	}
+	lo.Merge(hi)
+	if q := lo.Quantile(0.25); q > 2000 {
+		t.Fatalf("q25 = %d, want in the low population", q)
+	}
+	if q := lo.Quantile(0.75); q < 900_000 {
+		t.Fatalf("q75 = %d, want in the high population", q)
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a, b := NewHistogram(), NewHistogram()
 	for i := 0; i < 100; i++ {

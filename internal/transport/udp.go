@@ -208,6 +208,24 @@ func (s *Server) Status() raft.Status {
 	return s.engine.Node().Status()
 }
 
+// DebugVars snapshots the node's live state for the expvar endpoint:
+// engine message counters, raft status, and client-table size. Safe to
+// call concurrently with the serving loops.
+func (s *Server) DebugVars() map[string]interface{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.engine.Node().Status()
+	return map[string]interface{}{
+		"id":             s.cfg.ID,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"is_leader":      s.engine.IsLeader(),
+		"term":           st.Term,
+		"commit_index":   st.Commit,
+		"known_clients":  len(s.clients),
+		"counters":       s.engine.Counters().Snapshot(),
+	}
+}
+
 // Campaign triggers an immediate election (cluster bootstrap helper).
 func (s *Server) Campaign() {
 	s.mu.Lock()

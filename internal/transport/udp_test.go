@@ -148,6 +148,20 @@ func TestUDPHovercraftEndToEnd(t *testing.T) {
 			t.Fatalf("replica applied only %d", st.Applied)
 		}
 	}
+	// The expvar snapshot must be coherent while the loops run.
+	var sawLeader bool
+	for _, s := range servers {
+		dv := s.DebugVars()
+		if dv["counters"].(map[string]uint64)["rx_req"] == 0 && dv["is_leader"].(bool) {
+			t.Fatal("leader DebugVars shows no requests")
+		}
+		if dv["is_leader"].(bool) {
+			sawLeader = true
+		}
+	}
+	if !sawLeader {
+		t.Fatal("no server reports leadership in DebugVars")
+	}
 }
 
 func TestUDPVanillaEndToEnd(t *testing.T) {
