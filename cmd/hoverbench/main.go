@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"hovercraft/internal/harness"
@@ -23,11 +25,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig7..fig13, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig7..fig13, shardscale, all)")
 		quick      = flag.Bool("quick", false, "reduced sweep for fast runs")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		trace      = flag.String("trace", "", "directory for Perfetto trace + metrics artifacts (enables tracing)")
+		groups     = flag.String("groups", "", "comma-separated group counts for shardscale (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -49,6 +52,16 @@ func main() {
 			os.Exit(1)
 		}
 		scale.TraceDir = *trace
+	}
+	if *groups != "" {
+		for _, part := range strings.Split(*groups, ",") {
+			g, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || g < 1 {
+				fmt.Fprintf(os.Stderr, "bad -groups element %q\n", part)
+				os.Exit(1)
+			}
+			scale.ShardGroups = append(scale.ShardGroups, g)
+		}
 	}
 
 	ids := harness.Experiments()

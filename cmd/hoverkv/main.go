@@ -4,7 +4,8 @@
 //	hoverkv -peers ... get k
 //	hoverkv -peers ... insert user42 field0=hello field1=world
 //	hoverkv -peers ... scan user 10
-//	hoverkv -peers ... bench -n 10000          # YCSB-E style micro-bench
+//	hoverkv -peers ... bench -n 10000 -keys 500  # YCSB-E style micro-bench
+//	hoverkv -peers ... -shards 4 get k           # sharded cluster: route by key
 package main
 
 import (
@@ -20,16 +21,18 @@ import (
 	"strings"
 	"time"
 
+	"hovercraft"
 	"hovercraft/internal/kvstore"
 	"hovercraft/internal/stats"
-	"hovercraft/internal/transport"
 	"hovercraft/internal/ycsb"
 )
 
 func main() {
 	peersFlag := flag.String("peers", "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
-		"comma-separated node addresses")
+		"comma-separated node addresses (shard 0 ports for sharded clusters)")
+	shards := flag.Int("shards", 1, "shard groups of the cluster; keys route by consistent hash")
 	benchN := flag.Int("n", 10000, "operations for the bench subcommand")
+	benchKeys := flag.Int("keys", 100, "key range (distinct records) for the bench subcommand")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /debug/pprof (profile long bench runs)")
 	flag.Parse()
 	if *debugAddr != "" {
@@ -44,7 +47,9 @@ func main() {
 		usage()
 	}
 
-	cl, err := transport.Dial(strings.Split(*peersFlag, ","))
+	// DialSharded with one shard degenerates to a plain cluster client,
+	// so every command path routes through CallKey uniformly.
+	cl, err := hovercraft.DialSharded(strings.Split(*peersFlag, ","), *shards)
 	if err != nil {
 		log.Fatalf("hoverkv: %v", err)
 	}
@@ -53,15 +58,15 @@ func main() {
 	switch args[0] {
 	case "set":
 		need(args, 3)
-		reply, err := cl.Call(kvstore.EncodeSet(args[1], []byte(args[2])), false)
+		reply, err := cl.CallKey([]byte(args[1]), kvstore.EncodeSet(args[1], []byte(args[2])), false)
 		report(reply, err)
 	case "get":
 		need(args, 2)
-		reply, err := cl.Call(kvstore.EncodeGet(args[1]), true)
+		reply, err := cl.CallKey([]byte(args[1]), kvstore.EncodeGet(args[1]), true)
 		reportValue(reply, err)
 	case "del":
 		need(args, 2)
-		reply, err := cl.Call(kvstore.EncodeDel(args[1]), false)
+		reply, err := cl.CallKey([]byte(args[1]), kvstore.EncodeDel(args[1]), false)
 		report(reply, err)
 	case "insert":
 		need(args, 3)
@@ -73,15 +78,17 @@ func main() {
 			}
 			fields = append(fields, kvstore.Field{Name: kv[0], Value: []byte(kv[1])})
 		}
-		reply, err := cl.Call(kvstore.EncodeInsert(args[1], fields), false)
+		reply, err := cl.CallKey([]byte(args[1]), kvstore.EncodeInsert(args[1], fields), false)
 		report(reply, err)
 	case "scan":
+		// Scans route by start key and see only that shard's records:
+		// a range query cannot span hash-partitioned groups.
 		need(args, 3)
 		max, err := strconv.Atoi(args[2])
 		if err != nil {
 			log.Fatalf("hoverkv: bad count %q", args[2])
 		}
-		reply, err := cl.Call(kvstore.EncodeScan(args[1], uint16(max)), true)
+		reply, err := cl.CallKey([]byte(args[1]), kvstore.EncodeScan(args[1], uint16(max)), true)
 		if err != nil {
 			log.Fatalf("hoverkv: %v", err)
 		}
@@ -98,17 +105,28 @@ func main() {
 			fmt.Printf("%s\t(%d bytes)\n", k, len(recs[k]))
 		}
 	case "bench":
-		bench(cl, *benchN)
+		// Accept -n/-keys after the subcommand too: top-level flag
+		// parsing stops at "bench", so re-parse what follows.
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", *benchN, "operations")
+		keys := fs.Int("keys", *benchKeys, "key range (distinct records)")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		bench(cl, *n, *keys)
 	default:
 		usage()
 	}
 }
 
-func bench(cl *transport.Client, n int) {
+func bench(cl *hovercraft.ShardedClient, n, keys int) {
+	if keys < 1 {
+		log.Fatalf("hoverkv: -keys %d must be >= 1", keys)
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
-	w := ycsb.NewWorkloadE(100)
+	w := ycsb.NewWorkloadE(uint64(keys))
 	for _, op := range w.LoadOps() {
-		if _, err := cl.Call(op.Payload, false); err != nil {
+		if _, err := cl.CallKey([]byte(op.Key), op.Payload, false); err != nil {
 			log.Fatalf("hoverkv: load: %v", err)
 		}
 	}
@@ -117,14 +135,14 @@ func bench(cl *transport.Client, n int) {
 	for i := 0; i < n; i++ {
 		op := w.Next(rng)
 		t0 := time.Now()
-		if _, err := cl.Call(op.Payload, op.ReadOnly); err != nil {
+		if _, err := cl.CallKey([]byte(op.Key), op.Payload, op.ReadOnly); err != nil {
 			log.Fatalf("hoverkv: op %d: %v", i, err)
 		}
 		hist.RecordDuration(time.Since(t0))
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d YCSB-E ops in %v: %.0f ops/s\n", n, elapsed.Round(time.Millisecond),
-		float64(n)/elapsed.Seconds())
+	fmt.Printf("%d YCSB-E ops over %d keys in %v: %.0f ops/s\n", n, keys,
+		elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	fmt.Printf("latency: %v\n", hist.Summary())
 }
 
@@ -167,14 +185,17 @@ func reportValue(reply []byte, err error) {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: hoverkv [-peers a,b,c] <command>
+	fmt.Fprintf(os.Stderr, `usage: hoverkv [-peers a,b,c] [-shards G] <command>
 commands:
   set <key> <value>
   get <key>
   del <key>
   insert <key> <field=value>...
-  scan <startKey> <count>
-  bench [-n ops]
+  scan <startKey> <count>       (sees only the start key's shard)
+  bench [-n ops] [-keys range]  (YCSB-E over 'range' distinct records)
+
+-shards G routes each key to its group of a sharded cluster
+(hovernode -shards G); -peers lists the shard-0 addresses.
 `)
 	os.Exit(2)
 }

@@ -12,7 +12,15 @@
 //	hovernode -aggregator-daemon -listen 127.0.0.1:7100 -peers ...
 //	hovernode -id 1 -mode hovercraft++ -aggregator 127.0.0.1:7100 -peers ... -bootstrap
 //
-// Drive it with cmd/hoverkv.
+// Sharded deployments run -shards G independent Raft groups per node
+// (shard s at each peer's port+s); pass -bootstrap to every node so
+// initial leaderships spread round-robin:
+//
+//	hovernode -id 1 -shards 4 -peers ... -bootstrap &
+//	hovernode -id 2 -shards 4 -peers ... -bootstrap &
+//	hovernode -id 3 -shards 4 -peers ... -bootstrap &
+//
+// Drive it with cmd/hoverkv (which routes keys to shards with -shards G).
 package main
 
 import (
@@ -20,10 +28,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -54,6 +65,46 @@ func parsePeers(s string) (map[uint32]string, error) {
 	return peers, nil
 }
 
+// offsetPeers shifts every peer's port by delta: shard s of a sharded
+// deployment lives at port+s on each node.
+func offsetPeers(peers map[uint32]string, delta int) (map[uint32]string, error) {
+	if delta == 0 {
+		return peers, nil
+	}
+	out := make(map[uint32]string, len(peers))
+	for id, addr := range peers {
+		host, portStr, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %d address %q: %v", id, addr, err)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return nil, fmt.Errorf("peer %d address %q: %v", id, addr, err)
+		}
+		out[id] = net.JoinHostPort(host, strconv.Itoa(port+delta))
+	}
+	return out, nil
+}
+
+// bootstrapShards returns the shards this node should campaign for when
+// bootstrapping: round-robin over the sorted peer ids, so leaderships
+// (and write load) spread across the cluster instead of piling onto one
+// node. Pass -bootstrap to every node of a fresh sharded cluster.
+func bootstrapShards(peers map[uint32]string, id uint32, shards int) []int {
+	ids := make([]uint32, 0, len(peers))
+	for pid := range peers {
+		ids = append(ids, pid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var mine []int
+	for s := 0; s < shards; s++ {
+		if ids[s%len(ids)] == id {
+			mine = append(mine, s)
+		}
+	}
+	return mine
+}
+
 func parseMode(s string) (core.Mode, error) {
 	switch strings.ToLower(s) {
 	case "vanilla":
@@ -75,6 +126,7 @@ func main() {
 		agg       = flag.String("aggregator", "", "aggregator address (hovercraft++ mode)")
 		bootstrap = flag.Bool("bootstrap", false, "campaign for leadership immediately")
 		bound     = flag.Int("bound", 128, "bounded-queue depth B for reply load balancing")
+		shards    = flag.Int("shards", 1, "independent Raft groups on this node; shard s listens on each peer's port+s")
 		tick      = flag.Duration("tick", time.Millisecond, "protocol tick interval")
 		walDir    = flag.String("wal", "", "directory for the write-ahead log (empty = volatile)")
 		walSync   = flag.Bool("wal-sync", false, "fsync every WAL record")
@@ -112,35 +164,70 @@ func main() {
 	if err != nil {
 		log.Fatalf("hovernode: %v", err)
 	}
-	store := kvstore.New()
-	cfg := transport.ServerConfig{
-		ID:           uint32(*id),
-		Peers:        peers,
-		Mode:         mode,
-		Aggregator:   *agg,
-		Bound:        *bound,
-		TickInterval: *tick,
-		CompactEvery: *compact,
+	if *shards < 1 {
+		log.Fatalf("hovernode: -shards %d must be >= 1", *shards)
 	}
-	if *walDir != "" {
-		fs, recovered, err := raft.OpenFileStorage(*walDir, *walSync)
+	// One server (own store, own WAL subdirectory, own consensus group)
+	// per shard. Shard s binds each peer's port+s so groups demux by
+	// port and clients route keys with hovercraft.DialSharded.
+	servers := make([]*transport.Server, *shards)
+	for s := 0; s < *shards; s++ {
+		shardPeers, err := offsetPeers(peers, s)
 		if err != nil {
 			log.Fatalf("hovernode: %v", err)
 		}
-		defer fs.Close()
-		cfg.Storage = fs
-		cfg.Recovered = recovered
-		log.Printf("recovered term=%d snap=%d entries=%d from %s",
-			recovered.Term, recovered.SnapIdx, len(recovered.Entries), *walDir)
+		aggAddr := *agg
+		if aggAddr != "" && s > 0 {
+			one := map[uint32]string{0: aggAddr}
+			shifted, err := offsetPeers(one, s)
+			if err != nil {
+				log.Fatalf("hovernode: %v", err)
+			}
+			aggAddr = shifted[0]
+		}
+		cfg := transport.ServerConfig{
+			ID:           uint32(*id),
+			Peers:        shardPeers,
+			Mode:         mode,
+			Aggregator:   aggAddr,
+			Bound:        *bound,
+			TickInterval: *tick,
+			CompactEvery: *compact,
+		}
+		if *walDir != "" {
+			dir := *walDir
+			if *shards > 1 {
+				dir = filepath.Join(dir, fmt.Sprintf("shard%d", s))
+			}
+			fs, recovered, err := raft.OpenFileStorage(dir, *walSync)
+			if err != nil {
+				log.Fatalf("hovernode: shard %d: %v", s, err)
+			}
+			defer fs.Close()
+			cfg.Storage = fs
+			cfg.Recovered = recovered
+			log.Printf("shard %d: recovered term=%d snap=%d entries=%d from %s",
+				s, recovered.Term, recovered.SnapIdx, len(recovered.Entries), dir)
+		}
+		srv, err := transport.NewServer(cfg, kvstore.New())
+		if err != nil {
+			log.Fatalf("hovernode: shard %d: %v", s, err)
+		}
+		servers[s] = srv
 	}
-	srv, err := transport.NewServer(cfg, store)
-	if err != nil {
-		log.Fatalf("hovernode: %v", err)
+	if *shards == 1 {
+		log.Printf("node %d (%s) serving kvstore on %s", *id, mode, servers[0].Addr())
+	} else {
+		log.Printf("node %d (%s) serving kvstore across %d shards on %s..%s",
+			*id, mode, *shards, servers[0].Addr(), servers[*shards-1].Addr())
 	}
-	log.Printf("node %d (%s) serving kvstore on %s", *id, mode, srv.Addr())
 	if *debugAddr != "" {
 		expvar.Publish("hovernode", expvar.Func(func() interface{} {
-			return srv.DebugVars()
+			vars := make(map[string]interface{}, len(servers))
+			for s, srv := range servers {
+				vars[fmt.Sprintf("shard%d", s)] = srv.DebugVars()
+			}
+			return vars
 		}))
 		go func() {
 			// DefaultServeMux carries expvar's /debug/vars and pprof's
@@ -152,7 +239,16 @@ func main() {
 		}()
 	}
 	if *bootstrap {
-		srv.Campaign()
+		if *shards == 1 {
+			servers[0].Campaign()
+		} else {
+			// Spread initial leaderships round-robin so no node carries
+			// every shard's write load; -bootstrap goes to every node.
+			for _, s := range bootstrapShards(peers, uint32(*id), *shards) {
+				log.Printf("campaigning for shard %d", s)
+				servers[s].Campaign()
+			}
+		}
 	}
 
 	status := time.NewTicker(5 * time.Second)
@@ -161,10 +257,18 @@ func main() {
 		select {
 		case <-sig:
 			log.Printf("shutting down")
-			srv.Close()
+			for _, srv := range servers {
+				srv.Close()
+			}
 			return
 		case <-status.C:
-			log.Printf("status: %v", srv.Status())
+			for s, srv := range servers {
+				if *shards == 1 {
+					log.Printf("status: %v", srv.Status())
+				} else {
+					log.Printf("status shard %d: %v", s, srv.Status())
+				}
+			}
 		}
 	}
 }

@@ -30,10 +30,15 @@
 package hovercraft
 
 import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
 	"time"
 
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
+	"hovercraft/internal/shard"
 	"hovercraft/internal/transport"
 )
 
@@ -91,11 +96,20 @@ type Config struct {
 	Bound int
 	// DisableReplyLB pins all replies to the leader.
 	DisableReplyLB bool
+
+	// Shards runs this many independent Raft groups on the node (default
+	// 1), partitioning the keyspace by consistent hashing so aggregate
+	// write throughput is no longer bound by a single leader. Shard s
+	// listens on each peer's port+s; use StartSharded to supply per-shard
+	// state machines and DialSharded for a key-routing client.
+	Shards int
 }
 
-// Node is a running replica.
+// Node is a running replica: one server per shard group (a single
+// server unless Config.Shards > 1).
 type Node struct {
-	srv *transport.Server
+	srv    *transport.Server   // shard 0 (the only shard when unsharded)
+	shards []*transport.Server // all shards, indexed by group
 }
 
 type smService struct{ sm StateMachine }
@@ -106,8 +120,34 @@ func (s smService) Execute(payload []byte, readOnly bool) []byte {
 
 var _ app.Service = smService{}
 
-// Start launches a replica serving sm.
+// ShardFactory builds one state machine per shard group. Every node of a
+// sharded deployment must build equivalent machines for the same shard.
+type ShardFactory interface {
+	NewShard(shard int) StateMachine
+}
+
+// FactoryFunc adapts a function to the ShardFactory interface.
+type FactoryFunc func(shard int) StateMachine
+
+// NewShard implements ShardFactory.
+func (f FactoryFunc) NewShard(shard int) StateMachine { return f(shard) }
+
+// Start launches a replica serving sm. For sharded deployments
+// (Config.Shards > 1) use StartSharded, which builds one state machine
+// per group.
 func Start(cfg Config, sm StateMachine) (*Node, error) {
+	if cfg.Shards > 1 {
+		return nil, errors.New("hovercraft: Config.Shards > 1 requires StartSharded")
+	}
+	return StartSharded(cfg, FactoryFunc(func(int) StateMachine { return sm }))
+}
+
+// StartSharded launches a replica running Config.Shards independent Raft
+// groups (default 1), each serving its own state machine from the
+// factory. Shard s binds every peer's address at port+s, so groups demux
+// by port; keys are assigned to groups by the consistent-hash map that
+// DialSharded clients share.
+func StartSharded(cfg Config, f ShardFactory) (*Node, error) {
 	mode := core.ModeHovercraft
 	switch cfg.Protocol {
 	case VanillaRaft:
@@ -115,25 +155,85 @@ func Start(cfg Config, sm StateMachine) (*Node, error) {
 	case HovercRaftPP:
 		mode = core.ModeHovercraftPP
 	}
-	srv, err := transport.NewServer(transport.ServerConfig{
-		ID:             cfg.ID,
-		Peers:          cfg.Peers,
-		Mode:           mode,
-		Aggregator:     cfg.Aggregator,
-		TickInterval:   cfg.TickInterval,
-		ElectionTicks:  cfg.ElectionTicks,
-		HeartbeatTicks: cfg.HeartbeatTicks,
-		Bound:          cfg.Bound,
-		DisableReplyLB: cfg.DisableReplyLB,
-	}, smService{sm: sm})
-	if err != nil {
-		return nil, err
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
 	}
-	return &Node{srv: srv}, nil
+	if shards > shard.MaxGroups {
+		return nil, fmt.Errorf("hovercraft: Shards %d exceeds %d", shards, shard.MaxGroups)
+	}
+	n := &Node{}
+	for s := 0; s < shards; s++ {
+		peers, err := shardPeers(cfg.Peers, s)
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		agg := cfg.Aggregator
+		if agg != "" && s > 0 {
+			if agg, err = offsetPort(agg, s); err != nil {
+				n.Close()
+				return nil, err
+			}
+		}
+		srv, err := transport.NewServer(transport.ServerConfig{
+			ID:             cfg.ID,
+			Peers:          peers,
+			Mode:           mode,
+			Aggregator:     agg,
+			TickInterval:   cfg.TickInterval,
+			ElectionTicks:  cfg.ElectionTicks,
+			HeartbeatTicks: cfg.HeartbeatTicks,
+			Bound:          cfg.Bound,
+			DisableReplyLB: cfg.DisableReplyLB,
+		}, smService{sm: f.NewShard(s)})
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("hovercraft: shard %d: %w", s, err)
+		}
+		n.shards = append(n.shards, srv)
+	}
+	n.srv = n.shards[0]
+	return n, nil
 }
 
-// IsLeader reports whether this replica currently leads the cluster.
+// shardPeers offsets every peer port by the shard index.
+func shardPeers(peers map[uint32]string, s int) (map[uint32]string, error) {
+	if s == 0 {
+		return peers, nil
+	}
+	out := make(map[uint32]string, len(peers))
+	for id, addr := range peers {
+		a, err := offsetPort(addr, s)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = a
+	}
+	return out, nil
+}
+
+func offsetPort(addr string, delta int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("hovercraft: address %q: %w", addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("hovercraft: address %q: %w", addr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+delta)), nil
+}
+
+// Shards returns the number of shard groups this node serves.
+func (n *Node) Shards() int { return len(n.shards) }
+
+// IsLeader reports whether this replica currently leads the cluster
+// (shard 0 in sharded deployments).
 func (n *Node) IsLeader() bool { return n.srv.IsLeader() }
+
+// IsShardLeader reports whether this replica leads shard s.
+func (n *Node) IsShardLeader(s int) bool { return n.shards[s].IsLeader() }
 
 // Status describes the replica's consensus state.
 type Status struct {
@@ -143,9 +243,13 @@ type Status struct {
 	Applied uint64
 }
 
-// Status returns a snapshot of the replica's consensus state.
-func (n *Node) Status() Status {
-	st := n.srv.Status()
+// Status returns a snapshot of the replica's consensus state
+// (shard 0 in sharded deployments).
+func (n *Node) Status() Status { return n.ShardStatus(0) }
+
+// ShardStatus returns a snapshot of shard s's consensus state.
+func (n *Node) ShardStatus(s int) Status {
+	st := n.shards[s].Status()
 	return Status{
 		Leader:  uint32(st.Lead),
 		Term:    st.Term,
@@ -154,13 +258,30 @@ func (n *Node) Status() Status {
 	}
 }
 
-// Campaign asks this replica to run for leader immediately. Useful to
-// bootstrap a fresh cluster deterministically; otherwise the randomized
-// election timeout elects someone within a few election periods.
+// Campaign asks this replica to run for leader immediately (shard 0 in
+// sharded deployments). Useful to bootstrap a fresh cluster
+// deterministically; otherwise the randomized election timeout elects
+// someone within a few election periods.
 func (n *Node) Campaign() { n.srv.Campaign() }
 
+// CampaignShard asks this replica to run for leader of shard s. Sharded
+// bootstraps should spread campaigns across nodes (node ids[s%N]
+// campaigning shard s) so leaderships — and write load — land evenly.
+func (n *Node) CampaignShard(s int) { n.shards[s].Campaign() }
+
 // Close shuts the replica down.
-func (n *Node) Close() error { return n.srv.Close() }
+func (n *Node) Close() error {
+	var first error
+	for _, srv := range n.shards {
+		if srv == nil {
+			continue
+		}
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Client issues requests against a HovercRaft cluster.
 type Client = transport.Client
@@ -171,4 +292,72 @@ type ClientOptions = transport.ClientOptions
 // Dial connects a client to the cluster's node addresses.
 func Dial(peers []string, opts ...ClientOptions) (*Client, error) {
 	return transport.Dial(peers, opts...)
+}
+
+// ShardedClient routes requests across the shard groups of a sharded
+// deployment by consistent-hashing the caller-supplied key, so every
+// client agrees with every other on key placement.
+type ShardedClient struct {
+	m       *shard.Map
+	clients []*Client // one per shard, at port-offset addresses
+}
+
+// DialSharded connects a key-routing client to a cluster started with
+// Config.Shards = shards. peers holds the base (shard 0) addresses;
+// shard s is reached at port+s on each peer.
+func DialSharded(peers []string, shards int, opts ...ClientOptions) (*ShardedClient, error) {
+	if shards < 1 || shards > shard.MaxGroups {
+		return nil, fmt.Errorf("hovercraft: shard count %d outside [1, %d]", shards, shard.MaxGroups)
+	}
+	sc := &ShardedClient{m: shard.NewMap(shards)}
+	for s := 0; s < shards; s++ {
+		addrs := make([]string, len(peers))
+		for i, p := range peers {
+			a, err := offsetPort(p, s)
+			if err != nil {
+				sc.Close()
+				return nil, err
+			}
+			addrs[i] = a
+		}
+		cl, err := transport.Dial(addrs, opts...)
+		if err != nil {
+			sc.Close()
+			return nil, fmt.Errorf("hovercraft: shard %d: %w", s, err)
+		}
+		sc.clients = append(sc.clients, cl)
+	}
+	return sc, nil
+}
+
+// CallKey issues cmd against the shard group owning key and returns the
+// reply. Commands touching the same key always reach the same group, so
+// per-key operations stay linearizable; cross-key commands must be
+// confined to one shard by the application.
+func (c *ShardedClient) CallKey(key []byte, cmd []byte, readOnly bool) ([]byte, error) {
+	return c.clients[c.m.GroupFor(key)].Call(cmd, readOnly)
+}
+
+// ShardFor reports which shard group owns key.
+func (c *ShardedClient) ShardFor(key []byte) int { return int(c.m.GroupFor(key)) }
+
+// Shard returns the underlying client for one shard group, for commands
+// that must target a specific group regardless of key.
+func (c *ShardedClient) Shard(s int) *Client { return c.clients[s] }
+
+// Shards returns the number of shard groups the client routes across.
+func (c *ShardedClient) Shards() int { return len(c.clients) }
+
+// Close releases all per-shard clients.
+func (c *ShardedClient) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -39,6 +39,41 @@ func freeUDP(t *testing.T) string {
 	return c.LocalAddr().String()
 }
 
+// freeUDPRange finds a base address whose ports base..base+n-1 are all
+// free, as sharded nodes bind one port per shard at fixed offsets.
+func freeUDPRange(t *testing.T, n int) string {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		base := freeUDP(t)
+		host, portStr, err := net.SplitHostPort(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		port, err := net.LookupPort("udp", portStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		var held []*net.UDPConn
+		for s := 0; s < n; s++ {
+			c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.ParseIP(host), Port: port + s})
+			if err != nil {
+				ok = false
+				break
+			}
+			held = append(held, c)
+		}
+		for _, c := range held {
+			c.Close()
+		}
+		if ok {
+			return base
+		}
+	}
+	t.Fatal("no consecutive free UDP port range found")
+	return ""
+}
+
 func startPublicCluster(t *testing.T, n int) ([]*hovercraft.Node, []string) {
 	t.Helper()
 	peers := make(map[uint32]string, n)
@@ -133,6 +168,122 @@ func TestPublicAPIFuncAdapter(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatal("not called")
+	}
+}
+
+func TestPublicAPISharded(t *testing.T) {
+	const shards = 2
+	// Sharded nodes bind port+s for every shard, so each peer needs a
+	// run of consecutive free ports, not just one.
+	peers := make(map[uint32]string, 3)
+	var addrs []string
+	for id := uint32(1); id <= 3; id++ {
+		base := freeUDPRange(t, shards)
+		peers[id] = base
+		addrs = append(addrs, base)
+	}
+	var nodes []*hovercraft.Node
+	for id := range peers {
+		node, err := hovercraft.StartSharded(hovercraft.Config{
+			ID: id, Peers: peers, Shards: shards,
+			TickInterval:   2 * time.Millisecond,
+			ElectionTicks:  20,
+			HeartbeatTicks: 4,
+		}, hovercraft.FactoryFunc(func(int) hovercraft.StateMachine { return &register{} }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		if node.Shards() != shards {
+			t.Fatalf("node serves %d shards, want %d", node.Shards(), shards)
+		}
+		nodes = append(nodes, node)
+	}
+	// Spread bootstrap leaderships round-robin: node index s%N campaigns
+	// shard s.
+	for s := 0; s < shards; s++ {
+		nodes[s%len(nodes)].CampaignShard(s)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s := 0; s < shards; s++ {
+		for {
+			var led bool
+			for _, nd := range nodes {
+				if nd.IsShardLeader(s) {
+					led = true
+				}
+			}
+			if led {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d: no leader", s)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	cl, err := hovercraft.DialSharded(addrs, shards, hovercraft.ClientOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Shards() != shards {
+		t.Fatalf("client routes %d shards, want %d", cl.Shards(), shards)
+	}
+
+	// Each key's writes land on one group; a read of the same key must
+	// observe the latest acknowledged write regardless of which shard
+	// owns it.
+	seen := make(map[int]bool)
+	w := make([]byte, 10)
+	w[0], w[1] = 'w', ':'
+	for i := uint64(1); i <= 8; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		seen[cl.ShardFor(key)] = true
+		binary.BigEndian.PutUint64(w[2:], i*7)
+		if _, err := cl.CallKey(key, w, false); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, err := cl.CallKey(key, []byte("r"), true)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if binary.BigEndian.Uint64(got) != i*7 {
+			t.Fatalf("stale read: %d, want %d", binary.BigEndian.Uint64(got), i*7)
+		}
+	}
+	if len(seen) != shards {
+		t.Fatalf("keys routed to %d of %d shards", len(seen), shards)
+	}
+	// Per-shard status is coherent and shard-0 compat methods still work.
+	for s := 0; s < shards; s++ {
+		var leaders int
+		for _, nd := range nodes {
+			if nd.ShardStatus(s).Leader == 0 {
+				t.Fatalf("shard %d: node without leader", s)
+			}
+			if nd.IsShardLeader(s) {
+				leaders++
+			}
+		}
+		if leaders != 1 {
+			t.Fatalf("shard %d: leaders = %d", s, leaders)
+		}
+	}
+	for _, nd := range nodes {
+		if nd.Status() != nd.ShardStatus(0) {
+			t.Fatal("Status() is not shard 0's status")
+		}
+	}
+}
+
+func TestPublicAPIShardsRequireFactory(t *testing.T) {
+	_, err := hovercraft.Start(hovercraft.Config{
+		ID: 1, Peers: map[uint32]string{1: "127.0.0.1:0"}, Shards: 2,
+	}, &register{})
+	if err == nil {
+		t.Fatal("Start accepted Shards > 1")
 	}
 }
 

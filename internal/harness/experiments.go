@@ -21,6 +21,9 @@ type Scale struct {
 	// representative run per system and drop Perfetto-loadable
 	// *.trace.json plus *.metrics.json artifacts into the directory.
 	TraceDir string
+	// ShardGroups overrides the group counts the shardscale experiment
+	// sweeps (empty = {1, 2, 4, 8}).
+	ShardGroups []int
 }
 
 // FullScale is the figure-quality configuration.
@@ -45,7 +48,7 @@ func baselineWorkload() SyntheticSpec {
 
 // Experiments lists every reproduction in paper order.
 func Experiments() []string {
-	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shardscale"}
 }
 
 // Run dispatches an experiment by ID.
@@ -67,6 +70,8 @@ func Run(id string, sc Scale) (*Report, error) {
 		return Fig12(sc), nil
 	case "fig13":
 		return Fig13(sc), nil
+	case "shardscale":
+		return Shardscale(sc), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}

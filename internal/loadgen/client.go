@@ -6,6 +6,7 @@ import (
 
 	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
+	"hovercraft/internal/shard"
 	"hovercraft/internal/simnet"
 	"hovercraft/internal/stats"
 )
@@ -33,6 +34,11 @@ type ClientConfig struct {
 	// Obs, if non-nil, stamps the client-side lifecycle stages (send and
 	// receive) so the tracer can close each request's end-to-end span.
 	Obs *obs.Obs
+	// Router, when non-nil, makes the client shard-aware: the Workload
+	// must implement KeyedWorkload, requests are stamped with the group
+	// owning their key, results are broken down per shard, and a
+	// GroupInvalid NACK triggers a map refresh plus one re-routed retry.
+	Router *shard.Router
 }
 
 type pendingReq struct {
@@ -42,6 +48,15 @@ type pendingReq struct {
 	sentAt  time.Duration
 	inMeas  bool
 	payload int
+
+	// Sharded-mode state: the routed group (-1 when unsharded), the
+	// routing key and raw request, kept so a stale-map redirect can
+	// re-route and re-send, and whether this op already was redirected.
+	group      int
+	key        []byte
+	raw        []byte
+	policy     r2p2.Policy
+	redirected bool
 }
 
 // Client is an open-loop Poisson load generator attached to a simulated
@@ -59,11 +74,14 @@ type Client struct {
 	pending *r2p2.Pending[pendingReq]
 
 	// Measurement.
-	Latency   *stats.Histogram
-	Sent      uint64 // requests sent in the measurement window
-	Completed uint64 // responses for measurement-window requests
-	Nacked    uint64 // flow-control rejections (window)
-	Expired   uint64 // timeouts (window)
+	Latency    *stats.Histogram
+	Sent       uint64 // requests sent in the measurement window
+	Completed  uint64 // responses for measurement-window requests
+	Nacked     uint64 // flow-control rejections (window)
+	Expired    uint64 // timeouts (window)
+	Redirected uint64 // stale-shard-map redirects retried (whole run)
+
+	shards []*ShardStat // per-group breakdown (sharded mode only)
 
 	// Optional time series (all samples, including warmup).
 	Throughput stats.Series // completed/s per interval
@@ -127,19 +145,58 @@ func (c *Client) scheduleNext() {
 }
 
 func (c *Client) sendOne() {
-	payload, policy := c.cfg.Workload.Next(c.rng)
-	id, dgs := c.r2.NewRequest(policy, payload)
-	now := c.sim.Now()
-	inMeas := now >= c.cfg.Warmup
-	if inMeas {
-		c.Sent++
+	req := pendingReq{group: -1, sentAt: c.sim.Now()}
+	if c.cfg.Router != nil {
+		kw, ok := c.cfg.Workload.(KeyedWorkload)
+		if !ok {
+			panic("loadgen: Router configured but Workload is not a KeyedWorkload")
+		}
+		var payload []byte
+		req.key, payload, req.policy = kw.NextKeyed(c.rng)
+		req.raw = payload
+		req.group = int(c.cfg.Router.Route(req.key))
+	} else {
+		req.raw, req.policy = c.cfg.Workload.Next(c.rng)
 	}
-	c.pending.Add(id.ReqID, pendingReq{id: id, sentAt: now, inMeas: inMeas, payload: len(payload)}, now+c.cfg.Timeout)
+	req.payload = len(req.raw)
+	req.inMeas = req.sentAt >= c.cfg.Warmup
+	if req.inMeas {
+		c.Sent++
+		if req.group >= 0 {
+			c.shardStat(req.group).Sent++
+		}
+	}
+	c.send(req)
+}
+
+// send transmits req (first send or redirect re-send); req.group selects
+// the group stamp on the wire.
+func (c *Client) send(req pendingReq) {
+	id, dgs := c.r2.NewRequest(req.policy, req.raw)
+	req.id = id
+	if req.group >= 0 {
+		r2p2.StampGroup(dgs, uint8(req.group))
+	}
+	c.pending.Add(id.ReqID, req, c.sim.Now()+c.cfg.Timeout)
 	c.cfg.Obs.Stage(id, obs.StageClientSend)
 	for _, dg := range dgs {
 		c.host.Send(&simnet.Packet{Dst: c.cfg.Target, Payload: dg})
 	}
 }
+
+// shardStat returns (growing on demand) the breakdown slot for group g.
+func (c *Client) shardStat(g int) *ShardStat {
+	for len(c.shards) <= g {
+		c.shards = append(c.shards, &ShardStat{
+			Group:   len(c.shards),
+			Latency: stats.NewHistogram(),
+		})
+	}
+	return c.shards[g]
+}
+
+// ShardStats returns the per-group breakdown (nil when unsharded).
+func (c *Client) ShardStats() []*ShardStat { return c.shards }
 
 func (c *Client) onPacket(pkt *simnet.Packet) {
 	m, err := c.reasm.Ingest(pkt.Payload, uint32(pkt.Src), c.sim.Now())
@@ -159,12 +216,40 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 		if req.inMeas {
 			c.Completed++
 			c.Latency.RecordDuration(lat)
+			if req.group >= 0 {
+				st := c.shardStat(req.group)
+				st.Completed++
+				st.Latency.RecordDuration(lat)
+			}
 		}
 	case r2p2.TypeNack:
-		if req, ok := c.pending.Take(m.ID.ReqID); ok {
-			c.cfg.Obs.Abandon(req.id)
-			if req.inMeas {
-				c.Nacked++
+		req, ok := c.pending.Take(m.ID.ReqID)
+		if !ok {
+			return
+		}
+		if m.Group == r2p2.GroupInvalid && c.cfg.Router != nil && !req.redirected {
+			// The receiver does not serve the group we routed to: our
+			// shard map is stale. Refresh it and re-route the op once,
+			// keeping its original send time (the redirect round trip is
+			// honest latency).
+			if c.cfg.Router.OnRedirect() {
+				// Counted for the whole run, not just the window: redirects
+				// cluster at startup (first stale routes), before warmup ends.
+				c.Redirected++
+				if req.group >= 0 {
+					c.shardStat(req.group).Redirected++
+				}
+				req.redirected = true
+				req.group = int(c.cfg.Router.Route(req.key))
+				c.send(req)
+				return
+			}
+		}
+		c.cfg.Obs.Abandon(req.id)
+		if req.inMeas {
+			c.Nacked++
+			if req.group >= 0 {
+				c.shardStat(req.group).Nacked++
 			}
 		}
 	}
@@ -175,6 +260,9 @@ func (c *Client) expireTick() {
 		c.cfg.Obs.Abandon(req.id)
 		if req.inMeas {
 			c.Expired++
+			if req.group >= 0 {
+				c.shardStat(req.group).Expired++
+			}
 		}
 	}
 	c.reasm.GC(c.sim.Now())

@@ -1,0 +1,90 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"hovercraft/internal/obs"
+	"hovercraft/internal/stats"
+)
+
+// ShardStat is one group's slice of a shard-aware client's measurement
+// window: how much load the client routed there and what came back.
+type ShardStat struct {
+	Group      int
+	Sent       uint64
+	Completed  uint64
+	Nacked     uint64
+	Expired    uint64
+	Redirected uint64
+	Latency    *stats.Histogram
+}
+
+// MergeShardStats combines the per-group breakdowns of several clients
+// into one slice indexed by group (histograms merged exactly).
+func MergeShardStats(clients []*Client) []*ShardStat {
+	var out []*ShardStat
+	at := func(g int) *ShardStat {
+		for len(out) <= g {
+			out = append(out, &ShardStat{Group: len(out), Latency: stats.NewHistogram()})
+		}
+		return out[g]
+	}
+	for _, c := range clients {
+		for _, st := range c.ShardStats() {
+			m := at(st.Group)
+			m.Sent += st.Sent
+			m.Completed += st.Completed
+			m.Nacked += st.Nacked
+			m.Expired += st.Expired
+			m.Redirected += st.Redirected
+			m.Latency.Merge(st.Latency)
+		}
+	}
+	return out
+}
+
+// ShardTable renders the per-shard throughput/latency breakdown over a
+// measurement window of the given duration.
+func ShardTable(shards []*ShardStat, dur time.Duration) string {
+	t := &stats.Table{
+		Title:   "per-shard breakdown",
+		Headers: []string{"shard", "offered/s", "achieved/s", "p50", "p99", "nacked", "expired", "redirected"},
+	}
+	secs := dur.Seconds()
+	for _, st := range shards {
+		s := st.Latency.Summary()
+		t.AddRow(
+			fmt.Sprintf("g%d", st.Group),
+			fmt.Sprintf("%.0f", float64(st.Sent)/secs),
+			fmt.Sprintf("%.0f", float64(st.Completed)/secs),
+			s.P50.String(),
+			s.P99.String(),
+			fmt.Sprintf("%d", st.Nacked),
+			fmt.Sprintf("%d", st.Expired),
+			fmt.Sprintf("%d", st.Redirected),
+		)
+	}
+	return t.Render()
+}
+
+// RegisterShardMetrics exposes a merged per-shard client-side view on the
+// registry under client.shard.g<G>.* — the client-perceived counterpart
+// of the cluster's shard.g<G>.* counters.
+func RegisterShardMetrics(reg *obs.Registry, clients []*Client) {
+	if reg == nil {
+		return
+	}
+	merged := MergeShardStats(clients)
+	root := reg.Sub("client.shard")
+	for _, st := range merged {
+		st := st
+		gv := root.Sub(fmt.Sprintf("g%d", st.Group))
+		gv.Counter("sent", func() uint64 { return st.Sent })
+		gv.Counter("completed", func() uint64 { return st.Completed })
+		gv.Counter("nacked", func() uint64 { return st.Nacked })
+		gv.Counter("expired", func() uint64 { return st.Expired })
+		gv.Counter("redirected", func() uint64 { return st.Redirected })
+		gv.Histogram("latency", st.Latency)
+	}
+}

@@ -14,6 +14,14 @@ type Workload interface {
 	Next(rng *rand.Rand) (payload []byte, policy r2p2.Policy)
 }
 
+// KeyedWorkload is a Workload whose requests address keys, so a sharded
+// client can route each request to the Raft group owning its key.
+type KeyedWorkload interface {
+	Workload
+	// NextKeyed returns one request plus the key it routes by.
+	NextKeyed(rng *rand.Rand) (key, payload []byte, policy r2p2.Policy)
+}
+
 // Synthetic is the paper's microbenchmark workload: configurable service
 // time distribution, request size, reply size, and read-only fraction.
 type Synthetic struct {
@@ -27,6 +35,10 @@ type Synthetic struct {
 	ReadFraction float64
 	// Unreplicated requests carry no replication policy (UnRep setup).
 	Unreplicated bool
+	// Keys, when > 0, draws a uniform routing key per request from a
+	// keyspace of that size (sharded deployments; the synthetic service
+	// itself ignores keys, they only drive routing).
+	Keys int
 }
 
 // Next implements Workload.
@@ -42,6 +54,17 @@ func (s *Synthetic) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
 	return payload, r2p2.PolicyReplicated
 }
 
+// NextKeyed implements KeyedWorkload.
+func (s *Synthetic) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
+	keys := s.Keys
+	if keys <= 0 {
+		keys = 1 << 20
+	}
+	key := []byte(ycsb.Key(uint64(rng.Intn(keys))))
+	payload, policy := s.Next(rng)
+	return key, payload, policy
+}
+
 // YCSBE adapts the YCSB workload-E generator: SCANs are read-only,
 // INSERTs are read-write.
 type YCSBE struct {
@@ -52,12 +75,20 @@ type YCSBE struct {
 
 // Next implements Workload.
 func (y *YCSBE) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
+	_, payload, policy := y.NextKeyed(rng)
+	return payload, policy
+}
+
+// NextKeyed implements KeyedWorkload: operations route by their record
+// key (scans by their start key).
+func (y *YCSBE) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
 	op := y.Gen.Next(rng)
-	if y.Unreplicated {
-		return op.Payload, r2p2.PolicyUnrestricted
+	policy := r2p2.PolicyReplicated
+	switch {
+	case y.Unreplicated:
+		policy = r2p2.PolicyUnrestricted
+	case op.ReadOnly:
+		policy = r2p2.PolicyReplicatedRO
 	}
-	if op.ReadOnly {
-		return op.Payload, r2p2.PolicyReplicatedRO
-	}
-	return op.Payload, r2p2.PolicyReplicated
+	return []byte(op.Key), op.Payload, policy
 }

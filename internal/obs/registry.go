@@ -59,6 +59,59 @@ func (r *Registry) CounterSet(prefix string, cs *stats.CounterSet) {
 	}
 }
 
+// Scoped is a prefix-qualified view of a Registry: every registration is
+// namespaced under prefix+".". It lets a subsystem (one shard group, one
+// node) receive a plain registration surface without knowing where it
+// lives in the global namespace. Nil-safe like the Registry itself.
+type Scoped struct {
+	r      *Registry
+	prefix string
+}
+
+// Sub returns a view of the registry scoped under prefix.
+func (r *Registry) Sub(prefix string) *Scoped {
+	if r == nil {
+		return nil
+	}
+	return &Scoped{r: r, prefix: prefix}
+}
+
+// Sub nests a further prefix level under the view.
+func (s *Scoped) Sub(prefix string) *Scoped {
+	if s == nil {
+		return nil
+	}
+	return &Scoped{r: s.r, prefix: s.prefix + "." + prefix}
+}
+
+// Counter registers a counter under the view's prefix.
+func (s *Scoped) Counter(name string, f func() uint64) {
+	if s != nil {
+		s.r.Counter(s.prefix+"."+name, f)
+	}
+}
+
+// Gauge registers a gauge under the view's prefix.
+func (s *Scoped) Gauge(name string, f func() float64) {
+	if s != nil {
+		s.r.Gauge(s.prefix+"."+name, f)
+	}
+}
+
+// Histogram registers a histogram under the view's prefix.
+func (s *Scoped) Histogram(name string, h *stats.Histogram) {
+	if s != nil {
+		s.r.Histogram(s.prefix+"."+name, h)
+	}
+}
+
+// CounterSet registers a counter set under the view's prefix.
+func (s *Scoped) CounterSet(prefix string, cs *stats.CounterSet) {
+	if s != nil {
+		s.r.CounterSet(s.prefix+"."+prefix, cs)
+	}
+}
+
 // histJSON is the snapshot shape of one histogram (all durations ns).
 type histJSON struct {
 	Count uint64  `json:"count"`

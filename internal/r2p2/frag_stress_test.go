@@ -1,0 +1,206 @@
+package r2p2
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Shard-aware clients retry on redirects and re-send whole messages, so
+// the reassembler sees heavy duplication, reordering, and interleaving of
+// retried copies. These tests pin that behaviour down beyond the basic
+// out-of-order case.
+
+// deliverShuffled ingests the fragments of dgs in a random order with
+// every fragment duplicated `dups` extra times, and returns the completed
+// message (nil if reassembly never completed).
+func deliverShuffled(t *testing.T, r *Reassembler, rng *rand.Rand, dgs [][]byte, srcIP uint32, dups int) *Msg {
+	t.Helper()
+	var stream [][]byte
+	for _, dg := range dgs {
+		for i := 0; i <= dups; i++ {
+			stream = append(stream, dg)
+		}
+	}
+	rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+	var msg *Msg
+	for _, dg := range stream {
+		m, err := r.Ingest(dg, srcIP, 0)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if m != nil && msg == nil {
+			msg = m
+		}
+	}
+	return msg
+}
+
+func TestReassembleRandomPermutationsWithDuplicates(t *testing.T) {
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dgs := Fragment(Header{Type: TypeRequest, ReqID: uint32(seed)}, payload, 997)
+		r := NewReassembler(time.Second)
+		msg := deliverShuffled(t, r, rng, dgs, 9, rng.Intn(3))
+		if msg == nil {
+			t.Fatalf("seed %d: never completed", seed)
+		}
+		if !bytes.Equal(msg.Payload, payload) {
+			t.Fatalf("seed %d: payload corrupted", seed)
+		}
+		// Duplicates landing after completion legitimately open a new
+		// partial reassembly (indistinguishable from a retry); it must
+		// be reclaimed by GC, not leak.
+		if r.GC(2 * time.Second); r.Pending() != 0 {
+			t.Fatalf("seed %d: %d reassemblies leaked past GC", seed, r.Pending())
+		}
+	}
+}
+
+func TestReassembleRetriedMessageAfterCompletion(t *testing.T) {
+	// A router retry re-sends the full message under the same RequestID.
+	// After the first copy completes, the duplicate copy must reassemble
+	// cleanly again (servers dedup at a higher layer, not here).
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	dgs := Fragment(Header{Type: TypeRequest, ReqID: 12, SrcPort: 4}, payload, 1000)
+	r := NewReassembler(time.Second)
+	for round := 0; round < 3; round++ {
+		var msg *Msg
+		for _, dg := range dgs {
+			m, err := r.Ingest(dg, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m != nil {
+				msg = m
+			}
+		}
+		if msg == nil || !bytes.Equal(msg.Payload, payload) {
+			t.Fatalf("round %d: retried copy did not reassemble", round)
+		}
+	}
+}
+
+func TestReassembleInterleavedMessagesSameIdentity(t *testing.T) {
+	// Fragments of a retried request may interleave with the response to
+	// the original and with other shards' consensus traffic that happens
+	// to share (ip, port, req_id). Type and group keep them separate.
+	mk := func(typ MessageType, group uint8, fill byte) ([][]byte, []byte) {
+		payload := bytes.Repeat([]byte{fill}, 2500)
+		h := Header{Type: typ, Group: group, ReqID: 3, SrcPort: 7}
+		return Fragment(h, payload, 1000), payload
+	}
+	reqA, wantA := mk(TypeRequest, 0, 'a')
+	reqB, wantB := mk(TypeRequest, 1, 'b')
+	resp, wantR := mk(TypeResponse, 0, 'r')
+
+	r := NewReassembler(time.Second)
+	got := make(map[string][]byte)
+	var stream [][]byte
+	for i := 0; i < 3; i++ { // round-robin interleave
+		stream = append(stream, reqA[i], reqB[i], resp[i])
+	}
+	for _, dg := range stream {
+		m, err := r.Ingest(dg, 11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			got[string([]byte{byte(m.Type), m.Group})] = m.Payload
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("completed %d messages, want 3 (interleaved streams mixed)", len(got))
+	}
+	if !bytes.Equal(got[string([]byte{byte(TypeRequest), 0})], wantA) ||
+		!bytes.Equal(got[string([]byte{byte(TypeRequest), 1})], wantB) ||
+		!bytes.Equal(got[string([]byte{byte(TypeResponse), 0})], wantR) {
+		t.Fatal("interleaved payloads corrupted")
+	}
+}
+
+func TestReassembleDuplicateLastFragmentFirst(t *testing.T) {
+	// Worst-case reorder: the last fragment arrives first and twice; the
+	// message must complete exactly when the final missing fragment lands.
+	payload := make([]byte, 4000)
+	dgs := Fragment(Header{Type: TypeRequest, ReqID: 8}, payload, 1000)
+	r := NewReassembler(time.Second)
+	order := []int{3, 3, 2, 1, 3, 0}
+	for i, idx := range order {
+		m, err := r.Ingest(dgs[idx], 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := i == len(order)-1
+		if (m != nil) != last {
+			t.Fatalf("step %d (frag %d): completed=%v, want %v", i, idx, m != nil, last)
+		}
+	}
+}
+
+func TestReassembleMismatchedPktCountDropsMessage(t *testing.T) {
+	// A corrupted or spoofed fragment claiming a different total must not
+	// poison the reassembly: the message is dropped, and a clean retry
+	// reassembles from scratch.
+	payload := make([]byte, 3000)
+	dgs := Fragment(Header{Type: TypeRequest, ReqID: 21}, payload, 1000)
+	bad := Fragment(Header{Type: TypeRequest, ReqID: 21}, make([]byte, 1500), 1000)
+	r := NewReassembler(time.Second)
+	if _, err := r.Ingest(dgs[0], 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Ingest(bad[0], 1, 0); err != ErrBadFragment {
+		t.Fatalf("mismatched count err = %v, want ErrBadFragment", err)
+	}
+	if r.Pending() != 0 {
+		t.Fatal("poisoned reassembly not dropped")
+	}
+	var msg *Msg
+	for _, dg := range dgs {
+		m, err := r.Ingest(dg, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			msg = m
+		}
+	}
+	if msg == nil || len(msg.Payload) != len(payload) {
+		t.Fatal("retry after poisoned reassembly failed")
+	}
+}
+
+func TestGroupStampRoundTrip(t *testing.T) {
+	dgs := Fragment(Header{Type: TypeRequest, ReqID: 5}, make([]byte, 3000), 1000)
+	StampGroup(dgs, 6)
+	for _, dg := range dgs {
+		if GroupOf(dg) != 6 {
+			t.Fatalf("GroupOf = %d after stamp", GroupOf(dg))
+		}
+	}
+	r := NewReassembler(time.Second)
+	var msg *Msg
+	for _, dg := range dgs {
+		m, err := r.Ingest(dg, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			msg = m
+		}
+	}
+	if msg == nil || msg.Group != 6 {
+		t.Fatalf("reassembled group = %v", msg)
+	}
+	if GroupOf([]byte{1, 2}) != GroupInvalid {
+		t.Fatal("short packet group not invalid")
+	}
+}

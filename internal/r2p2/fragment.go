@@ -67,10 +67,13 @@ func WireBytes(payloadLen int) int {
 }
 
 // reasmKey identifies an in-progress reassembly. Type disambiguates a
-// request and a response with the same RPC identity.
+// request and a response with the same RPC identity; Group disambiguates
+// shard groups, whose engines draw from independent (port, req_id)
+// spaces on the same host.
 type reasmKey struct {
-	id RequestID
-	t  MessageType
+	id    RequestID
+	t     MessageType
+	group uint8
 }
 
 type reasmState struct {
@@ -107,9 +110,9 @@ func (r *Reassembler) Ingest(datagram []byte, srcIP uint32, now time.Duration) (
 	id := IDOf(&h, srcIP)
 	if h.PktCount == 1 {
 		// Fast path: single-fragment message.
-		return &Msg{Type: h.Type, Policy: h.Policy, ID: id, Payload: body}, nil
+		return &Msg{Type: h.Type, Policy: h.Policy, Group: h.Group, ID: id, Payload: body}, nil
 	}
-	key := reasmKey{id: id, t: h.Type}
+	key := reasmKey{id: id, t: h.Type, group: h.Group}
 	st, ok := r.pending[key]
 	if !ok {
 		st = &reasmState{
@@ -141,7 +144,7 @@ func (r *Reassembler) Ingest(datagram []byte, srcIP uint32, now time.Duration) (
 	for _, f := range st.frags {
 		payload = append(payload, f...)
 	}
-	return &Msg{Type: h.Type, Policy: st.policy, ID: id, Payload: payload}, nil
+	return &Msg{Type: h.Type, Policy: st.policy, Group: h.Group, ID: id, Payload: payload}, nil
 }
 
 // GC drops incomplete reassemblies whose deadline passed and returns how

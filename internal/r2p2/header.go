@@ -124,6 +124,7 @@ type Header struct {
 	Type     MessageType
 	Policy   Policy
 	Flags    uint8
+	Group    uint8 // shard group the message belongs to (0 = the only group)
 	SrcPort  uint16
 	ReqID    uint32
 	PktID    uint16 // fragment index, 0-based
@@ -147,7 +148,7 @@ func (h *Header) Marshal(b []byte) []byte {
 	buf[2] = uint8(h.Type)
 	buf[3] = uint8(h.Policy)
 	buf[4] = h.Flags
-	// buf[5] reserved
+	buf[5] = h.Group
 	binary.BigEndian.PutUint16(buf[6:8], h.SrcPort)
 	binary.BigEndian.PutUint32(buf[8:12], h.ReqID)
 	binary.BigEndian.PutUint16(buf[12:14], h.PktID)
@@ -172,6 +173,7 @@ func (h *Header) Unmarshal(b []byte) error {
 	h.Type = MessageType(b[2])
 	h.Policy = Policy(b[3])
 	h.Flags = b[4]
+	h.Group = b[5]
 	h.SrcPort = binary.BigEndian.Uint16(b[6:8])
 	h.ReqID = binary.BigEndian.Uint32(b[8:12])
 	h.PktID = binary.BigEndian.Uint16(b[12:14])
@@ -205,9 +207,42 @@ func IDOf(h *Header, srcIP uint32) RequestID {
 type Msg struct {
 	Type    MessageType
 	Policy  Policy
+	Group   uint8
 	ID      RequestID
 	Payload []byte
 }
 
 // IsReadOnly reports whether the message was tagged REPLICATED_REQ_R.
 func (m *Msg) IsReadOnly() bool { return m.Policy == PolicyReplicatedRO }
+
+// GroupInvalid on a NACK marks a shard-routing redirect (the receiver
+// does not serve the request's group under its current shard map), as
+// opposed to a flow-control rejection, which echoes the request's group.
+// Shard maps are therefore limited to 255 groups.
+const GroupInvalid uint8 = 0xFF
+
+// SetGroup stamps the shard-group byte of one encoded datagram in place.
+// Every fragment carries the full header, so stamping each datagram of a
+// fragmented message tags the whole message. Short packets are ignored.
+func SetGroup(dg []byte, g uint8) {
+	if len(dg) >= HeaderSize {
+		dg[5] = g
+	}
+}
+
+// StampGroup stamps the shard-group byte on each encoded datagram.
+func StampGroup(dgs [][]byte, g uint8) {
+	for _, dg := range dgs {
+		SetGroup(dg, g)
+	}
+}
+
+// GroupOf peeks the shard-group byte of an encoded datagram without a
+// full header decode (the demux path of shard-aware middleboxes).
+// Malformed packets report GroupInvalid.
+func GroupOf(dg []byte) uint8 {
+	if len(dg) < HeaderSize || dg[0] != magicByte {
+		return GroupInvalid
+	}
+	return dg[5]
+}

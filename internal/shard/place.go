@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"fmt"
+
+	"hovercraft/internal/raft"
+)
+
+// Placement assigns each group's replicas and bootstrap leader to nodes
+// of a shared pool. Two properties matter:
+//
+//   - replica spread: group g's members are `replication` consecutive
+//     pool nodes starting at g*replication (mod pool), so replica load
+//     is even and small group counts leave whole nodes free;
+//   - leader spread: once groups wrap around the pool, leadership moves
+//     to the next member slot, so a node that hosts replicas of several
+//     groups leads at most its fair share — no node is
+//     leader-bottlenecked (the single-group leader CPU cap this layer
+//     exists to remove).
+type Placement struct {
+	// Members[g] lists group g's replica nodes.
+	Members [][]raft.NodeID
+	// Leaders[g] is group g's placed bootstrap leader (a member).
+	Leaders []raft.NodeID
+}
+
+// Place computes the placement of `groups` groups over the given pool
+// with `replication` replicas per group. It panics if replication
+// exceeds the pool — that is a configuration error, not a runtime
+// condition.
+func Place(groups int, pool []raft.NodeID, replication int) Placement {
+	if replication < 1 || replication > len(pool) {
+		panic(fmt.Sprintf("shard: replication %d outside [1, pool %d]", replication, len(pool)))
+	}
+	p := Placement{
+		Members: make([][]raft.NodeID, groups),
+		Leaders: make([]raft.NodeID, groups),
+	}
+	n := len(pool)
+	for g := 0; g < groups; g++ {
+		members := make([]raft.NodeID, replication)
+		for i := 0; i < replication; i++ {
+			members[i] = pool[(g*replication+i)%n]
+		}
+		p.Members[g] = members
+		// First lap of the pool leads from member slot 0; each further
+		// lap shifts the leader one slot so repeated member sets don't
+		// stack leaderships on one node.
+		p.Leaders[g] = members[(g*replication/n)%replication]
+	}
+	return p
+}
+
+// LeaderCounts tallies how many groups each node leads (the quantity the
+// placement is designed to flatten).
+func (p Placement) LeaderCounts() map[raft.NodeID]int {
+	counts := make(map[raft.NodeID]int)
+	for _, l := range p.Leaders {
+		counts[l]++
+	}
+	return counts
+}
+
+// GroupsOf returns the groups the node is a member of, in group order.
+func (p Placement) GroupsOf(id raft.NodeID) []GroupID {
+	var out []GroupID
+	for g, members := range p.Members {
+		for _, m := range members {
+			if m == id {
+				out = append(out, GroupID(g))
+				break
+			}
+		}
+	}
+	return out
+}

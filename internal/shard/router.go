@@ -1,0 +1,92 @@
+package shard
+
+import "sync"
+
+// Router is the shard-aware client routing state: a current Map plus the
+// machinery to survive staleness. Transports that receive a NACK stamped
+// r2p2.GroupInvalid (the receiver does not serve that group under its
+// current map) call OnRedirect, which pulls a fresh map through the
+// Refresh callback and lets the caller re-route and retry; NOT_LEADER
+// redirects within a group are retried by the per-group client and need
+// no map refresh.
+//
+// Safe for concurrent use — the real-UDP sharded client shares one
+// Router across calling goroutines.
+type Router struct {
+	mu sync.Mutex
+	m  *Map
+	// refresh fetches the authoritative map; it receives the stale
+	// version so a directory service can long-poll for something newer.
+	// nil disables refresh (the map is static, as in a fixed deployment).
+	refresh func(staleVersion uint64) *Map
+
+	redirects uint64
+	refreshes uint64
+}
+
+// NewRouter wraps a map; refresh may be nil for static deployments.
+func NewRouter(m *Map, refresh func(staleVersion uint64) *Map) *Router {
+	return &Router{m: m, refresh: refresh}
+}
+
+// Map returns the router's current shard map.
+func (r *Router) Map() *Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// Route returns the group currently owning the key.
+func (r *Router) Route(key []byte) GroupID {
+	return r.Map().GroupFor(key)
+}
+
+// Groups returns the current map's group count.
+func (r *Router) Groups() int { return r.Map().Groups() }
+
+// OnRedirect records a shard-map-staleness redirect and refreshes the
+// map. It reports whether the map changed — if it did, the caller should
+// re-route the key and retry; if not (refresh unavailable, or the
+// authority still serves the same map), retrying is futile and the
+// caller should surface the error.
+func (r *Router) OnRedirect() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.redirects++
+	if r.refresh == nil {
+		return false
+	}
+	fresh := r.refresh(r.m.Version())
+	if fresh == nil || fresh.Version() <= r.m.Version() {
+		return false
+	}
+	r.m = fresh
+	r.refreshes++
+	return true
+}
+
+// Update installs a newer map directly (push-based refresh). Older or
+// same-version maps are ignored.
+func (r *Router) Update(m *Map) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m == nil || m.Version() <= r.m.Version() {
+		return false
+	}
+	r.m = m
+	return true
+}
+
+// Redirects returns how many staleness redirects the router has seen.
+func (r *Router) Redirects() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.redirects
+}
+
+// Refreshes returns how many redirects led to a newer map.
+func (r *Router) Refreshes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refreshes
+}

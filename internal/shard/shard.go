@@ -1,0 +1,142 @@
+// Package shard is the Multi-Raft layer: it partitions the keyspace over
+// G independent HovercRaft groups so aggregate throughput scales with
+// the number of groups while each group keeps the paper's single-group
+// properties (total order, reply load balancing, flow control).
+//
+// The package has three parts:
+//
+//   - Map: a consistent-hash shard map assigning keys to groups. Virtual
+//     nodes keep the partition balanced, and growing the group count
+//     moves only ~1/G of the keyspace (NetChain-style partitioned
+//     coordination via consistent hashing).
+//   - Placement: spreads each group's replicas and — critically — its
+//     leadership across the node pool, so no single node pays the
+//     leader's per-request cost for every group.
+//   - Router: the shard-aware client side. It hashes keys to groups,
+//     stamps the R2P2 group byte, and refreshes its map when a server
+//     or middlebox NACK-redirects a request it no longer serves
+//     (r2p2.GroupInvalid = shard-map staleness).
+//
+// Groups are identified by the R2P2 header's group byte; 0xFF
+// (r2p2.GroupInvalid) is reserved as the redirect sentinel, capping a
+// map at 255 groups.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupID identifies one Raft group within a shard map. It is carried on
+// the wire in the R2P2 header's group byte.
+type GroupID uint8
+
+// MaxGroups is the largest supported group count (0xFF is the redirect
+// sentinel r2p2.GroupInvalid).
+const MaxGroups = 255
+
+// DefaultVirtualNodes is the ring points per group. 64 keeps the largest
+// partition within a few percent of 1/G for the G values that matter
+// here (≤16) at negligible build/lookup cost.
+const DefaultVirtualNodes = 64
+
+type ringPoint struct {
+	hash  uint64
+	group GroupID
+}
+
+// Map is an immutable consistent-hash shard map: a hash ring with
+// VirtualNodes points per group. Version orders maps so routers can
+// detect staleness; any change to the group set must bump it.
+type Map struct {
+	version uint64
+	groups  int
+	ring    []ringPoint
+}
+
+// NewMap builds a version-1 map over `groups` groups with the default
+// virtual-node count. It panics on group counts outside [1, MaxGroups]
+// — shard counts are configuration, not data.
+func NewMap(groups int) *Map { return NewMapVersion(groups, 1) }
+
+// NewMapVersion builds a map over `groups` groups carrying an explicit
+// version (a refreshed map must carry a higher version than the stale
+// one it replaces).
+func NewMapVersion(groups int, version uint64) *Map {
+	if groups < 1 || groups > MaxGroups {
+		panic(fmt.Sprintf("shard: group count %d outside [1, %d]", groups, MaxGroups))
+	}
+	m := &Map{
+		version: version,
+		groups:  groups,
+		ring:    make([]ringPoint, 0, groups*DefaultVirtualNodes),
+	}
+	var key [4]byte
+	for g := 0; g < groups; g++ {
+		for v := 0; v < DefaultVirtualNodes; v++ {
+			key[0], key[1] = byte(g), byte(g>>8)
+			key[2], key[3] = byte(v), byte(v>>8)
+			m.ring = append(m.ring, ringPoint{hash: fnv64a(key[:]), group: GroupID(g)})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		// Hash ties (astronomically rare) break by group for determinism.
+		return m.ring[i].group < m.ring[j].group
+	})
+	return m
+}
+
+// Version returns the map's version.
+func (m *Map) Version() uint64 { return m.version }
+
+// Groups returns the group count.
+func (m *Map) Groups() int { return m.groups }
+
+// GroupFor hashes a key onto the ring and returns its owning group:
+// the first ring point clockwise from the key's hash.
+func (m *Map) GroupFor(key []byte) GroupID {
+	if m.groups == 1 {
+		return 0
+	}
+	h := fnv64a(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap around the ring
+	}
+	return m.ring[i].group
+}
+
+// GroupForString is GroupFor without forcing the caller to copy a string
+// into a byte slice.
+func (m *Map) GroupForString(key string) GroupID {
+	// The compiler elides this conversion's allocation in practice; keep
+	// the one hash implementation regardless.
+	return m.GroupFor([]byte(key))
+}
+
+// fnv64a is FNV-1a 64 with an avalanche finalizer, inlined to keep the
+// hot routing path free of hash.Hash64 interface allocations. The
+// finalizer matters: raw FNV-1a hashes of keys differing only in their
+// last byte differ by small multiples of the FNV prime (~2^40), which is
+// tiny against a 2^64 ring — such key families would cluster into one
+// group. The fmix64 steps (MurmurHash3's finalizer) spread them.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"hovercraft/internal/raft"
+)
+
+func keysFor(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%019d", i))
+	}
+	return keys
+}
+
+func TestMapDeterministicAndComplete(t *testing.T) {
+	a, b := NewMap(8), NewMap(8)
+	for _, k := range keysFor(1000) {
+		if a.GroupFor(k) != b.GroupFor(k) {
+			t.Fatalf("same map disagrees on %q", k)
+		}
+		if g := a.GroupFor(k); int(g) >= a.Groups() {
+			t.Fatalf("key %q routed to group %d of %d", k, g, a.Groups())
+		}
+	}
+	if a.GroupForString("user1") != a.GroupFor([]byte("user1")) {
+		t.Fatal("string and byte routing disagree")
+	}
+}
+
+func TestMapBalance(t *testing.T) {
+	const groups, n = 8, 200_000
+	m := NewMap(groups)
+	counts := make([]int, groups)
+	for i := 0; i < n; i++ {
+		counts[m.GroupForString(fmt.Sprintf("key%d", i))]++
+	}
+	ideal := n / groups
+	for g, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Fatalf("group %d holds %d of %d keys (ideal %d): badly unbalanced ring", g, c, n, ideal)
+		}
+	}
+}
+
+func TestMapGrowthMovesBoundedFraction(t *testing.T) {
+	// Consistent hashing's point: going 4 → 8 groups must not reshuffle
+	// the whole keyspace. With per-group virtual nodes, keys that stay
+	// should be well above the 1 - 4/8 lower bound's neighborhood.
+	old, grown := NewMap(4), NewMapVersion(8, 2)
+	keys := keysFor(20_000)
+	moved := 0
+	for _, k := range keys {
+		og, ng := old.GroupFor(k), grown.GroupFor(k)
+		if og != ng {
+			moved++
+			if int(ng) < old.Groups() {
+				// A key that moved between two *old* groups is a ring
+				// violation; moving to a new group (4..7) is expected.
+				t.Fatalf("key %q moved old→old group %d→%d", k, og, ng)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("doubling groups moved %.0f%% of keys, want ≈50%%", frac*100)
+	}
+}
+
+func TestMapSpreadsLastByteKeyFamilies(t *testing.T) {
+	// Keys differing only in their final byte (k0..k15, a common app
+	// pattern) hash to raw-FNV values separated by small multiples of the
+	// FNV prime and would cluster into one group without the avalanche
+	// finalizer. They must spread.
+	m := NewMap(4)
+	groups := make(map[GroupID]bool)
+	for i := 0; i < 16; i++ {
+		groups[m.GroupForString(fmt.Sprintf("k%d", i))] = true
+	}
+	if len(groups) < 3 {
+		t.Fatalf("16 last-byte-distinct keys landed on only %d of 4 groups", len(groups))
+	}
+}
+
+func TestMapSingleGroupFastPath(t *testing.T) {
+	m := NewMap(1)
+	for _, k := range keysFor(100) {
+		if m.GroupFor(k) != 0 {
+			t.Fatal("single-group map routed off group 0")
+		}
+	}
+}
+
+func TestMapPanicsOnBadGroupCount(t *testing.T) {
+	for _, g := range []int{0, -1, MaxGroups + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMap(%d) did not panic", g)
+				}
+			}()
+			NewMap(g)
+		}()
+	}
+}
+
+func pool(n int) []raft.NodeID {
+	ids := make([]raft.NodeID, n)
+	for i := range ids {
+		ids[i] = raft.NodeID(i + 1)
+	}
+	return ids
+}
+
+func TestPlacementSpreadsLeadersDisjointPool(t *testing.T) {
+	// 4 groups × 3 replicas over 12 nodes: fully disjoint, one
+	// leadership per leading node.
+	p := Place(4, pool(12), 3)
+	seen := make(map[raft.NodeID]bool)
+	for g, members := range p.Members {
+		if len(members) != 3 {
+			t.Fatalf("group %d has %d members", g, len(members))
+		}
+		for _, m := range members {
+			if seen[m] {
+				t.Fatalf("node %d reused across disjoint groups", m)
+			}
+			seen[m] = true
+		}
+	}
+	for n, c := range p.LeaderCounts() {
+		if c != 1 {
+			t.Fatalf("node %d leads %d groups, want 1", n, c)
+		}
+	}
+}
+
+func TestPlacementSpreadsLeadersOverlappingPool(t *testing.T) {
+	// 8 groups × 3 replicas over 12 nodes: each node hosts 2 replica
+	// roles, and no node may lead more than 1 group... with 8 leaders
+	// over 12 nodes the fair share is ≤1.
+	p := Place(8, pool(12), 3)
+	for n, c := range p.LeaderCounts() {
+		if c > 1 {
+			t.Fatalf("node %d leads %d groups (fair share 1)", n, c)
+		}
+	}
+	// Same members set reappears for g and g+4; leaders must differ.
+	for g := 0; g < 4; g++ {
+		if p.Leaders[g] == p.Leaders[g+4] {
+			t.Fatalf("groups %d and %d share leader %d despite sharing members", g, g+4, p.Leaders[g])
+		}
+	}
+}
+
+func TestPlacementGroupsOf(t *testing.T) {
+	p := Place(4, pool(6), 3)
+	// groups: (1,2,3) (4,5,6) (1,2,3) (4,5,6) — node 1 in groups 0,2.
+	got := p.GroupsOf(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("GroupsOf(1) = %v", got)
+	}
+	if leaders := p.LeaderCounts(); len(leaders) != 4 {
+		t.Fatalf("leaders %v not spread over 4 nodes", p.Leaders)
+	}
+}
+
+func TestRouterRefreshOnRedirect(t *testing.T) {
+	stale := NewMapVersion(2, 1)
+	fresh := NewMapVersion(4, 2)
+	calls := 0
+	r := NewRouter(stale, func(staleVersion uint64) *Map {
+		calls++
+		if calls == 1 && staleVersion != 1 {
+			t.Fatalf("first refresh saw version %d", staleVersion)
+		}
+		return fresh
+	})
+	if r.Groups() != 2 {
+		t.Fatal("router not serving stale map")
+	}
+	if !r.OnRedirect() {
+		t.Fatal("redirect with a newer map available reported no change")
+	}
+	if r.Groups() != 4 || r.Redirects() != 1 || r.Refreshes() != 1 {
+		t.Fatalf("after refresh: groups=%d redirects=%d refreshes=%d",
+			r.Groups(), r.Redirects(), r.Refreshes())
+	}
+	// A second redirect refreshes again but finds nothing newer: futile,
+	// reported as such.
+	if r.OnRedirect() {
+		t.Fatal("redirect without a newer map reported change")
+	}
+	if calls != 2 || r.Refreshes() != 1 {
+		t.Fatalf("after futile redirect: calls=%d refreshes=%d", calls, r.Refreshes())
+	}
+}
+
+func TestRouterStaticMap(t *testing.T) {
+	r := NewRouter(NewMap(3), nil)
+	if r.OnRedirect() {
+		t.Fatal("static router claimed a refresh")
+	}
+	if r.Update(NewMapVersion(3, 0)) {
+		t.Fatal("stale update accepted")
+	}
+	if !r.Update(NewMapVersion(5, 9)) || r.Groups() != 5 {
+		t.Fatal("push update rejected")
+	}
+}

@@ -1,0 +1,441 @@
+package simcluster
+
+import (
+	"fmt"
+	"time"
+
+	"hovercraft/internal/app"
+	"hovercraft/internal/core"
+	"hovercraft/internal/obs"
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+	"hovercraft/internal/shard"
+	"hovercraft/internal/simnet"
+)
+
+// MultiOptions configures a sharded (Multi-Raft) deployment: G independent
+// HovercRaft groups placed over one shared node pool, each with its own
+// multicast group and flow-control window, behind a single middlebox.
+type MultiOptions struct {
+	// Groups is the number of independent Raft groups (1..shard.MaxGroups).
+	Groups int
+	// Nodes is the shared pool size (default 3*Groups capped by need; must
+	// be >= Replication).
+	Nodes int
+	// Replication is the per-group replica count (default 3).
+	Replication int
+	Seed        int64
+	// Host configures node NICs; zero value uses paper defaults.
+	Host simnet.HostConfig
+
+	// Engine knobs (zero values take core defaults), applied per group.
+	TickInterval   time.Duration
+	ElectionTicks  int
+	HeartbeatTicks int
+	Bound          int
+	Policy         core.SelectPolicy
+	DisableReplyLB bool
+
+	// FlowLimit caps in-flight requests per group (0 = 4096).
+	FlowLimit int
+
+	// NewService builds one group's application instance on one node.
+	// Every member of a group must build equivalent state machines; the
+	// group argument lets a keyed service know which slice of the keyspace
+	// it owns.
+	NewService func(group int) (app.Service, app.CostModel)
+
+	// Obs, when non-nil, traces the request path and records cluster
+	// events; its clock is bound to this cluster's virtual time.
+	Obs *obs.Obs
+}
+
+// ShardGroup is one Raft group's cluster-side state.
+type ShardGroup struct {
+	ID      shard.GroupID
+	Members []raft.NodeID
+	Flow    *core.FlowControl
+
+	addr simnet.Addr // multicast address of the member set
+}
+
+// MultiNode is one pool node. It hosts an engine per group it is a member
+// of, all sharing the node's simulated host (NIC, app thread) — the
+// contention that makes overlapping placements saturate honestly.
+type MultiNode struct {
+	ID   raft.NodeID
+	Host *simnet.Host
+	// Engines is indexed by group; nil where this node is not a member.
+	Engines []*core.Engine
+	// Services is indexed like Engines.
+	Services []app.Service
+
+	cluster *MultiCluster
+	reasm   *r2p2.Reassembler
+	crashed bool
+	ticks   uint64
+}
+
+// MultiCluster is the assembled sharded deployment.
+type MultiCluster struct {
+	Sim  *simnet.Sim
+	Net  *simnet.Network
+	Opts MultiOptions
+
+	// Map is the authoritative shard map clients should route by.
+	Map *shard.Map
+	// Placement records each group's members and placed leader.
+	Placement shard.Placement
+
+	Nodes  []*MultiNode
+	Groups []*ShardGroup
+
+	// ServiceAddr is the middlebox address clients send requests to.
+	ServiceAddr simnet.Addr
+
+	// StaleNacks counts requests NACKed with the r2p2.GroupInvalid
+	// redirect sentinel (client shard map newer than the deployment).
+	StaleNacks uint64
+
+	flowHost *simnet.Host
+	addrOf   map[raft.NodeID]simnet.Addr
+}
+
+// NewMulti assembles a sharded cluster (does not start ticking; call
+// Start). Group g's replicas are placed by shard.Place over the pool.
+func NewMulti(opts MultiOptions) *MultiCluster {
+	if opts.Groups <= 0 {
+		opts.Groups = 1
+	}
+	if opts.Replication <= 0 {
+		opts.Replication = 3
+	}
+	if opts.Nodes <= 0 {
+		// Enough nodes for disjoint groups, capped at 4 groups' worth —
+		// beyond that, placements overlap by design.
+		n := opts.Groups
+		if n > 4 {
+			n = 4
+		}
+		opts.Nodes = n * opts.Replication
+	}
+	if opts.Nodes < opts.Replication {
+		opts.Nodes = opts.Replication
+	}
+	if opts.Host.LinkBps == 0 {
+		opts.Host = simnet.DefaultHostConfig()
+	}
+	if opts.FlowLimit <= 0 {
+		opts.FlowLimit = 4096
+	}
+	if opts.TickInterval <= 0 {
+		opts.TickInterval = 10 * time.Microsecond
+	}
+	if opts.NewService == nil {
+		opts.NewService = func(int) (app.Service, app.CostModel) {
+			s := &app.SynthService{}
+			return s, s
+		}
+	}
+
+	c := &MultiCluster{
+		Sim:    simnet.New(opts.Seed),
+		Opts:   opts,
+		Map:    shard.NewMap(opts.Groups),
+		addrOf: make(map[raft.NodeID]simnet.Addr),
+	}
+	c.Net = simnet.NewNetwork(c.Sim)
+	if opts.Obs.Active() {
+		opts.Obs.SetClock(c.Sim.Now)
+		c.Net.SetObserver(func(kind, detail string) {
+			opts.Obs.Emit("net", kind, detail)
+		})
+	}
+
+	pool := make([]raft.NodeID, opts.Nodes)
+	for i := range pool {
+		pool[i] = raft.NodeID(i + 1)
+	}
+	c.Placement = shard.Place(opts.Groups, pool, opts.Replication)
+
+	// Pool hosts, engines attached below once groups are known.
+	for _, id := range pool {
+		h := c.Net.NewHost(fmt.Sprintf("node%d", id), opts.Host)
+		c.addrOf[id] = h.Addr()
+		n := &MultiNode{
+			ID: id, Host: h, cluster: c,
+			Engines:  make([]*core.Engine, opts.Groups),
+			Services: make([]app.Service, opts.Groups),
+			reasm:    r2p2.NewReassembler(20 * time.Millisecond),
+		}
+		h.SetHandler(n.onPacket)
+		c.Nodes = append(c.Nodes, n)
+	}
+
+	// Per-group multicast groups, flow windows, and member engines.
+	for g := 0; g < opts.Groups; g++ {
+		members := c.Placement.Members[g]
+		addrs := make([]simnet.Addr, len(members))
+		for i, id := range members {
+			addrs[i] = c.addrOf[id]
+		}
+		sg := &ShardGroup{
+			ID:      shard.GroupID(g),
+			Members: members,
+			Flow:    core.NewFlowControl(opts.FlowLimit, 20*time.Millisecond),
+			addr:    c.Net.NewGroup(addrs...),
+		}
+		c.Groups = append(c.Groups, sg)
+
+		for _, id := range members {
+			n := c.Nodes[int(id)-1]
+			svc, cost := opts.NewService(g)
+			n.Services[g] = svc
+			n.Engines[g] = core.NewEngine(core.Config{
+				Mode: core.ModeHovercraft, ID: id, Peers: members,
+				TickInterval:   opts.TickInterval,
+				ElectionTicks:  opts.ElectionTicks,
+				HeartbeatTicks: opts.HeartbeatTicks,
+				Bound:          opts.Bound,
+				Policy:         opts.Policy,
+				DisableReplyLB: opts.DisableReplyLB,
+				Rand:           c.Sim.Rand(),
+				Obs:            opts.Obs,
+			}, &groupTransport{c: c, host: n.Host, group: uint8(g)},
+				&simRunner{host: n.Host, svc: svc, cost: cost})
+		}
+	}
+
+	// One flow-control middlebox fronts all groups: it demultiplexes on
+	// the R2P2 group byte, charges the group's own window, and rewrites
+	// the destination to the group's multicast address. Requests tagged
+	// with a group this deployment does not serve are NACKed with the
+	// GroupInvalid sentinel so shard-aware clients refresh their map.
+	mbCfg := opts.Host
+	mbCfg.LinkBps = 100_000_000_000
+	mbCfg.RxCost = 50 * time.Nanosecond
+	mbCfg.TxCost = 50 * time.Nanosecond
+	mbCfg.EgressQueue = 8192
+	mbCfg.IngressQueue = 8192
+	c.flowHost = c.Net.NewHost("flowctl", mbCfg)
+	c.flowHost.SetHandler(c.onFlowPacket)
+	c.ServiceAddr = c.flowHost.Addr()
+	return c
+}
+
+// Start launches tick loops and campaigns each group's placed leader.
+func (c *MultiCluster) Start() {
+	for _, n := range c.Nodes {
+		n.startTicking()
+	}
+	for g, leader := range c.Placement.Leaders {
+		c.Nodes[int(leader)-1].Engines[g].Campaign()
+	}
+	c.flowGC()
+}
+
+func (c *MultiCluster) flowGC() {
+	for _, sg := range c.Groups {
+		if n := sg.Flow.GC(c.Sim.Now()); n > 0 && c.Opts.Obs.Active() {
+			c.Opts.Obs.Emitf("flow", "slot_reclaim", "group %d reclaimed %d leaked in-flight slots", sg.ID, n)
+		}
+	}
+	c.Sim.After(5*time.Millisecond, c.flowGC)
+}
+
+// Run advances the simulation to the given virtual time.
+func (c *MultiCluster) Run(until time.Duration) { c.Sim.Run(until) }
+
+// NodeByID returns the pool node with the given ID.
+func (c *MultiCluster) NodeByID(id raft.NodeID) *MultiNode {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// LeaderOf returns the node currently leading group g, or nil during an
+// election.
+func (c *MultiCluster) LeaderOf(g int) *MultiNode {
+	for _, id := range c.Groups[g].Members {
+		n := c.Nodes[int(id)-1]
+		if !n.crashed && n.Engines[g] != nil && n.Engines[g].IsLeader() {
+			return n
+		}
+	}
+	return nil
+}
+
+// RegisterMetrics exposes per-group and per-node counters on the registry:
+// shard.g<G>.flow.* (admission window), shard.g<G>.node<N>.* (engine
+// counters), and the cluster-wide stale-redirect count.
+func (c *MultiCluster) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	root := reg.Sub("shard")
+	root.Counter("stale_nacks", func() uint64 { return c.StaleNacks })
+	for _, sg := range c.Groups {
+		sg := sg
+		gv := root.Sub(fmt.Sprintf("g%d", sg.ID))
+		gv.Counter("flow.admitted", func() uint64 { return sg.Flow.Admitted })
+		gv.Counter("flow.nacked", func() uint64 { return sg.Flow.Nacked })
+		gv.Counter("flow.leaked", func() uint64 { return sg.Flow.Leaked })
+		gv.Gauge("flow.inflight", func() float64 { return float64(sg.Flow.InFlight()) })
+		for _, id := range sg.Members {
+			n := c.Nodes[int(id)-1]
+			gv.CounterSet(fmt.Sprintf("node%d", id), n.Engines[sg.ID].Counters())
+		}
+	}
+}
+
+// --- node mechanics ------------------------------------------------------
+
+func (n *MultiNode) startTicking() {
+	n.crashed = false
+	var loop func()
+	loop = func() {
+		if n.crashed {
+			return
+		}
+		n.ticks++
+		for _, e := range n.Engines {
+			if e != nil {
+				e.Tick()
+			}
+		}
+		if n.ticks%1024 == 0 {
+			n.reasm.GC(n.cluster.Sim.Now())
+		}
+		n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
+	}
+	n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
+}
+
+func (n *MultiNode) onPacket(pkt *simnet.Packet) {
+	m, err := n.reasm.Ingest(pkt.Payload, uint32(pkt.Src), n.cluster.Sim.Now())
+	if err != nil || m == nil {
+		return
+	}
+	g := int(m.Group)
+	if g >= len(n.Engines) || n.Engines[g] == nil {
+		// Not a member of this group under the current map. A client
+		// request landing here means the sender routed by a stale map:
+		// redirect it; anything else (stray consensus traffic during a
+		// reconfiguration) is dropped.
+		if m.Type == r2p2.TypeRequest {
+			nack := r2p2.MakeNack(m.ID)
+			r2p2.SetGroup(nack, r2p2.GroupInvalid)
+			n.Host.Send(&simnet.Packet{Dst: simnet.Addr(m.ID.SrcIP), Payload: nack})
+		}
+		return
+	}
+	n.Engines[g].HandleMessage(m)
+}
+
+// Crash fail-stops the node (taking down its replicas in every group).
+func (n *MultiNode) Crash() {
+	n.crashed = true
+	n.Host.Crash()
+	if n.cluster.Opts.Obs.Active() {
+		n.cluster.Opts.Obs.Emitf("node", "crash", "node %d fail-stopped", n.ID)
+	}
+}
+
+// Restart revives a crashed node with its in-memory protocol state.
+func (n *MultiNode) Restart() {
+	n.Host.Restart()
+	n.startTicking()
+	if n.cluster.Opts.Obs.Active() {
+		n.cluster.Opts.Obs.Emitf("node", "restart", "node %d restarted", n.ID)
+	}
+}
+
+// Crashed reports the node's failure state.
+func (n *MultiNode) Crashed() bool { return n.crashed }
+
+// --- transport -----------------------------------------------------------
+
+// groupTransport is the per-(node, group) engine transport. Every header
+// already carries the full R2P2 frame per fragment, so stamping the group
+// byte on each egress datagram tags whole messages — the engine itself
+// stays group-unaware.
+type groupTransport struct {
+	c     *MultiCluster
+	host  *simnet.Host
+	group uint8
+}
+
+func (t *groupTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+	dst, ok := t.c.addrOf[id]
+	if !ok {
+		return
+	}
+	r2p2.StampGroup(dgs, t.group)
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: dst, Payload: dg})
+	}
+}
+
+func (t *groupTransport) SendToAggregator(dgs [][]byte) {
+	// The sharded simulation runs plain HovercRaft (no in-network
+	// aggregator); the engine never calls this in ModeHovercraft.
+}
+
+func (t *groupTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
+	// Responses keep the group stamp so shard-aware clients can attribute
+	// completions to groups without re-hashing the key.
+	r2p2.StampGroup(dgs, t.group)
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: simnet.Addr(id.SrcIP), Payload: dg})
+	}
+}
+
+func (t *groupTransport) SendFeedback(dgs [][]byte) {
+	r2p2.StampGroup(dgs, t.group)
+	for _, dg := range dgs {
+		t.host.Send(&simnet.Packet{Dst: t.c.flowHost.Addr(), Payload: dg})
+	}
+}
+
+// --- middlebox datapath --------------------------------------------------
+
+func (c *MultiCluster) onFlowPacket(pkt *simnet.Packet) {
+	g := r2p2.GroupOf(pkt.Payload)
+	if int(g) >= len(c.Groups) {
+		// Group this deployment does not serve (stale or corrupt client
+		// map, or an unparseable frame): NACK first fragments of requests
+		// with the redirect sentinel, drop the rest.
+		var h r2p2.Header
+		if err := h.Unmarshal(pkt.Payload); err == nil &&
+			h.Type == r2p2.TypeRequest && h.Flags&r2p2.FlagFirst != 0 {
+			c.StaleNacks++
+			nack := r2p2.MakeNack(r2p2.IDOf(&h, uint32(pkt.Src)))
+			r2p2.SetGroup(nack, r2p2.GroupInvalid)
+			c.flowHost.Send(&simnet.Packet{Dst: pkt.Src, Payload: nack})
+			if c.Opts.Obs.Active() {
+				c.Opts.Obs.Emitf("flow", "stale_map", "redirected request for unknown group %d from %v", g, pkt.Src)
+			}
+		}
+		return
+	}
+	sg := c.Groups[g]
+	verdict, nack := sg.Flow.HandleDatagram(pkt.Payload, uint32(pkt.Src), c.Sim.Now())
+	switch verdict {
+	case core.VerdictForward:
+		// Rewrite destination to the group's multicast address, keeping
+		// the client's source address.
+		c.flowHost.SendFrom(&simnet.Packet{Src: pkt.Src, Dst: sg.addr, Payload: pkt.Payload})
+	case core.VerdictNack:
+		// Flow-control NACK: echo the request's own group so clients can
+		// tell back-pressure (retry later, same route) from staleness
+		// (refresh the map).
+		r2p2.SetGroup(nack, uint8(sg.ID))
+		c.flowHost.Send(&simnet.Packet{Dst: pkt.Src, Payload: nack})
+		if c.Opts.Obs.Active() {
+			c.Opts.Obs.Emitf("flow", "nack", "group %d nacked request from %v (window full)", sg.ID, pkt.Src)
+		}
+	}
+}

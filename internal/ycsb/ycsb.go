@@ -151,6 +151,9 @@ type Chooser interface {
 type Op struct {
 	// Payload is the encoded kvstore command.
 	Payload []byte
+	// Key is the record key the operation addresses (the routing key for
+	// sharded deployments; scans route by their start key).
+	Key string
 	// ReadOnly reports whether this is a SCAN.
 	ReadOnly bool
 }
@@ -199,7 +202,7 @@ func (w *WorkloadE) Records() uint64 { return w.records }
 func (w *WorkloadE) LoadOps() []Op {
 	ops := make([]Op, 0, w.records)
 	for i := uint64(0); i < w.records; i++ {
-		ops = append(ops, Op{Payload: kvstore.EncodeInsert(Key(i), w.fields)})
+		ops = append(ops, Op{Payload: kvstore.EncodeInsert(Key(i), w.fields), Key: Key(i)})
 	}
 	return ops
 }
@@ -211,11 +214,12 @@ func (w *WorkloadE) Next(rng *rand.Rand) Op {
 		n := 1 + rng.Intn(w.MaxScanLength)
 		return Op{
 			Payload:  kvstore.EncodeScan(Key(start), uint16(n)),
+			Key:      Key(start),
 			ReadOnly: true,
 		}
 	}
 	key := Key(w.records)
 	w.records++
 	w.chooser.SetItems(w.records)
-	return Op{Payload: kvstore.EncodeInsert(key, w.fields)}
+	return Op{Payload: kvstore.EncodeInsert(key, w.fields), Key: key}
 }
