@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (table1, fig7..fig13, shardscale, all)")
+		experiment = flag.String("experiment", "all", "experiment id (table1, fig7..fig13, shardscale, failover, all)")
 		quick      = flag.Bool("quick", false, "reduced sweep for fast runs")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		list       = flag.Bool("list", false, "list experiment ids and exit")

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hovercraft/internal/r2p2"
+)
+
+func rid(n uint32) r2p2.RequestID { return r2p2.RequestID{SrcIP: 1, SrcPort: 2, ReqID: n} }
+
+func TestDedupCacheRecordLookupEvict(t *testing.T) {
+	d := NewDedupCache(3)
+	for i := uint32(0); i < 5; i++ {
+		d.Record(rid(i), []byte{byte(i)}, 7)
+	}
+	// Window 3: ids 0 and 1 evicted in insertion order.
+	if d.Len() != 3 || d.Evicted != 2 {
+		t.Fatalf("len=%d evicted=%d, want 3/2", d.Len(), d.Evicted)
+	}
+	if d.Seen(rid(0)) || d.Seen(rid(1)) {
+		t.Fatal("evicted ids still present")
+	}
+	reply, replier, hasReply, ok := d.Lookup(rid(4))
+	if !ok || !hasReply || replier != 7 || !bytes.Equal(reply, []byte{4}) {
+		t.Fatalf("Lookup(4) = %v %v %v %v", reply, replier, hasReply, ok)
+	}
+}
+
+func TestDedupCacheRecordFillsMissingReply(t *testing.T) {
+	d := NewDedupCache(8)
+	d.Record(rid(1), nil, 3) // apply started, reply unknown
+	if _, _, hasReply, ok := d.Lookup(rid(1)); !ok || hasReply {
+		t.Fatal("expected hit without reply bytes")
+	}
+	d.Record(rid(1), []byte("r"), 3) // done callback fills it
+	if reply, _, hasReply, ok := d.Lookup(rid(1)); !ok || !hasReply || string(reply) != "r" {
+		t.Fatal("reply bytes not filled in")
+	}
+	// Re-recording must not duplicate the FIFO slot.
+	if len(d.fifo) != 1 {
+		t.Fatalf("fifo len %d, want 1", len(d.fifo))
+	}
+}
+
+func TestDedupSnapshotRoundTrip(t *testing.T) {
+	d := NewDedupCache(16)
+	d.Record(rid(10), []byte("a"), 1)
+	d.Record(rid(11), []byte("b"), 2)
+	app := []byte("application state")
+	blob := wrapSnapshot(d, app)
+
+	ids, gotApp, err := unwrapSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotApp, app) {
+		t.Fatalf("app blob mangled: %q", gotApp)
+	}
+	if len(ids) != 2 || ids[0] != rid(10) || ids[1] != rid(11) {
+		t.Fatalf("ids = %v", ids)
+	}
+
+	// A restored replica suppresses the ids but has no reply bytes.
+	d2 := NewDedupCache(16)
+	d2.seedFromSnapshot(ids)
+	if !d2.Seen(rid(10)) {
+		t.Fatal("seeded id not suppressed")
+	}
+	if _, _, hasReply, _ := d2.Lookup(rid(11)); hasReply {
+		t.Fatal("restored entry should not claim reply bytes")
+	}
+}
+
+func TestDedupSnapshotLegacyPassthrough(t *testing.T) {
+	raw := []byte("no magic here")
+	ids, app, err := unwrapSnapshot(raw)
+	if err != nil || len(ids) != 0 || !bytes.Equal(app, raw) {
+		t.Fatalf("legacy blob mishandled: %v %v %v", ids, app, err)
+	}
+	// nil cache wraps an empty window.
+	ids, app, err = unwrapSnapshot(wrapSnapshot(nil, raw))
+	if err != nil || len(ids) != 0 || !bytes.Equal(app, raw) {
+		t.Fatalf("nil-cache wrap broken: %v %v %v", ids, app, err)
+	}
+}
+
+func TestDedupSnapshotTruncatedHeader(t *testing.T) {
+	d := NewDedupCache(4)
+	d.Record(rid(1), []byte("x"), 1)
+	blob := wrapSnapshot(d, []byte("app"))
+	if _, _, err := unwrapSnapshot(blob[:10]); err == nil {
+		t.Fatal("truncated id table not rejected")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"hovercraft/internal/obs"
@@ -121,6 +122,14 @@ type Config struct {
 	// Obs, when non-nil, receives request lifecycle stamps and cluster
 	// events. A nil value disables tracing at zero allocation cost.
 	Obs *obs.Obs
+
+	// DedupWindow bounds the exactly-once RPC-ID cache: every replica
+	// remembers the last DedupWindow applied read-write request IDs with
+	// their replies, suppresses re-execution of retransmitted
+	// duplicates, and lets the designated replier answer a retry from
+	// the cache. 0 selects the default (65536); negative disables
+	// dedup entirely (at-least-once semantics, the pre-cache behavior).
+	DedupWindow int
 }
 
 // Snapshotter captures and restores application state for log
@@ -160,6 +169,9 @@ func (c *Config) defaults() {
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(int64(c.ID) * 31))
 	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 65536
+	}
 }
 
 // Engine is one HovercRaft node: Raft embedded in the R2P2 layer plus the
@@ -196,6 +208,13 @@ type Engine struct {
 	missing      map[uint64]r2p2.RequestID // log index → request id
 	recoveryDue  uint64                    // tick when the next recovery burst may go
 	lastTermSeen uint64
+
+	// Exactly-once machinery: dedup remembers applied read-write IDs
+	// (nil when disabled); inLog tracks IDs this leader has proposed but
+	// not yet applied, so a retransmit arriving mid-flight is not
+	// proposed twice.
+	dedup *DedupCache
+	inLog map[r2p2.RequestID]bool
 
 	// heardTerm latches, per peer, the latest term in which the peer
 	// was heard from. The leader only designates repliers among peers
@@ -246,6 +265,10 @@ func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
 		obs:       cfg.Obs,
 		missing:   make(map[uint64]r2p2.RequestID),
 		heardTerm: make(map[raft.NodeID]uint64),
+		inLog:     make(map[r2p2.RequestID]bool),
+	}
+	if cfg.DedupWindow > 0 {
+		e.dedup = NewDedupCache(cfg.DedupWindow)
 	}
 	e.node = raft.NewNode(raft.Config{
 		ID: cfg.ID, Peers: cfg.Peers,
@@ -264,10 +287,32 @@ func (e *Engine) Bootstrap(rs *raft.RecoveredState) error {
 		return err
 	}
 	if rs != nil && rs.SnapIdx > 0 && e.cfg.Snapshotter != nil {
-		if err := e.cfg.Snapshotter.Restore(rs.SnapData); err != nil {
+		ids, app, err := unwrapSnapshot(rs.SnapData)
+		if err != nil {
 			return err
 		}
+		if err := e.cfg.Snapshotter.Restore(app); err != nil {
+			return err
+		}
+		if e.dedup != nil {
+			e.dedup.seedFromSnapshot(ids)
+		}
 		e.lastRestored = rs.SnapIdx
+	}
+	// A follower's WAL holds metadata-only entries (bodies travel by
+	// multicast, not AppendEntries): register every bodyless entry for
+	// batch recovery now, rather than discovering them one at a time
+	// when the apply pipeline stalls on each.
+	log := e.node.Log()
+	for i := log.FirstIndex(); i <= log.LastIndex(); i++ {
+		le := log.Entry(i)
+		if le == nil || le.Kind == raft.KindNoop || le.Data != nil {
+			continue
+		}
+		if e.dedup != nil && le.Kind == raft.KindReadWrite && e.dedup.Seen(le.ID) {
+			continue // duplicate of a snapshotted request; never executed
+		}
+		e.missing[i] = le.ID
 	}
 	e.lastTermSeen = e.node.Term()
 	return nil
@@ -284,6 +329,9 @@ func (e *Engine) Unordered() *UnorderedStore { return e.unordered }
 
 // Queues exposes the bounded queues (tests).
 func (e *Engine) Queues() *BoundedQueues { return e.queues }
+
+// Dedup exposes the exactly-once reply cache (tests; nil when disabled).
+func (e *Engine) Dedup() *DedupCache { return e.dedup }
 
 // IsLeader reports whether this node currently leads.
 func (e *Engine) IsLeader() bool { return e.node.State() == raft.StateLeader }
@@ -337,6 +385,26 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 	if m.IsReadOnly() {
 		kind = raft.KindReadOnly
 	}
+	// Exactly-once fast path: a retransmission of an already-applied
+	// write is answered from the reply cache, never re-proposed or even
+	// parked. Read-only requests are not deduplicated — re-reading is
+	// harmless and the reply may legitimately differ.
+	if e.dedup != nil && kind == raft.KindReadWrite {
+		if reply, replier, hasReply, ok := e.dedup.Lookup(m.ID); ok {
+			e.counters.Get("rx_req_dup").Inc()
+			if hasReply && e.shouldAnswerDup(replier) {
+				e.counters.Get("tx_dup_reply").Inc()
+				e.reply(m.ID, reply)
+			}
+			return
+		}
+		if e.inLog[m.ID] {
+			// Already proposed and committed-or-committing: the reply
+			// will go out when the entry applies.
+			e.counters.Get("rx_req_inflight").Inc()
+			return
+		}
+	}
 	switch e.cfg.Mode {
 	case ModeVanilla:
 		if !e.IsLeader() {
@@ -352,6 +420,9 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 		})
 		if err != nil {
 			return
+		}
+		if kind == raft.KindReadWrite {
+			e.inLog[m.ID] = true
 		}
 		e.obs.Stage(m.ID, obs.StageAppend)
 		e.finish()
@@ -369,11 +440,28 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 				Data: m.Payload,
 			})
 			if err == nil {
+				if kind == raft.KindReadWrite {
+					e.inLog[m.ID] = true
+				}
 				e.obs.Stage(m.ID, obs.StageAppend)
 				e.finish()
 			}
 		}
 	}
+}
+
+// shouldAnswerDup decides whether this node resends the cached reply for
+// a duplicate request: the original replier always does; the leader steps
+// in when that replier has not been heard from this term (it may be dead,
+// and a dead replier would otherwise leave the client retrying forever).
+func (e *Engine) shouldAnswerDup(replier raft.NodeID) bool {
+	if replier == e.cfg.ID {
+		return true
+	}
+	if !e.IsLeader() {
+		return false
+	}
+	return replier == raft.None || e.heardTerm[replier] < e.node.Term()
 }
 
 // --- consensus messages -------------------------------------------------
@@ -544,12 +632,20 @@ func (e *Engine) sendRecovery(force bool) {
 	lead := target
 	e.recoveryDue = e.ticks + uint64(e.cfg.RecoveryRetryTicks)
 	req := &RecoveryReq{From: e.cfg.ID}
-	for idx, id := range e.missing {
+	// Lowest indexes first, deterministically (map order would make the
+	// request bytes — and hence the whole run — vary between replays of
+	// the same seed): the apply pipeline needs the earliest bodies first.
+	idxs := make([]uint64, 0, len(e.missing))
+	for idx := range e.missing {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	if len(idxs) > 64 {
+		idxs = idxs[:64]
+	}
+	for _, idx := range idxs {
 		req.Indexes = append(req.Indexes, idx)
-		req.IDs = append(req.IDs, id)
-		if len(req.Indexes) >= 64 {
-			break
-		}
+		req.IDs = append(req.IDs, e.missing[idx])
 	}
 	e.counters.Get("tx_recovery_req").Inc()
 	if e.obs.Active() {
@@ -818,13 +914,20 @@ func (e *Engine) becomeLeader() {
 		return
 	}
 	// Recompute announced_idx from the inherited log: the prefix whose
-	// entries all carry a replier.
+	// entries all carry a replier. The same walk rebuilds the in-flight
+	// suppression set — every unapplied ID in the log must block
+	// re-proposal of its retransmissions.
 	e.announced = log.LastIndex()
 	ids := make(map[r2p2.RequestID]bool)
+	e.inLog = make(map[r2p2.RequestID]bool)
+	applied0 := log.Applied()
 	for i := log.FirstIndex(); i <= log.LastIndex(); i++ {
 		le := log.Entry(i)
 		if le.Kind != raft.KindNoop {
 			ids[le.ID] = true
+			if le.Kind == raft.KindReadWrite && i > applied0 {
+				e.inLog[le.ID] = true
+			}
 		}
 		if le.Kind != raft.KindNoop && le.Replier == raft.None && e.announced >= i {
 			e.announced = i - 1
@@ -842,12 +945,21 @@ func (e *Engine) becomeLeader() {
 	})
 	e.node.SetReplicationLimit(e.announced)
 	// Order everything we heard that the old leader never announced (§5).
+	// Retransmissions of already-applied writes are filtered by the dedup
+	// cache — proposing one again is safe (it is skipped at apply) but
+	// wasteful.
 	for _, ent := range e.unordered.Drain() {
 		if ids[ent.ID] {
 			continue // already in the inherited log
 		}
+		if e.dedup != nil && ent.Kind == raft.KindReadWrite && e.dedup.Seen(ent.ID) {
+			continue
+		}
 		if _, err := e.node.Propose(ent); err != nil {
 			break
+		}
+		if ent.Kind == raft.KindReadWrite {
+			e.inLog[ent.ID] = true
 		}
 	}
 }
@@ -869,6 +981,26 @@ func (e *Engine) maybeApply() {
 		if le == nil {
 			return // behind a snapshot restore; nothing to run
 		}
+		if e.dedup != nil && le.Kind == raft.KindReadWrite {
+			if reply, _, hasReply, ok := e.dedup.Lookup(le.ID); ok {
+				// Duplicate of an already-executed write: a client
+				// retransmission that a (new) leader ordered again.
+				// Exactly-once means every replica skips execution here
+				// — identically, since the caches march in lockstep —
+				// and the entry's replier answers from the cache. This
+				// check precedes the body stall: a dup needs no body.
+				e.counters.Get("apply_dup_skip").Inc()
+				delete(e.missing, next)
+				delete(e.inLog, le.ID)
+				e.unordered.Drop(le.ID)
+				if hasReply && le.Replier == e.cfg.ID {
+					e.counters.Get("tx_dup_reply").Inc()
+					e.reply(le.ID, reply)
+				}
+				e.markApplied(next)
+				continue
+			}
+		}
 		if le.Kind != raft.KindNoop && le.Data == nil {
 			e.missing[next] = le.ID
 			e.sendRecovery(false)
@@ -882,6 +1014,13 @@ func (e *Engine) maybeApply() {
 		if !execute {
 			e.markApplied(next)
 			continue
+		}
+		if e.dedup != nil && le.Kind == raft.KindReadWrite {
+			// Register the ID before execution starts so a retransmit
+			// arriving mid-execution is suppressed, not re-proposed; the
+			// reply bytes are filled in by the done callback below.
+			e.dedup.Record(le.ID, nil, le.Replier)
+			delete(e.inLog, le.ID)
 		}
 		e.applyBusy = true
 		entry := *le // capture: the log slot may be truncated meanwhile
@@ -902,6 +1041,13 @@ func (e *Engine) maybeApply() {
 			// applied index must not regress.
 			if entry.Index > log.Applied() {
 				e.markApplied(entry.Index)
+			}
+			if e.dedup != nil && entry.Kind == raft.KindReadWrite {
+				r := reply
+				if r == nil {
+					r = []byte{} // nil means "reply unknown" in the cache
+				}
+				e.dedup.Record(entry.ID, r, entry.Replier)
 			}
 			if entry.Replier == e.cfg.ID {
 				e.reply(entry.ID, reply)
@@ -970,7 +1116,16 @@ func (e *Engine) maybeSnapshot() {
 	}
 	log := e.node.Log()
 	if si := log.SnapIndex(); si > e.lastRestored && si >= log.Applied() {
-		if err := e.cfg.Snapshotter.Restore(log.SnapData()); err == nil {
+		ids, app, uerr := unwrapSnapshot(log.SnapData())
+		if uerr != nil {
+			return
+		}
+		if err := e.cfg.Snapshotter.Restore(app); err == nil {
+			if e.dedup != nil {
+				// Keep suppressing duplicates of writes whose effects
+				// are baked into the restored state.
+				e.dedup.seedFromSnapshot(ids)
+			}
 			e.lastRestored = si
 			e.counters.Get("snap_restored").Inc()
 			// Entries below the snapshot can never need recovery now.
@@ -1001,7 +1156,9 @@ func (e *Engine) maybeCompact() {
 	if log.Applied()-log.SnapIndex() < e.cfg.CompactEvery {
 		return
 	}
-	blob := e.cfg.Snapshotter.Snapshot()
+	// The dedup ID window rides inside the snapshot blob so restored
+	// replicas keep their exactly-once guarantee (see dedup.go).
+	blob := wrapSnapshot(e.dedup, e.cfg.Snapshotter.Snapshot())
 	if err := e.node.Compact(log.Applied(), blob); err == nil {
 		e.lastRestored = log.SnapIndex()
 		e.counters.Get("snap_taken").Inc()

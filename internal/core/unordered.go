@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"hovercraft/internal/r2p2"
@@ -14,6 +15,7 @@ type unorderedEntry struct {
 	data     []byte
 	hash     uint64
 	deadline time.Duration
+	seq      uint64 // arrival order, so Drain is deterministic
 }
 
 // UnorderedStore holds multicast-received client requests that have not
@@ -23,6 +25,7 @@ type unorderedEntry struct {
 type UnorderedStore struct {
 	timeout time.Duration
 	m       map[r2p2.RequestID]*unorderedEntry
+	nextSeq uint64
 
 	// Stats.
 	Promoted  uint64
@@ -40,11 +43,13 @@ func (u *UnorderedStore) Put(id r2p2.RequestID, policy r2p2.Policy, data []byte,
 	if _, ok := u.m[id]; ok {
 		return
 	}
+	u.nextSeq++
 	u.m[id] = &unorderedEntry{
 		policy:   policy,
 		data:     data,
 		hash:     raft.Hash64(data),
 		deadline: now + u.timeout,
+		seq:      u.nextSeq,
 	}
 }
 
@@ -69,19 +74,30 @@ func (u *UnorderedStore) Take(id r2p2.RequestID, wantHash uint64) ([]byte, bool)
 // otherwise resolved elsewhere).
 func (u *UnorderedStore) Drop(id r2p2.RequestID) { delete(u.m, id) }
 
-// Drain removes and returns every parked request — the new-leader path:
-// after winning an election the leader orders everything it has heard but
-// that the old leader never announced (§5).
+// Drain removes and returns every parked request in arrival order — the
+// new-leader path: after winning an election the leader orders everything
+// it has heard but that the old leader never announced (§5). The order is
+// deterministic (arrival sequence, never map order) so that a failover
+// replays identically under the same seed.
 func (u *UnorderedStore) Drain() []raft.Entry {
-	out := make([]raft.Entry, 0, len(u.m))
+	type drained struct {
+		seq uint64
+		ent raft.Entry
+	}
+	all := make([]drained, 0, len(u.m))
 	for id, e := range u.m {
 		kind := raft.KindReadWrite
 		if e.policy == r2p2.PolicyReplicatedRO {
 			kind = raft.KindReadOnly
 		}
-		out = append(out, raft.Entry{
+		all = append(all, drained{seq: e.seq, ent: raft.Entry{
 			Kind: kind, ID: id, BodyHash: e.hash, Data: e.data,
-		})
+		}})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]raft.Entry, len(all))
+	for i := range all {
+		out[i] = all[i].ent
 	}
 	u.m = make(map[r2p2.RequestID]*unorderedEntry)
 	return out

@@ -19,6 +19,11 @@ type UnreplicatedEngine struct {
 
 	queue []r2p2.Msg
 	busy  bool
+
+	// dedup gives the baseline the same exactly-once retry contract as
+	// the replicated engines: a retransmitted write is answered from the
+	// cache instead of re-executed.
+	dedup *DedupCache
 }
 
 // NewUnreplicatedEngine builds the baseline server.
@@ -27,6 +32,7 @@ func NewUnreplicatedEngine(transport Transport, runner AppRunner) *UnreplicatedE
 		transport: transport,
 		runner:    runner,
 		counters:  stats.NewCounterSet(),
+		dedup:     NewDedupCache(65536),
 	}
 }
 
@@ -46,6 +52,19 @@ func (e *UnreplicatedEngine) HandleMessage(m *r2p2.Msg) {
 		return
 	}
 	e.counters.Get("rx_req").Inc()
+	if !m.IsReadOnly() {
+		if reply, _, hasReply, ok := e.dedup.Lookup(m.ID); ok {
+			// Retransmitted write: answer from the cache (or stay
+			// silent while the original is still queued/executing).
+			e.counters.Get("rx_req_dup").Inc()
+			if hasReply {
+				e.counters.Get("tx_dup_reply").Inc()
+				e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
+			}
+			return
+		}
+		e.dedup.Record(m.ID, nil, 0)
+	}
 	// UnRep has no ordering or replication work: stamp those stages at
 	// ingest so its decomposition shows order=replicate=0 and the
 	// apply_queue segment isolates app-thread queueing.
@@ -68,6 +87,13 @@ func (e *UnreplicatedEngine) pump() {
 	e.runner.Run(m.Payload, m.IsReadOnly(), func(reply []byte) {
 		e.busy = false
 		e.obs.Stage(m.ID, obs.StageApplyDone)
+		if !m.IsReadOnly() {
+			r := reply
+			if r == nil {
+				r = []byte{}
+			}
+			e.dedup.Record(m.ID, r, 0)
+		}
 		e.counters.Get("tx_resp").Inc()
 		e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
 		e.pump()

@@ -1,0 +1,118 @@
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Runner executes one chaos run: build a fresh cluster from seed, attach
+// sched, drive load to the horizon, check invariants (linearizability,
+// Raft safety), and return a fingerprint covering everything observable
+// (history, final states, applied logs). Violations come back as errors.
+//
+// The contract that makes Explore's replay check meaningful: a Runner
+// must derive ALL randomness from seed, so two calls with equal
+// arguments are bit-for-bit identical runs.
+type Runner func(seed int64, sched Schedule) (fingerprint uint64, err error)
+
+// Failure records one failed chaos run with enough context to replay it.
+type Failure struct {
+	Seed  int64
+	Sched Schedule
+	Err   error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("seed %d [%s]: %v", f.Seed, f.Sched.String(), f.Err)
+}
+
+// Report summarizes an exploration sweep.
+type Report struct {
+	Runs int
+	// Failures holds invariant violations (replayable by seed).
+	Failures []Failure
+	// Coverage counts, per fault kind, how many schedules exercised it.
+	Coverage [NumKinds]int
+	// Mismatches lists seeds whose replay produced a different
+	// fingerprint — determinism bugs, the VOPR's other quarry.
+	Mismatches []int64
+}
+
+// Options parameterize Explore.
+type Options struct {
+	// Seeds drives both schedule sampling and cluster seeding; one seed
+	// = one run.
+	Seeds []int64
+	// Spec bounds the sampled schedules.
+	Spec Spec
+	// ReplayEvery re-runs every Nth seed and compares fingerprints
+	// (0 disables the determinism check).
+	ReplayEvery int
+}
+
+// Seeds returns n consecutive seeds starting at base — the fixed seed
+// matrices CI uses.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Explore is the VOPR-style chaos loop: for every seed, sample a random
+// fault schedule, run it through the Runner, and collect invariant
+// violations, kind coverage, and replay mismatches.
+func Explore(opts Options, run Runner) Report {
+	var rep Report
+	for i, seed := range opts.Seeds {
+		rng := rand.New(rand.NewSource(seed))
+		sched := RandomSchedule(rng, opts.Spec)
+		for k := range sched.Kinds() {
+			rep.Coverage[k]++
+		}
+		rep.Runs++
+		fp, err := run(seed, sched)
+		if err != nil {
+			rep.Failures = append(rep.Failures, Failure{Seed: seed, Sched: sched, Err: err})
+			continue
+		}
+		if opts.ReplayEvery > 0 && i%opts.ReplayEvery == 0 {
+			fp2, err2 := run(seed, sched)
+			switch {
+			case err2 != nil:
+				rep.Failures = append(rep.Failures, Failure{Seed: seed, Sched: sched,
+					Err: fmt.Errorf("replay failed where original passed: %w", err2)})
+			case fp2 != fp:
+				rep.Mismatches = append(rep.Mismatches, seed)
+			}
+		}
+	}
+	return rep
+}
+
+// Fingerprint accumulates a deterministic digest of a run's observable
+// outcome (FNV-1a).
+type Fingerprint struct{ h uint64 }
+
+// NewFingerprint returns an empty digest.
+func NewFingerprint() *Fingerprint {
+	f := fnv.New64a()
+	return &Fingerprint{h: f.Sum64()}
+}
+
+// Add folds a formatted record into the digest.
+func (f *Fingerprint) Add(format string, args ...interface{}) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(f.h >> (8 * i))
+	}
+	h.Write(buf[:])
+	fmt.Fprintf(h, format, args...)
+	f.h = h.Sum64()
+}
+
+// Sum returns the digest.
+func (f *Fingerprint) Sum() uint64 { return f.h }

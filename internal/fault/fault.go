@@ -1,0 +1,169 @@
+// Package fault is a deterministic fault-injection engine layered on the
+// discrete-event simulator: declarative schedules of crashes, restarts
+// (with optional torn WAL tails), symmetric and one-way partitions,
+// loss/duplication/reordering bursts, per-link latency spikes, slow-CPU
+// nodes, and fsync stalls, applied to a running cluster at virtual-time
+// offsets. Because the simulator is single-threaded and seeded, the same
+// schedule under the same seed replays bit-for-bit — the property the
+// VOPR-style chaos explorer (explore.go) builds on.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the injectable fault actions.
+type Kind int
+
+const (
+	// Crash power-fails a node. Volatile state is lost; with a WAL-backed
+	// cluster the framed log survives for Restart to replay.
+	Crash Kind = iota
+	// Restart brings a crashed node back. Torn shears bytes off the WAL
+	// tail first (modeling a write torn by the crash); without a WAL the
+	// node resumes from its in-memory state.
+	Restart
+	// Partition blocks traffic between Node and Peer (or Node and every
+	// other node when Peer is -1), both directions.
+	Partition
+	// PartitionOneWay blocks only Node → Peer traffic; replies still
+	// flow. The classic asymmetric-link Raft stressor.
+	PartitionOneWay
+	// Heal removes every partition, symmetric and one-way.
+	Heal
+	// Loss sets the network-wide packet loss probability to Rate
+	// (Rate 0 ends the burst).
+	Loss
+	// Dup sets the network-wide packet duplication probability to Rate.
+	Dup
+	// Reorder sets a uniform random extra delay in [0, Dur) per packet,
+	// so deliveries overtake each other (Dur 0 ends the burst).
+	Reorder
+	// LinkDelay adds a fixed Dur latency to Node → Peer packets
+	// (Dur 0 clears it).
+	LinkDelay
+	// SlowCPU multiplies Node's processing costs by Factor
+	// (Factor 1 heals).
+	SlowCPU
+	// FsyncDelay stalls Node's app thread by Dur per WAL append
+	// (Dur 0 heals). Only meaningful on WAL-backed clusters.
+	FsyncDelay
+
+	numKinds
+)
+
+// NumKinds is the number of fault kinds (coverage accounting).
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Partition:
+		return "partition"
+	case PartitionOneWay:
+		return "partition1w"
+	case Heal:
+		return "heal"
+	case Loss:
+		return "loss"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	case LinkDelay:
+		return "linkdelay"
+	case SlowCPU:
+		return "slowcpu"
+	case FsyncDelay:
+		return "fsyncdelay"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node selectors understood by Event.Node (and Peer where noted).
+const (
+	// PickLeader resolves to the current leader at fire time.
+	PickLeader = -1
+	// PickCrashed resolves to the lowest-index crashed node (Restart).
+	PickCrashed = -2
+	// AllOthers, as a Peer, targets every node but Event.Node.
+	AllOthers = -1
+)
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the virtual-time offset the fault fires at.
+	At time.Duration
+	// Kind selects the action; the remaining fields parameterize it.
+	Kind Kind
+	// Node is the target node index, or PickLeader / PickCrashed.
+	Node int
+	// Peer is the second endpoint for Partition/PartitionOneWay/
+	// LinkDelay, or AllOthers.
+	Peer int
+	// Torn is the number of bytes sheared off the WAL tail on Restart.
+	Torn int
+	// Rate parameterizes Loss and Dup.
+	Rate float64
+	// Dur parameterizes Reorder, LinkDelay, and FsyncDelay.
+	Dur time.Duration
+	// Factor parameterizes SlowCPU.
+	Factor float64
+}
+
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v %s node=%d", e.At, e.Kind, e.Node)
+	switch e.Kind {
+	case Partition, PartitionOneWay, LinkDelay:
+		fmt.Fprintf(&b, " peer=%d", e.Peer)
+	}
+	if e.Torn > 0 {
+		fmt.Fprintf(&b, " torn=%d", e.Torn)
+	}
+	if e.Rate > 0 {
+		fmt.Fprintf(&b, " rate=%g", e.Rate)
+	}
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%v", e.Dur)
+	}
+	if e.Factor > 0 {
+		fmt.Fprintf(&b, " factor=%g", e.Factor)
+	}
+	return b.String()
+}
+
+// Schedule is a fault plan: events applied in time order.
+type Schedule struct {
+	Events []Event
+}
+
+// Sort orders events by fire time (stable, so equal-time events keep
+// their declaration order — determinism again).
+func (s *Schedule) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+}
+
+// Kinds returns the set of fault kinds the schedule exercises.
+func (s *Schedule) Kinds() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range s.Events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}

@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hovercraft/internal/simnet"
+)
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	spec := Spec{Nodes: 3, Start: 10 * time.Millisecond, End: 90 * time.Millisecond,
+		Incidents: 5, WAL: true}
+	a := RandomSchedule(rand.New(rand.NewSource(7)), spec)
+	b := RandomSchedule(rand.New(rand.NewSource(7)), spec)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a.String(), b.String())
+	}
+	c := RandomSchedule(rand.New(rand.NewSource(8)), spec)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRandomScheduleCoversAllKindsAcrossSeeds(t *testing.T) {
+	spec := Spec{Nodes: 3, Start: time.Millisecond, End: 50 * time.Millisecond,
+		Incidents: 4, WAL: true}
+	var cover [NumKinds]bool
+	for seed := int64(0); seed < 50; seed++ {
+		s := RandomSchedule(rand.New(rand.NewSource(seed)), spec)
+		for k := range s.Kinds() {
+			cover[k] = true
+		}
+	}
+	for k := 0; k < NumKinds; k++ {
+		if !cover[k] {
+			t.Errorf("fault kind %v never sampled in 50 seeds", Kind(k))
+		}
+	}
+}
+
+// fakeTarget records applied actions for injector-order assertions.
+type fakeTarget struct {
+	sim     *simnet.Sim
+	net     *simnet.Network
+	addrs   []simnet.Addr
+	crashed []bool
+	actions []string
+}
+
+func newFakeTarget(sim *simnet.Sim) *fakeTarget {
+	net := simnet.NewNetwork(sim)
+	ft := &fakeTarget{sim: sim, net: net, crashed: make([]bool, 3)}
+	for i := 0; i < 3; i++ {
+		h := net.NewHost("n", simnet.DefaultHostConfig())
+		ft.addrs = append(ft.addrs, h.Addr())
+	}
+	return ft
+}
+
+func (f *fakeTarget) NumNodes() int      { return 3 }
+func (f *fakeTarget) LeaderIndex() int   { return 1 }
+func (f *fakeTarget) Crashed(i int) bool { return f.crashed[i] }
+func (f *fakeTarget) Crash(i int)        { f.crashed[i] = true; f.actions = append(f.actions, "crash") }
+func (f *fakeTarget) Restart(i, torn int) error {
+	f.crashed[i] = false
+	f.actions = append(f.actions, "restart")
+	return nil
+}
+func (f *fakeTarget) Addr(i int) simnet.Addr               { return f.addrs[i] }
+func (f *fakeTarget) Network() *simnet.Network             { return f.net }
+func (f *fakeTarget) SetCPUSlowdown(i int, factor float64) { f.actions = append(f.actions, "slow") }
+func (f *fakeTarget) SetFsyncDelay(i int, d time.Duration) { f.actions = append(f.actions, "fsync") }
+
+func TestInjectorAppliesScheduleInOrder(t *testing.T) {
+	sim := simnet.New(1)
+	ft := newFakeTarget(sim)
+	sched := Schedule{Events: []Event{
+		{At: 30 * time.Millisecond, Kind: Restart, Node: PickCrashed},
+		{At: 10 * time.Millisecond, Kind: Crash, Node: PickLeader},
+		{At: 20 * time.Millisecond, Kind: Partition, Node: 0, Peer: AllOthers},
+		{At: 40 * time.Millisecond, Kind: Heal},
+		{At: 50 * time.Millisecond, Kind: SlowCPU, Node: 2, Factor: 3},
+	}}
+	inj := Attach(sim, ft, sched)
+	sim.Run(100 * time.Millisecond)
+
+	want := []string{"crash", "restart", "slow"}
+	if len(ft.actions) != len(want) {
+		t.Fatalf("actions = %v", ft.actions)
+	}
+	for i := range want {
+		if ft.actions[i] != want[i] {
+			t.Fatalf("actions = %v, want %v", ft.actions, want)
+		}
+	}
+	// Crash resolved the leader (index 1); restart revived it.
+	if ft.crashed[1] {
+		t.Fatal("leader still crashed after restart event")
+	}
+	// Partition applied then healed.
+	if ft.net.Partitioned(ft.addrs[0], ft.addrs[1]) {
+		t.Fatal("partition not healed")
+	}
+	if inj.Skipped != 0 {
+		t.Fatalf("unexpected skips: %v", inj.Log)
+	}
+	if len(inj.Log) != 5 {
+		t.Fatalf("log = %v", inj.Log)
+	}
+}
+
+func TestInjectorSkipsUnresolvable(t *testing.T) {
+	sim := simnet.New(2)
+	ft := newFakeTarget(sim)
+	sched := Schedule{Events: []Event{
+		{At: time.Millisecond, Kind: Restart, Node: PickCrashed}, // nothing crashed
+		{At: 2 * time.Millisecond, Kind: Crash, Node: 99},        // out of range
+	}}
+	inj := Attach(sim, ft, sched)
+	sim.Run(10 * time.Millisecond)
+	if inj.Skipped != 2 {
+		t.Fatalf("skipped = %d, log = %v", inj.Skipped, inj.Log)
+	}
+	if len(ft.actions) != 0 {
+		t.Fatalf("actions = %v", ft.actions)
+	}
+}

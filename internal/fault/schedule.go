@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Spec bounds RandomSchedule draws.
+type Spec struct {
+	// Nodes is the target pool size.
+	Nodes int
+	// Start/End bound fault fire times (heals may land at End exactly).
+	Start, End time.Duration
+	// Incidents is how many fault incidents to draw (default 3). One
+	// incident can expand to a pair of events (fault + heal).
+	Incidents int
+	// WAL permits torn-tail restarts (needs a WAL-backed target).
+	WAL bool
+}
+
+// RandomSchedule draws a fault schedule from rng — the sampling heart of
+// the chaos explorer. Every draw comes from rng in a fixed order, so one
+// seed maps to exactly one schedule. Incidents are paired with their
+// recovery action (restart after crash, heal after partition, burst end
+// after burst start) most of the time, so most schedules let the cluster
+// converge again before the run's quiet tail.
+func RandomSchedule(rng *rand.Rand, spec Spec) Schedule {
+	if spec.Incidents <= 0 {
+		spec.Incidents = 3
+	}
+	window := spec.End - spec.Start
+	at := func() time.Duration {
+		return spec.Start + time.Duration(rng.Int63n(int64(window)))
+	}
+	// later returns a recovery time after t, still roughly inside the
+	// window so the post-fault convergence is part of the run.
+	later := func(t time.Duration) time.Duration {
+		return t + window/8 + time.Duration(rng.Int63n(int64(window/4)))
+	}
+	node := func() int {
+		// Half the draws aim at the leader — the interesting victim.
+		if rng.Intn(2) == 0 {
+			return PickLeader
+		}
+		return rng.Intn(spec.Nodes)
+	}
+
+	var s Schedule
+	add := func(e Event) { s.Events = append(s.Events, e) }
+	for i := 0; i < spec.Incidents; i++ {
+		switch rng.Intn(9) {
+		case 0: // crash, usually with a restart
+			t := at()
+			torn := 0
+			if spec.WAL && rng.Intn(2) == 0 {
+				torn = 1 + rng.Intn(64)
+			}
+			add(Event{At: t, Kind: Crash, Node: node()})
+			if rng.Intn(4) != 0 { // 3/4 of crashes recover
+				add(Event{At: later(t), Kind: Restart, Node: PickCrashed, Torn: torn})
+			}
+		case 1: // symmetric partition + heal
+			t := at()
+			add(Event{At: t, Kind: Partition, Node: node(), Peer: AllOthers})
+			add(Event{At: later(t), Kind: Heal})
+		case 2: // one-way partition + heal
+			t := at()
+			peer := AllOthers
+			if rng.Intn(2) == 0 {
+				peer = rng.Intn(spec.Nodes)
+			}
+			add(Event{At: t, Kind: PartitionOneWay, Node: node(), Peer: peer})
+			add(Event{At: later(t), Kind: Heal})
+		case 3: // loss burst
+			t := at()
+			add(Event{At: t, Kind: Loss, Rate: 0.005 + rng.Float64()*0.045})
+			add(Event{At: later(t), Kind: Loss, Rate: 0})
+		case 4: // duplication burst
+			t := at()
+			add(Event{At: t, Kind: Dup, Rate: 0.01 + rng.Float64()*0.09})
+			add(Event{At: later(t), Kind: Dup, Rate: 0})
+		case 5: // reorder burst
+			t := at()
+			add(Event{At: t, Kind: Reorder, Dur: time.Duration(5+rng.Intn(45)) * time.Microsecond})
+			add(Event{At: later(t), Kind: Reorder, Dur: 0})
+		case 6: // link latency spike (concrete node so the heal pairs up)
+			t, n := at(), rng.Intn(spec.Nodes)
+			add(Event{At: t, Kind: LinkDelay, Node: n, Peer: AllOthers,
+				Dur: time.Duration(20+rng.Intn(180)) * time.Microsecond})
+			add(Event{At: later(t), Kind: LinkDelay, Node: n, Peer: AllOthers, Dur: 0})
+		case 7: // slow CPU
+			t, n := at(), rng.Intn(spec.Nodes)
+			add(Event{At: t, Kind: SlowCPU, Node: n, Factor: 2 + rng.Float64()*6})
+			add(Event{At: later(t), Kind: SlowCPU, Node: n, Factor: 1})
+		case 8: // fsync stalls
+			t, n := at(), rng.Intn(spec.Nodes)
+			add(Event{At: t, Kind: FsyncDelay, Node: n,
+				Dur: time.Duration(10+rng.Intn(190)) * time.Microsecond})
+			add(Event{At: later(t), Kind: FsyncDelay, Node: n, Dur: 0})
+		}
+	}
+	s.Sort()
+	return s
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFailoverExactlyOnce runs the failover experiment at reduced scale
+// and checks its hard guarantees: the recovery summary must report zero
+// acked-but-lost and zero double-applied ops, and the cluster must
+// actually recover within the run.
+func TestFailoverExactlyOnce(t *testing.T) {
+	rep := Failover(Scale{Warmup: 5 * time.Millisecond, Duration: 20 * time.Millisecond, Seed: 7})
+	if rep.ID != "failover" {
+		t.Fatalf("report id = %q", rep.ID)
+	}
+	sum := rep.Tables[0]
+	row := func(metric string) string {
+		for _, r := range sum.Rows {
+			if r[0] == metric {
+				return r[1]
+			}
+		}
+		t.Fatalf("summary table missing row %q", metric)
+		return ""
+	}
+	if got := row("acked-but-lost (must be 0)"); got != "0" {
+		t.Fatalf("acked-but-lost = %s", got)
+	}
+	if got := row("double-applied (must be 0)"); got != "0" {
+		t.Fatalf("double-applied = %s", got)
+	}
+	if got := row("recovery time (back to 90% baseline)"); got == "never (still degraded at end of run)" {
+		t.Fatal("cluster never recovered after the leader kill")
+	}
+	if got := row("acked ops"); got == "0" {
+		t.Fatal("no ops acked — experiment produced no load")
+	}
+}

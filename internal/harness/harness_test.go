@@ -20,8 +20,8 @@ func TestRunDispatchAndUnknown(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	for _, id := range Experiments() {
-		if id == "fig12" || id == "fig9" || id == "fig8" || id == "shardscale" {
-			continue // long even at tiny scale; covered by bench_test / shardscale_test
+		if id == "fig12" || id == "fig9" || id == "fig8" || id == "shardscale" || id == "failover" {
+			continue // long even at tiny scale; covered by bench_test / dedicated tests
 		}
 		rep, err := Run(id, tinyScale())
 		if err != nil {

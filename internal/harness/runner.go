@@ -152,6 +152,16 @@ type RunConfig struct {
 	ClientLinkBps int64
 	// SampleEvery enables time-series capture (Fig. 12).
 	SampleEvery time.Duration
+	// Retries/RetryBackoff configure client retransmission: a timed-out
+	// request is re-sent under its original R2P2 ID up to Retries times
+	// with exponential backoff, and the server-side dedup cache makes the
+	// retried write apply exactly once. Zero Retries disables the path.
+	Retries      int
+	RetryBackoff time.Duration
+	// OnComplete is installed on every client: called once per answered
+	// request with its payload (failure experiments audit acked ops
+	// against the replicas' final state).
+	OnComplete func(payload []byte)
 	// OnCluster runs right after Start (failure injection etc).
 	OnCluster func(c *simcluster.Cluster)
 	// Obs, if non-nil, traces the run: request lifecycle stamps across
@@ -246,10 +256,13 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 		c := loadgen.NewClient(cl.Net, fmt.Sprintf("client%d", i), clientCfg, loadgen.ClientConfig{
 			Rate:   rate / float64(rc.Clients),
 			Warmup: rc.Warmup, Duration: rc.Duration,
-			Timeout:  20 * time.Millisecond,
-			Workload: workload,
-			Target:   cl.ServiceAddr,
-			Port:     uint16(1000 + i),
+			Timeout:      20 * time.Millisecond,
+			Retries:      rc.Retries,
+			RetryBackoff: rc.RetryBackoff,
+			OnComplete:   rc.OnComplete,
+			Workload:     workload,
+			Target:       cl.ServiceAddr,
+			Port:         uint16(1000 + i),
 			SampleEvery: func() time.Duration {
 				return rc.SampleEvery
 			}(),

@@ -20,8 +20,18 @@ type ClientConfig struct {
 	// window. The client stops offering load at Warmup+Duration.
 	Warmup   time.Duration
 	Duration time.Duration
-	// Timeout expires unanswered requests (counted, not retried).
+	// Timeout expires an unanswered request attempt. With Retries == 0
+	// an expired request is counted lost; with Retries > 0 it is
+	// retransmitted first (see below).
 	Timeout time.Duration
+	// Retries is the per-request retransmission budget. A retransmission
+	// reuses the original R2P2 request ID — the server-side dedup cache
+	// keys on it — so a retried write applies exactly once even when the
+	// retry lands on a new leader after failover.
+	Retries int
+	// RetryBackoff delays the first retransmission; each subsequent one
+	// doubles it (exponential backoff). Defaults to Timeout.
+	RetryBackoff time.Duration
 	// Workload generates request payloads and policies.
 	Workload Workload
 	// Target is where requests are sent (middlebox, leader, or server).
@@ -34,6 +44,12 @@ type ClientConfig struct {
 	// Obs, if non-nil, stamps the client-side lifecycle stages (send and
 	// receive) so the tracer can close each request's end-to-end span.
 	Obs *obs.Obs
+	// OnComplete, if non-nil, is invoked once per answered request with
+	// its raw payload (duplicate responses are suppressed first).
+	// Failure experiments use it to audit acked operations against the
+	// final replicated state: every acked op must be applied, exactly
+	// once.
+	OnComplete func(payload []byte)
 	// Router, when non-nil, makes the client shard-aware: the Workload
 	// must implement KeyedWorkload, requests are stamped with the group
 	// owning their key, results are broken down per shard, and a
@@ -57,6 +73,10 @@ type pendingReq struct {
 	raw        []byte
 	policy     r2p2.Policy
 	redirected bool
+
+	// attempt counts transmissions so far (1 after the first send);
+	// retransmissions reuse id and back off exponentially.
+	attempt int
 }
 
 // Client is an open-loop Poisson load generator attached to a simulated
@@ -78,8 +98,19 @@ type Client struct {
 	Sent       uint64 // requests sent in the measurement window
 	Completed  uint64 // responses for measurement-window requests
 	Nacked     uint64 // flow-control rejections (window)
-	Expired    uint64 // timeouts (window)
+	Expired    uint64 // requests abandoned after exhausting retries (window)
 	Redirected uint64 // stale-shard-map redirects retried (whole run)
+
+	// Retry accounting (whole run — retries cluster around failures,
+	// which rarely align with the measurement window).
+	Retries        uint64 // retransmissions sent
+	DupsSuppressed uint64 // duplicate responses dropped client-side
+
+	// done remembers recently completed/nacked request IDs so a second
+	// copy of a response (reply-from-cache plus the original, or network
+	// duplication) is counted as a suppressed duplicate rather than
+	// silently ignored as unknown.
+	done *ringSet
 
 	shards []*ShardStat // per-group breakdown (sharded mode only)
 
@@ -102,6 +133,7 @@ func NewClient(net *simnet.Network, name string, hostCfg simnet.HostConfig, cfg 
 		pending:      r2p2.NewPending[pendingReq](),
 		Latency:      stats.NewHistogram(),
 		intervalHist: stats.NewHistogram(),
+		done:         newRingSet(1 << 16),
 	}
 	c.host = net.NewHost(name, hostCfg)
 	c.r2 = r2p2.NewClient(uint32(c.host.Addr()), cfg.Port)
@@ -117,8 +149,11 @@ func (c *Client) Start() {
 	if c.cfg.Timeout <= 0 {
 		c.cfg.Timeout = 10 * time.Millisecond
 	}
+	if c.cfg.RetryBackoff <= 0 {
+		c.cfg.RetryBackoff = c.cfg.Timeout
+	}
 	c.scheduleNext()
-	c.sim.After(c.cfg.Timeout/2, c.expireTick)
+	c.sim.After(c.tickEvery(), c.expireTick)
 	if c.cfg.SampleEvery > 0 {
 		c.sim.After(c.cfg.SampleEvery, c.sampleTick)
 	}
@@ -169,19 +204,62 @@ func (c *Client) sendOne() {
 	c.send(req)
 }
 
-// send transmits req (first send or redirect re-send); req.group selects
-// the group stamp on the wire.
+// send transmits req (first send or redirect re-send) under a fresh
+// request ID; req.group selects the group stamp on the wire.
 func (c *Client) send(req pendingReq) {
 	id, dgs := c.r2.NewRequest(req.policy, req.raw)
 	req.id = id
+	req.attempt = 1
+	c.cfg.Obs.Stage(id, obs.StageClientSend)
+	c.transmit(req, dgs)
+}
+
+// retransmit re-sends req reusing its original request ID — the 3-tuple
+// the server-side dedup cache keys on, so the retried write applies
+// exactly once even if both copies commit (e.g. across a failover).
+func (c *Client) retransmit(req pendingReq) {
+	req.attempt++
+	c.Retries++
+	if c.cfg.Obs.Active() {
+		c.cfg.Obs.Emitf("client", "retransmit", "id=%v attempt=%d", req.id, req.attempt)
+	}
+	dgs := r2p2.MakeMsg(r2p2.TypeRequest, req.policy, req.id.SrcPort, req.id.ReqID, req.raw, c.r2.MaxPayload)
+	c.transmit(req, dgs)
+}
+
+// transmit stamps, registers, and puts req's datagrams on the wire. The
+// pending deadline is the attempt's backoff delay.
+func (c *Client) transmit(req pendingReq, dgs [][]byte) {
 	if req.group >= 0 {
 		r2p2.StampGroup(dgs, uint8(req.group))
 	}
-	c.pending.Add(id.ReqID, req, c.sim.Now()+c.cfg.Timeout)
-	c.cfg.Obs.Stage(id, obs.StageClientSend)
+	c.pending.Add(req.id.ReqID, req, c.sim.Now()+c.backoff(req.attempt))
 	for _, dg := range dgs {
 		c.host.Send(&simnet.Packet{Dst: c.cfg.Target, Payload: dg})
 	}
+}
+
+// backoff returns attempt's expiry delay (attempt is 1-based): a flat
+// Timeout when retries are disabled, else RetryBackoff doubling per
+// transmission (exponential backoff).
+func (c *Client) backoff(attempt int) time.Duration {
+	if c.cfg.Retries == 0 {
+		return c.cfg.Timeout
+	}
+	d := c.cfg.RetryBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// tickEvery is the expiry-scan period: half the shortest deadline in use.
+func (c *Client) tickEvery() time.Duration {
+	d := c.cfg.Timeout
+	if c.cfg.Retries > 0 && c.cfg.RetryBackoff < d {
+		d = c.cfg.RetryBackoff
+	}
+	return d / 2
 }
 
 // shardStat returns (growing on demand) the breakdown slot for group g.
@@ -207,7 +285,16 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 	case r2p2.TypeResponse:
 		req, ok := c.pending.Take(m.ID.ReqID)
 		if !ok {
-			return // late duplicate or post-expiry response
+			if c.done.has(m.ID.ReqID) {
+				// Second copy of an answered request: the cached-reply
+				// resend racing the original, or network duplication.
+				c.DupsSuppressed++
+			}
+			return // else: post-expiry response, already counted lost
+		}
+		c.done.add(m.ID.ReqID)
+		if c.cfg.OnComplete != nil {
+			c.cfg.OnComplete(req.raw)
 		}
 		c.cfg.Obs.Stage(req.id, obs.StageClientRecv)
 		lat := c.sim.Now() - req.sentAt
@@ -225,8 +312,12 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 	case r2p2.TypeNack:
 		req, ok := c.pending.Take(m.ID.ReqID)
 		if !ok {
+			if c.done.has(m.ID.ReqID) {
+				c.DupsSuppressed++
+			}
 			return
 		}
+		c.done.add(m.ID.ReqID)
 		if m.Group == r2p2.GroupInvalid && c.cfg.Router != nil && !req.redirected {
 			// The receiver does not serve the group we routed to: our
 			// shard map is stale. Refresh it and re-route the op once,
@@ -257,6 +348,17 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 
 func (c *Client) expireTick() {
 	for _, req := range c.pending.Expire(c.sim.Now()) {
+		if req.attempt <= c.cfg.Retries {
+			c.retransmit(req)
+			continue
+		}
+		// Retry budget exhausted (or retries disabled): the op is lost.
+		// This is the loud version of what used to be a silent drop —
+		// an obs event marks it so failure experiments can correlate
+		// losses with the fault timeline.
+		if c.cfg.Obs.Active() {
+			c.cfg.Obs.Emitf("client", "expire", "id=%v attempts=%d", req.id, req.attempt)
+		}
 		c.cfg.Obs.Abandon(req.id)
 		if req.inMeas {
 			c.Expired++
@@ -266,8 +368,8 @@ func (c *Client) expireTick() {
 		}
 	}
 	c.reasm.GC(c.sim.Now())
-	if c.sim.Now() < c.end()+c.cfg.Timeout {
-		c.sim.After(c.cfg.Timeout/2, c.expireTick)
+	if c.sim.Now() < c.end()+c.cfg.Timeout || c.pending.Len() > 0 {
+		c.sim.After(c.tickEvery(), c.expireTick)
 	}
 }
 
@@ -284,26 +386,32 @@ func (c *Client) sampleTick() {
 
 // Result summarizes a finished run.
 type Result struct {
-	Offered    float64 // requests/s offered in the window
-	Achieved   float64 // responses/s achieved
-	NackRate   float64 // NACKs/s
-	LossRate   float64 // timeouts/s
-	Latency    stats.LatencySummary
-	Throughput *stats.Series
-	TailP99    *stats.Series
+	Offered  float64 // requests/s offered in the window
+	Achieved float64 // responses/s achieved
+	NackRate float64 // NACKs/s
+	LossRate float64 // abandoned ops/s (retry budget exhausted)
+	// Retry accounting, whole run (counts, not rates — retries cluster
+	// around fault events rather than spreading over the window).
+	Retries        uint64
+	DupsSuppressed uint64
+	Latency        stats.LatencySummary
+	Throughput     *stats.Series
+	TailP99        *stats.Series
 }
 
 // Result computes the run summary.
 func (c *Client) Result() Result {
 	d := c.cfg.Duration.Seconds()
 	return Result{
-		Offered:    float64(c.Sent) / d,
-		Achieved:   float64(c.Completed) / d,
-		NackRate:   float64(c.Nacked) / d,
-		LossRate:   float64(c.Expired) / d,
-		Latency:    c.Latency.Summary(),
-		Throughput: &c.Throughput,
-		TailP99:    &c.TailP99,
+		Offered:        float64(c.Sent) / d,
+		Achieved:       float64(c.Completed) / d,
+		NackRate:       float64(c.Nacked) / d,
+		LossRate:       float64(c.Expired) / d,
+		Retries:        c.Retries,
+		DupsSuppressed: c.DupsSuppressed,
+		Latency:        c.Latency.Summary(),
+		Throughput:     &c.Throughput,
+		TailP99:        &c.TailP99,
 	}
 }
 
@@ -319,6 +427,8 @@ func Merge(results ...Result) Result {
 		out.Achieved += r.Achieved
 		out.NackRate += r.NackRate
 		out.LossRate += r.LossRate
+		out.Retries += r.Retries
+		out.DupsSuppressed += r.DupsSuppressed
 		if r.Latency.P99 > worstP99 {
 			worstP99 = r.Latency.P99
 		}
@@ -328,6 +438,33 @@ func Merge(results ...Result) Result {
 	out.Latency.P99 = worstP99
 	return out
 }
+
+// ringSet is a bounded remembered-ID set with FIFO eviction, sized so the
+// duplicate-response window comfortably covers any realistic retry span
+// without letting memory grow with run length.
+type ringSet struct {
+	cap  int
+	m    map[uint32]bool
+	fifo []uint32
+}
+
+func newRingSet(cap int) *ringSet {
+	return &ringSet{cap: cap, m: make(map[uint32]bool)}
+}
+
+func (r *ringSet) add(id uint32) {
+	if r.m[id] {
+		return
+	}
+	r.m[id] = true
+	r.fifo = append(r.fifo, id)
+	if len(r.fifo) > r.cap {
+		delete(r.m, r.fifo[0])
+		r.fifo = r.fifo[1:]
+	}
+}
+
+func (r *ringSet) has(id uint32) bool { return r.m[id] }
 
 // MergeHistograms merges clients' raw latency histograms into one.
 func MergeHistograms(clients []*Client) *stats.Histogram {

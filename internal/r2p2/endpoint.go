@@ -1,6 +1,9 @@
 package r2p2
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // MakeMsg builds the datagrams of an arbitrary R2P2 message. port and
 // reqID identify the message within the sender's namespace (for
@@ -94,14 +97,22 @@ func (p *Pending[T]) Take(reqID uint32) (T, bool) {
 // Len returns the number of outstanding requests.
 func (p *Pending[T]) Len() int { return len(p.entries) }
 
-// Expire removes and returns all entries whose deadline has passed.
+// Expire removes and returns all entries whose deadline has passed, in
+// ascending ReqID order. The order matters: expiry can trigger
+// retransmissions, and those sends must be deterministic for the
+// simulator's same-seed replay guarantee — never map iteration order.
 func (p *Pending[T]) Expire(now time.Duration) []T {
-	var out []T
+	var ids []uint32
 	for id, e := range p.entries {
 		if now >= e.deadline {
-			out = append(out, e.val)
-			delete(p.entries, id)
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]T, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, p.entries[id].val)
+		delete(p.entries, id)
 	}
 	return out
 }

@@ -563,11 +563,17 @@ func (n *Node) handleAppendResp(m Message) {
 		if next > pr.Next {
 			next = pr.Next // hints never move us forward past Next
 		}
-		if next <= pr.Match {
-			next = pr.Match + 1
-		}
 		if next < 1 {
 			next = 1
+		}
+		if next <= pr.Match {
+			// The follower rejected below what it once acknowledged: it
+			// restarted from a WAL whose tail was torn off, losing acked
+			// entries. Classic Raft treats Match as a floor because acks
+			// imply durability; with async persistence that assumption
+			// fails, so regress Match and re-replicate. Commit never
+			// regresses — committed entries are re-sent from our log.
+			pr.Match = next - 1
 		}
 		pr.Next = next
 		n.sendAppend(m.From)

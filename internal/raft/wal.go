@@ -177,8 +177,8 @@ func loadSnapshotFile(path string, rs *RecoveredState) error {
 	return nil
 }
 
-// replayWAL folds the WAL into rs. A torn final record is discarded;
-// corruption before the tail is an error.
+// replayWAL folds the WAL file into rs. A torn final record is
+// discarded; corruption before the tail is an error.
 func replayWAL(path string, rs *RecoveredState) error {
 	blob, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -187,6 +187,13 @@ func replayWAL(path string, rs *RecoveredState) error {
 	if err != nil {
 		return fmt.Errorf("raft: read wal: %w", err)
 	}
+	return replayWALBytes(blob, rs)
+}
+
+// replayWALBytes folds a framed WAL byte stream into rs — shared by the
+// file-backed and in-memory storages so both recover with identical
+// torn-tail and corruption semantics.
+func replayWALBytes(blob []byte, rs *RecoveredState) error {
 	for len(blob) > 0 {
 		if len(blob) < 4 {
 			return nil // torn tail

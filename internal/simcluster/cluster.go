@@ -72,6 +72,13 @@ type Options struct {
 	// when the service implements core.Snapshotter (0 = off).
 	CompactEvery uint64
 
+	// WAL, when true, gives every node an in-memory framed write-ahead
+	// log (raft.BufferStorage) so a crashed node can come back through
+	// Node.RestartFromWAL — a real post-crash recovery (volatile state
+	// lost, service rebuilt by log replay) rather than the in-memory
+	// resume of Node.Restart.
+	WAL bool
+
 	// NewService builds each node's application instance. The returned
 	// cost model charges the simulated app thread; return the service
 	// itself when it implements app.CostModel.
@@ -95,10 +102,13 @@ type Node struct {
 	Unrep   *core.UnreplicatedEngine // nil unless SetupUnreplicated
 	Service app.Service
 
-	cluster *Cluster
-	reasm   *r2p2.Reassembler
-	crashed bool
-	ticks   uint64
+	cluster    *Cluster
+	reasm      *r2p2.Reassembler
+	crashed    bool
+	ticks      uint64
+	storage    *raft.BufferStorage
+	fsyncDelay time.Duration
+	peers      []raft.NodeID
 }
 
 // Cluster is the assembled deployment.
@@ -171,45 +181,19 @@ func New(opts Options) *Cluster {
 	for _, id := range peers {
 		h := c.Net.NewHost(fmt.Sprintf("node%d", id), opts.Host)
 		c.addrOf[id] = h.Addr()
-		svc, cost := opts.NewService()
-		for _, payload := range opts.Preload {
-			svc.Execute(payload, false)
-		}
 		n := &Node{
-			ID: id, Host: h, Service: svc, cluster: c,
+			ID: id, Host: h, cluster: c, peers: peers,
 			reasm: r2p2.NewReassembler(20 * time.Millisecond),
 		}
-		runner := &simRunner{host: h, svc: svc, cost: cost}
-		if opts.Setup == SetupUnreplicated {
-			n.Unrep = core.NewUnreplicatedEngine(&nodeTransport{c: c, host: h}, runner)
-			n.Unrep.SetObs(opts.Obs)
-		} else {
-			mode := core.ModeVanilla
-			switch opts.Setup {
-			case SetupHovercraft:
-				mode = core.ModeHovercraft
-			case SetupHovercraftPP:
-				mode = core.ModeHovercraftPP
+		if opts.WAL && opts.Setup != SetupUnreplicated {
+			n.storage = raft.NewBufferStorage()
+			n.storage.OnAppend = func(int) {
+				if n.fsyncDelay > 0 {
+					n.Host.App().Submit(n.fsyncDelay, nil)
+				}
 			}
-			var snapshotter core.Snapshotter
-			if sn, ok := svc.(core.Snapshotter); ok && opts.CompactEvery > 0 {
-				snapshotter = sn
-			}
-			n.Engine = core.NewEngine(core.Config{
-				Mode: mode, ID: id, Peers: peers,
-				TickInterval:   opts.TickInterval,
-				ElectionTicks:  opts.ElectionTicks,
-				HeartbeatTicks: opts.HeartbeatTicks,
-				Bound:          opts.Bound,
-				Policy:         opts.Policy,
-				DisableReplyLB: opts.DisableReplyLB,
-				Rand:           c.Sim.Rand(),
-				Snapshotter:    snapshotter,
-				CompactEvery:   opts.CompactEvery,
-				Obs:            opts.Obs,
-			}, &nodeTransport{c: c, host: h}, runner)
 		}
-		h.SetHandler(n.onPacket)
+		c.buildEngine(n)
 		c.Nodes = append(c.Nodes, n)
 	}
 
@@ -265,6 +249,53 @@ func New(opts Options) *Cluster {
 		})
 	}
 	return c
+}
+
+// buildEngine constructs (or reconstructs, after a WAL restart) the
+// node's service and protocol engine, and installs the packet handler.
+func (c *Cluster) buildEngine(n *Node) {
+	opts := c.Opts
+	svc, cost := opts.NewService()
+	for _, payload := range opts.Preload {
+		svc.Execute(payload, false)
+	}
+	n.Service = svc
+	runner := &simRunner{host: n.Host, svc: svc, cost: cost}
+	if opts.Setup == SetupUnreplicated {
+		n.Unrep = core.NewUnreplicatedEngine(&nodeTransport{c: c, host: n.Host}, runner)
+		n.Unrep.SetObs(opts.Obs)
+	} else {
+		mode := core.ModeVanilla
+		switch opts.Setup {
+		case SetupHovercraft:
+			mode = core.ModeHovercraft
+		case SetupHovercraftPP:
+			mode = core.ModeHovercraftPP
+		}
+		var snapshotter core.Snapshotter
+		if sn, ok := svc.(core.Snapshotter); ok && opts.CompactEvery > 0 {
+			snapshotter = sn
+		}
+		var storage raft.Storage
+		if n.storage != nil {
+			storage = n.storage
+		}
+		n.Engine = core.NewEngine(core.Config{
+			Mode: mode, ID: n.ID, Peers: n.peers,
+			TickInterval:   opts.TickInterval,
+			ElectionTicks:  opts.ElectionTicks,
+			HeartbeatTicks: opts.HeartbeatTicks,
+			Bound:          opts.Bound,
+			Policy:         opts.Policy,
+			DisableReplyLB: opts.DisableReplyLB,
+			Rand:           c.Sim.Rand(),
+			Snapshotter:    snapshotter,
+			CompactEvery:   opts.CompactEvery,
+			Storage:        storage,
+			Obs:            opts.Obs,
+		}, &nodeTransport{c: c, host: n.Host}, runner)
+	}
+	n.Host.SetHandler(n.onPacket)
 }
 
 // Start launches tick loops and elects node 1 (deterministic bootstrap,
@@ -369,6 +400,48 @@ func (n *Node) Restart() {
 
 // Crashed reports the node's failure state.
 func (n *Node) Crashed() bool { return n.crashed }
+
+// Storage returns the node's in-memory WAL (nil unless Options.WAL).
+func (n *Node) Storage() *raft.BufferStorage { return n.storage }
+
+// SetFsyncDelay injects a per-record persistence stall: every WAL append
+// additionally occupies the node's application thread for d (the
+// fsync-delay fault). Zero clears it. No-op without Options.WAL.
+func (n *Node) SetFsyncDelay(d time.Duration) { n.fsyncDelay = d }
+
+// RestartFromWAL revives a crashed node the way a real machine comes
+// back: all volatile state is discarded, a fresh engine and service are
+// built, and the durable state is recovered from the node's WAL.
+// tornBytes > 0 first shears that many bytes off the WAL tail,
+// simulating a crash mid-write; recovery must then discard the torn
+// record. The service state is rebuilt by Raft re-applying the log once
+// the node rejoins (replayed replies are suppressed client-side by
+// request-ID dedup). Returns raft.ErrCorrupt if the WAL is damaged
+// beyond the torn-tail contract.
+func (n *Node) RestartFromWAL(tornBytes int) error {
+	if n.storage == nil {
+		return fmt.Errorf("simcluster: node %d has no WAL (Options.WAL not set)", n.ID)
+	}
+	if tornBytes > 0 {
+		n.storage.TruncateTail(tornBytes)
+	}
+	rs, err := n.storage.Recover()
+	if err != nil {
+		return err
+	}
+	n.reasm = r2p2.NewReassembler(20 * time.Millisecond)
+	n.cluster.buildEngine(n)
+	if err := n.Engine.Bootstrap(rs); err != nil {
+		return err
+	}
+	n.Host.Restart()
+	n.startTicking()
+	if n.cluster.Opts.Obs.Active() {
+		n.cluster.Opts.Obs.Emitf("node", "restart", "node %d recovered from WAL (torn=%dB, term=%d, %d entries)",
+			n.ID, tornBytes, rs.Term, len(rs.Entries))
+	}
+	return nil
+}
 
 // --- transports ------------------------------------------------------------
 

@@ -146,6 +146,15 @@ func (h *Host) Restart() {
 	h.app.Restart()
 }
 
+// SetCPUSlowdown stretches this host's software processing (network
+// thread and application thread) by factor — a slow-CPU fault. Wire
+// serialization is unaffected: the NIC still runs at line rate. factor
+// <= 1 restores native speed.
+func (h *Host) SetCPUSlowdown(factor float64) {
+	h.netThread.SetSlowdown(factor)
+	h.app.SetSlowdown(factor)
+}
+
 // wireTime returns the serialization delay of size bytes at the host's
 // line rate.
 func wireTime(sizeBytes int, bps int64) time.Duration {
@@ -240,7 +249,11 @@ type Network struct {
 
 	// failure injection
 	dropRate   float64
+	dupRate    float64
+	jitter     time.Duration // max extra per-copy delivery delay (reordering)
 	partitions map[[2]Addr]bool
+	oneWay     map[[2]Addr]bool                 // [from,to] → drop that direction only
+	linkDelay  map[[2]Addr]time.Duration        // [from,to] → extra delivery latency
 	filter     func(pkt *Packet, dst Addr) bool // false → drop
 
 	// observer, when non-nil, receives structured fabric events (drops,
@@ -250,6 +263,8 @@ type Network struct {
 	// accounting
 	SwitchDrops uint64
 	RandomDrops uint64
+	OneWayDrops uint64
+	DupCopies   uint64
 }
 
 // NewNetwork creates an empty fabric with paper-calibrated defaults.
@@ -266,6 +281,8 @@ func NewNetwork(sim *Sim) *Network {
 		nextAddr:      1,
 		nextGroup:     MulticastBase,
 		partitions:    make(map[[2]Addr]bool),
+		oneWay:        make(map[[2]Addr]bool),
+		linkDelay:     make(map[[2]Addr]time.Duration),
 	}
 }
 
@@ -365,6 +382,60 @@ func (n *Network) HealAll() {
 // Partitioned reports whether a↔b traffic is blocked.
 func (n *Network) Partitioned(a, b Addr) bool { return n.partitions[pairKey(a, b)] }
 
+// PartitionOneWay blocks traffic in one direction only: packets from →
+// to are dropped while to → from still flows. Asymmetric link failures
+// are a classic Raft stressor (a leader that can send heartbeats but not
+// hear responses, or vice versa).
+func (n *Network) PartitionOneWay(from, to Addr) {
+	n.oneWay[[2]Addr{from, to}] = true
+	if n.observer != nil {
+		n.observer("partition", fmt.Sprintf("oneway from=%v to=%v", from, to))
+	}
+}
+
+// HealAllOneWay removes every directional block.
+func (n *Network) HealAllOneWay() {
+	n.oneWay = make(map[[2]Addr]bool)
+	if n.observer != nil {
+		n.observer("heal", "oneway all")
+	}
+}
+
+// HealOneWay removes the from → to directional block.
+func (n *Network) HealOneWay(from, to Addr) {
+	delete(n.oneWay, [2]Addr{from, to})
+	if n.observer != nil {
+		n.observer("heal", fmt.Sprintf("oneway from=%v to=%v", from, to))
+	}
+}
+
+// PartitionedOneWay reports whether from → to traffic is blocked (either
+// by a directional block or by a symmetric partition).
+func (n *Network) PartitionedOneWay(from, to Addr) bool {
+	return n.oneWay[[2]Addr{from, to}] || n.partitions[pairKey(from, to)]
+}
+
+// SetDupRate makes the switch deliver an extra copy of each packet
+// independently with probability p — datagram duplication, the failure
+// mode exactly-once dedup exists for.
+func (n *Network) SetDupRate(p float64) { n.dupRate = p }
+
+// SetJitter adds a uniform random extra delay in [0, d) to every
+// delivered copy. Copies with different draws overtake each other, so
+// jitter is also the reordering fault.
+func (n *Network) SetJitter(d time.Duration) { n.jitter = d }
+
+// SetLinkDelay adds a fixed extra delivery latency to packets flowing
+// from → to (directional; call twice for a symmetric spike). d == 0
+// clears the entry.
+func (n *Network) SetLinkDelay(from, to Addr, d time.Duration) {
+	if d <= 0 {
+		delete(n.linkDelay, [2]Addr{from, to})
+		return
+	}
+	n.linkDelay[[2]Addr{from, to}] = d
+}
+
 // forward is invoked when src finishes serializing pkt onto its uplink.
 func (n *Network) forward(src *Host, pkt *Packet) {
 	n.sim.After(n.PropDelay+n.SwitchDelay, func() {
@@ -387,6 +458,11 @@ func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
 	if n.partitions[pairKey(src, dst)] {
 		return
 	}
+	if n.oneWay[[2]Addr{src, dst}] {
+		n.OneWayDrops++
+		n.noteDrop("oneway", src, dst)
+		return
+	}
 	if n.dropRate > 0 && n.sim.rng.Float64() < n.dropRate {
 		n.RandomDrops++
 		n.noteDrop("random", src, dst)
@@ -395,14 +471,28 @@ func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
 	if n.filter != nil && !n.filter(pkt, dst) {
 		return
 	}
-	// Each copy is an independent datagram from here on.
-	cp := &Packet{Src: pkt.Src, Dst: dst, Payload: pkt.Payload}
-	port := n.ports[dst]
-	if !port.Submit(wireTime(cp.WireSize(n.FrameOverhead), h.cfg.LinkBps), func() {
-		n.sim.After(n.PropDelay, func() { h.receive(cp) })
-	}) {
-		n.SwitchDrops++
-		n.noteDrop("switch_port", src, dst)
+	copies := 1
+	if n.dupRate > 0 && n.sim.rng.Float64() < n.dupRate {
+		copies = 2
+		n.DupCopies++
+		if n.observer != nil {
+			n.observer("dup", fmt.Sprintf("src=%v dst=%v", src, dst))
+		}
+	}
+	for i := 0; i < copies; i++ {
+		// Each copy is an independent datagram from here on.
+		cp := &Packet{Src: pkt.Src, Dst: dst, Payload: pkt.Payload}
+		extra := n.linkDelay[[2]Addr{src, dst}]
+		if n.jitter > 0 {
+			extra += time.Duration(n.sim.rng.Int63n(int64(n.jitter)))
+		}
+		port := n.ports[dst]
+		if !port.Submit(wireTime(cp.WireSize(n.FrameOverhead), h.cfg.LinkBps), func() {
+			n.sim.After(n.PropDelay+extra, func() { h.receive(cp) })
+		}) {
+			n.SwitchDrops++
+			n.noteDrop("switch_port", src, dst)
+		}
 	}
 }
 

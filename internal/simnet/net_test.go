@@ -287,3 +287,132 @@ func TestAddrString(t *testing.T) {
 		t.Fatalf("mcast string = %s", MulticastBase)
 	}
 }
+
+func TestPartitionOneWay(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	aGot, bGot := 0, 0
+	a.SetHandler(func(pkt *Packet) { aGot++ })
+	b.SetHandler(func(pkt *Packet) { bGot++ })
+	n.PartitionOneWay(a.Addr(), b.Addr())
+	if !n.PartitionedOneWay(a.Addr(), b.Addr()) {
+		t.Fatal("one-way partition not reported")
+	}
+	if n.PartitionedOneWay(b.Addr(), a.Addr()) {
+		t.Fatal("one-way partition leaked into the reverse direction")
+	}
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	b.Send(&Packet{Dst: a.Addr(), Payload: []byte("y")})
+	s.Run(time.Millisecond)
+	if bGot != 0 {
+		t.Fatal("packet crossed the blocked direction")
+	}
+	if aGot != 1 {
+		t.Fatal("reverse direction should still deliver")
+	}
+	if n.OneWayDrops != 1 {
+		t.Fatalf("OneWayDrops = %d, want 1", n.OneWayDrops)
+	}
+	n.HealOneWay(a.Addr(), b.Addr())
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(2 * time.Millisecond)
+	if bGot != 1 {
+		t.Fatal("packet lost after one-way heal")
+	}
+}
+
+func TestDupRateDeliversExtraCopies(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	count := 0
+	b.SetHandler(func(pkt *Packet) { count++ })
+	n.SetDupRate(0.5)
+	for i := 0; i < 2000; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Microsecond, func() {
+			a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+		})
+	}
+	s.Run(time.Second)
+	if count < 2800 || count > 3200 {
+		t.Fatalf("delivered %d of 2000 at 50%% dup, want ≈3000", count)
+	}
+	if n.DupCopies == 0 {
+		t.Fatal("dup accounting missing")
+	}
+}
+
+func TestJitterReordersDeliveries(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	var order []byte
+	b.SetHandler(func(pkt *Packet) { order = append(order, pkt.Payload[0]) })
+	n.SetJitter(100 * time.Microsecond)
+	for i := 0; i < 50; i++ {
+		i := i
+		s.After(time.Duration(i)*10*time.Microsecond, func() {
+			a.Send(&Packet{Dst: b.Addr(), Payload: []byte{byte(i)}})
+		})
+	}
+	s.Run(time.Second)
+	if len(order) != 50 {
+		t.Fatalf("delivered %d of 50", len(order))
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("jitter produced no reordering across 50 packets")
+	}
+}
+
+func TestLinkDelayIsDirectional(t *testing.T) {
+	s, n, a, b := twoHosts(t)
+	var atB, atA Time
+	a.SetHandler(func(pkt *Packet) { atA = s.Now() })
+	b.SetHandler(func(pkt *Packet) { atB = s.Now() })
+	n.SetLinkDelay(a.Addr(), b.Addr(), time.Millisecond)
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	b.Send(&Packet{Dst: a.Addr(), Payload: []byte("y")})
+	s.Run(10 * time.Millisecond)
+	if atB < time.Millisecond {
+		t.Fatalf("a→b arrived at %v, want ≥1ms link delay", atB)
+	}
+	if atA >= time.Millisecond {
+		t.Fatalf("b→a arrived at %v, reverse direction should be fast", atA)
+	}
+	n.SetLinkDelay(a.Addr(), b.Addr(), 0)
+	start := s.Now()
+	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+	s.Run(s.Now() + 10*time.Millisecond)
+	if atB-start >= time.Millisecond {
+		t.Fatal("link delay not cleared")
+	}
+}
+
+func TestCPUSlowdownStretchesProcessing(t *testing.T) {
+	// Same workload on a 10x-slowed host must finish proportionally later.
+	run := func(factor float64) Time {
+		s := New(7)
+		n := NewNetwork(s)
+		a := n.NewHost("a", DefaultHostConfig())
+		b := n.NewHost("b", DefaultHostConfig())
+		if factor > 1 {
+			b.SetCPUSlowdown(factor)
+		}
+		var done Time
+		b.SetHandler(func(pkt *Packet) {
+			b.App().Submit(10*time.Microsecond, func() { done = s.Now() })
+		})
+		a.Send(&Packet{Dst: b.Addr(), Payload: []byte("x")})
+		s.Run(100 * time.Millisecond)
+		return done
+	}
+	fast, slow := run(1), run(10)
+	if fast == 0 || slow == 0 {
+		t.Fatal("work did not complete")
+	}
+	if slow < fast+80*time.Microsecond {
+		t.Fatalf("slowdown ineffective: fast=%v slow=%v", fast, slow)
+	}
+}

@@ -25,9 +25,10 @@ type Proc struct {
 	// OnDrop, if non-nil, is called when a submission is rejected.
 	OnDrop func()
 
-	queue   []procWork
-	busy    bool
-	stopped bool
+	queue    []procWork
+	busy     bool
+	stopped  bool
+	slowdown float64 // >1 stretches every submitted cost (slow-CPU fault)
 
 	// accounting
 	completed uint64
@@ -46,11 +47,20 @@ func NewProc(sim *Sim, limit int) *Proc {
 	return &Proc{sim: sim, Limit: limit}
 }
 
+// SetSlowdown stretches every subsequently submitted cost by factor
+// (factor <= 1 restores native speed). It models a slow-CPU fault: the
+// resource still completes all work, just proportionally later. Items
+// already queued or in service keep their original cost.
+func (p *Proc) SetSlowdown(factor float64) { p.slowdown = factor }
+
 // Submit enqueues a work item that takes cost to process; fn (may be nil)
 // runs at completion. It reports false if the queue bound rejected the item.
 func (p *Proc) Submit(cost time.Duration, fn func()) bool {
 	if p.stopped {
 		return false
+	}
+	if p.slowdown > 1 {
+		cost = time.Duration(float64(cost) * p.slowdown)
 	}
 	if p.Limit > 0 && len(p.queue) >= p.Limit {
 		p.dropped++

@@ -16,10 +16,10 @@ type ClientOptions struct {
 	// Timeout bounds one attempt (default 500ms).
 	Timeout time.Duration
 	// Retries caps resends after timeouts or NACK redirects (default 5).
-	// Note Raft offers at-most-once semantics: a retried write may
-	// execute twice if the original reply was lost; idempotent commands
-	// (or RIFL-style dedup above this layer) are the caller's business,
-	// exactly as in the paper (§5).
+	// Every resend reuses the original R2P2 request ID, and the servers
+	// keep an RPC-ID dedup cache keyed on it: a retried write applies
+	// exactly once even when the retry lands on a new leader, with the
+	// cached reply resent instead of a second execution.
 	Retries int
 }
 
@@ -154,54 +154,61 @@ func (c *Client) readLoop() {
 //
 // The request is fanned out to every node (the client-side stand-in for
 // the paper's switch multicast); whichever replica the leader designates
-// answers directly.
+// answers directly. All attempts of a Call share one request ID, so the
+// server-side dedup cache applies a retried write exactly once and
+// answers later copies from its reply cache.
 func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 	policy := r2p2.PolicyReplicated
 	if readOnly {
 		policy = r2p2.PolicyReplicatedRO
 	}
-	var lastErr error = ErrTimeout
-	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
-		payload, err := c.callOnce(policy, cmd)
-		if err == nil {
-			return payload, nil
-		}
-		lastErr = err
-		select {
-		case <-c.closed:
-			return nil, errors.New("transport: client closed")
-		case <-time.After(time.Duration(attempt+1) * 2 * time.Millisecond):
-		}
-	}
-	return nil, lastErr
-}
-
-func (c *Client) callOnce(policy r2p2.Policy, cmd []byte) ([]byte, error) {
 	c.mu.Lock()
 	id, dgs := c.r2cl.NewRequest(policy, cmd)
 	st := &callState{ch: make(chan clientResult, 1)}
 	c.waiting[id.ReqID] = st
 	c.mu.Unlock()
-	ch := st.ch
-
-	for _, peer := range c.peers {
-		for _, dg := range dgs {
-			_, _ = c.conn.WriteToUDP(dg, peer)
-		}
-	}
-
-	select {
-	case res := <-ch:
-		if res.nack {
-			return nil, errors.New("transport: request rejected (redirect/overload)")
-		}
-		return res.payload, nil
-	case <-time.After(c.opts.Timeout):
+	defer func() {
 		c.mu.Lock()
 		delete(c.waiting, id.ReqID)
 		c.mu.Unlock()
-		return nil, ErrTimeout
-	case <-c.closed:
-		return nil, errors.New("transport: client closed")
+	}()
+
+	var lastErr error = ErrTimeout
+	backoff := 2 * time.Millisecond
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			// NACK fan-in restarts per attempt (a full round of
+			// redirects last attempt says nothing about the new
+			// leader), and a nacked attempt was deregistered by the
+			// read loop, so re-register under the same request ID.
+			c.mu.Lock()
+			st.nacks = 0
+			c.waiting[id.ReqID] = st
+			c.mu.Unlock()
+			select {
+			case <-c.closed:
+				return nil, errors.New("transport: client closed")
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		for _, peer := range c.peers {
+			for _, dg := range dgs {
+				_, _ = c.conn.WriteToUDP(dg, peer)
+			}
+		}
+		select {
+		case res := <-st.ch:
+			if res.nack {
+				lastErr = errors.New("transport: request rejected (redirect/overload)")
+				continue
+			}
+			return res.payload, nil
+		case <-time.After(c.opts.Timeout):
+			lastErr = ErrTimeout
+		case <-c.closed:
+			return nil, errors.New("transport: client closed")
+		}
 	}
+	return nil, lastErr
 }
