@@ -1,0 +1,38 @@
+# Hot-path benchmark harness. `make bench` re-measures the message hot
+# path and snapshots the allocation numbers into BENCH_hotpath.json
+# (commit the result); `make bench-check` is the CI gate that fails on
+# allocation regressions against that committed baseline.
+
+GO ?= go
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The gated hot-path benchmarks: the Fig. 7 steady-state end-to-end run
+# (root package), the r2p2 codec paths, and the wire buffer pool. The
+# loopback UDP benchmark is deliberately excluded — it needs socket
+# bind permissions and reports throughput, not allocations.
+BENCH_PATTERN := Hotpath|HeaderMarshal|Fragment|PooledFrag|IngestSingle|Reassemble|GetRelease
+BENCH_PKGS := . ./internal/r2p2 ./internal/wire
+
+.PHONY: all build test race bench bench-check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out
+	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json -update
+	@rm -f bench.out
+
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=100x $(BENCH_PKGS) | tee bench.out
+	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json
+	@rm -f bench.out

@@ -1,0 +1,76 @@
+// Hot-path allocation benchmarks: the Fig. 7 steady-state message path
+// measured in allocations, not latency. The simulator's virtual time is
+// deterministic, so what these benchmarks expose is the *real* per-packet
+// work of the protocol stack — codec, engine, fabric — which caps both
+// the real-UDP runtime and the wall-clock speed of every simnet
+// experiment. `make bench` snapshots them into BENCH_hotpath.json and CI
+// fails on allocation regressions (cmd/benchcheck).
+package hovercraft_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hovercraft/internal/loadgen"
+	"hovercraft/internal/simcluster"
+	"hovercraft/internal/simnet"
+)
+
+// hotpathCluster assembles the Fig. 7 steady-state setup: HovercRaft on
+// three nodes, reply load balancing disabled (§7.1), one open-loop client
+// at a rate well under saturation.
+func hotpathCluster(rate float64) (*simcluster.Cluster, *loadgen.Client) {
+	cl := simcluster.New(simcluster.Options{
+		Setup:          simcluster.SetupHovercraft,
+		Nodes:          3,
+		Seed:           42,
+		DisableReplyLB: true,
+	})
+	wl := &loadgen.Synthetic{
+		ServiceTime: loadgen.Fixed(time.Microsecond),
+		ReqSize:     24,
+		ReplySize:   8,
+	}
+	c := loadgen.NewClient(cl.Net, "client", simnet.DefaultHostConfig(), loadgen.ClientConfig{
+		Rate:     rate,
+		Warmup:   0,
+		Duration: time.Hour, // effectively unbounded; the benchmark stops the sim
+		Timeout:  10 * time.Millisecond,
+		Workload: wl,
+		Target:   cl.ServiceAddr,
+		Port:     7001,
+	})
+	cl.Start()
+	c.Start()
+	return cl, c
+}
+
+// BenchmarkHotpathFig7SteadyState advances a warmed-up Fig. 7 cluster in
+// 1ms virtual-time slices. allocs/op is per slice; the headline metric is
+// allocs/req — heap allocations per completed client request across the
+// whole path (client encode, fabric delivery, reassembly, consensus
+// encode/decode, apply, reply).
+func BenchmarkHotpathFig7SteadyState(b *testing.B) {
+	cl, c := hotpathCluster(200_000)
+	until := 10 * time.Millisecond
+	cl.Run(until) // warmup: leader elected, pipeline streaming
+
+	var before, after runtime.MemStats
+	completed0 := c.Completed
+	b.ReportAllocs()
+	b.ResetTimer()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < b.N; i++ {
+		until += time.Millisecond
+		cl.Run(until)
+	}
+	runtime.ReadMemStats(&after)
+	b.StopTimer()
+	reqs := c.Completed - completed0
+	if reqs == 0 {
+		b.Fatal("steady-state window completed no requests")
+	}
+	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(reqs), "allocs/req")
+	b.ReportMetric(float64(reqs)/float64(b.N), "req/op")
+}

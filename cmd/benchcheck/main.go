@@ -1,0 +1,160 @@
+// benchcheck compares `go test -bench -benchmem` output against a
+// committed JSON baseline of allocation metrics, failing on regressions.
+// It is the CI tripwire behind the zero-allocation hot path: timing
+// metrics are machine-dependent and ignored; allocation counts are
+// deterministic enough to gate on.
+//
+//	go test -run '^$' -bench Hotpath -benchmem ./... | tee bench.out
+//	benchcheck -in bench.out -baseline BENCH_hotpath.json          # gate
+//	benchcheck -in bench.out -baseline BENCH_hotpath.json -update  # reset
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark snapshot. Metrics holds, per
+// benchmark, the unit→value pairs parsed from the bench output (e.g.
+// "allocs/op", "B/op", "allocs/req"). Only allocation units are gated.
+type Baseline struct {
+	Note       string                        `json:"note"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// gatedUnits are the metrics compared against the baseline. ns/op and
+// req/s vary with the machine; allocation counts do not.
+var gatedUnits = []string{"allocs/op", "allocs/req"}
+
+// parseBench extracts benchmark result lines. A result line looks like:
+//
+//	BenchmarkName-8   30   4473308 ns/op   29.16 allocs/req   5806 allocs/op
+//
+// i.e. name, iteration count, then value/unit pairs. The -N GOMAXPROCS
+// suffix is stripped so baselines transfer across machines.
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			out[name] = metrics
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "benchmark output file (from go test -bench -benchmem)")
+		baseline = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
+		update   = flag.Bool("update", false, "rewrite the baseline from -in instead of gating")
+		tol      = flag.Float64("tol", 0.10, "relative allocation headroom before a regression fails")
+		slack    = flag.Float64("slack", 1.0, "absolute allocation headroom (covers one-off init amortization)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -in is required")
+		os.Exit(2)
+	}
+	got, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parse %s: %v\n", *in, err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: no benchmark results in %s\n", *in)
+		os.Exit(2)
+	}
+
+	if *update {
+		b := Baseline{
+			Note: "Allocation baseline for the message hot path; regenerate with `make bench`. " +
+				"CI gates allocs/op and allocs/req against this file (cmd/benchcheck).",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baseline, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: write %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %s (%d benchmarks)\n", *baseline, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: read %s: %v (run with -update to create)\n", *baseline, err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: bad baseline %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, baseMetrics := range base.Benchmarks {
+		gotMetrics, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL %s: in baseline but missing from %s (renamed? re-run -update)\n", name, *in)
+			failed = true
+			continue
+		}
+		for _, unit := range gatedUnits {
+			want, tracked := baseMetrics[unit]
+			if !tracked {
+				continue
+			}
+			have, ok := gotMetrics[unit]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "FAIL %s: baseline tracks %s but the run did not report it\n", name, unit)
+				failed = true
+				continue
+			}
+			limit := want*(1+*tol) + *slack
+			if have > limit {
+				fmt.Fprintf(os.Stderr, "FAIL %s: %s regressed %.2f -> %.2f (limit %.2f)\n",
+					name, unit, want, have, limit)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %s %.2f (baseline %.2f, limit %.2f)\n", name, unit, have, want, limit)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within allocation baseline\n", len(base.Benchmarks))
+}

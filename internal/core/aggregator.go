@@ -5,20 +5,22 @@ import (
 
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/wire"
 )
 
 // AggTransport is how the aggregator reaches the cluster. In the
 // simulator it is backed by a host with per-leader multicast groups; the
 // real Tofino pipeline of the paper performs the same forwarding in
-// hardware.
+// hardware. Buffer ownership follows the Transport contract: one
+// reference per buffer transfers per call, the slice itself does not.
 type AggTransport interface {
 	// ForwardToFollowers multicasts datagrams to every node except the
 	// current leader.
-	ForwardToFollowers(leader raft.NodeID, dgs [][]byte)
+	ForwardToFollowers(leader raft.NodeID, dgs []*wire.Buf)
 	// Broadcast multicasts datagrams to every node including the leader.
-	Broadcast(dgs [][]byte)
+	Broadcast(dgs []*wire.Buf)
 	// SendToNode sends datagrams to a single node.
-	SendToNode(id raft.NodeID, dgs [][]byte)
+	SendToNode(id raft.NodeID, dgs []*wire.Buf)
 }
 
 // Aggregator is the HovercRaft++ in-network accelerator (§4, Fig. 6),
@@ -52,6 +54,11 @@ type Aggregator struct {
 	Commits     uint64
 
 	seq uint32
+
+	// Hot-path scratch (see Engine): reused envelope and datagram
+	// buffers for the forward/commit fast path.
+	encScratch []byte
+	dgScratch  []*wire.Buf
 }
 
 // NewAggregator builds an aggregator for the given cluster membership.
@@ -127,7 +134,8 @@ func (a *Aggregator) handleLeaderAppend(m *raft.Message) {
 	// Forward to every node but the leader, re-addressed to the group
 	// (the ingress multicast + ae_req stage of Fig. 6).
 	a.ForwardedAE++
-	a.tr.ForwardToFollowers(a.leader, a.datagrams(r2p2.TypeRaftReq, EncodeRaft(m)))
+	a.encScratch = AppendRaft(a.encScratch[:0], m)
+	a.tr.ForwardToFollowers(a.leader, a.datagrams(r2p2.TypeRaftReq, a.encScratch))
 }
 
 func (a *Aggregator) handleFollowerReply(m *raft.Message) {
@@ -182,7 +190,8 @@ func (a *Aggregator) emitCommit() {
 	a.tr.Broadcast(a.datagrams(r2p2.TypeRaftResp, EncodeAggCommit(ac)))
 }
 
-func (a *Aggregator) datagrams(typ r2p2.MessageType, payload []byte) [][]byte {
+func (a *Aggregator) datagrams(typ r2p2.MessageType, payload []byte) []*wire.Buf {
 	a.seq++
-	return r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, uint16(AggregatorID), a.seq, payload, 0)
+	a.dgScratch = r2p2.AppendMsgBufs(a.dgScratch[:0], typ, r2p2.PolicyUnrestricted, uint16(AggregatorID), a.seq, payload, 0)
+	return a.dgScratch
 }

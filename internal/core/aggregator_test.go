@@ -6,6 +6,7 @@ import (
 
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/wire"
 )
 
 // fakeAggTransport records aggregator output.
@@ -20,13 +21,15 @@ func newFakeAggTransport() *fakeAggTransport {
 	return &fakeAggTransport{direct: make(map[raft.NodeID][][]byte)}
 }
 
-func (f *fakeAggTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
+func (f *fakeAggTransport) ForwardToFollowers(leader raft.NodeID, dgs []*wire.Buf) {
 	f.lastLeader = leader
-	f.forwarded = append(f.forwarded, dgs...)
+	f.forwarded = append(f.forwarded, takeAll(dgs)...)
 }
-func (f *fakeAggTransport) Broadcast(dgs [][]byte) { f.broadcast = append(f.broadcast, dgs...) }
-func (f *fakeAggTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
-	f.direct[id] = append(f.direct[id], dgs...)
+func (f *fakeAggTransport) Broadcast(dgs []*wire.Buf) {
+	f.broadcast = append(f.broadcast, takeAll(dgs)...)
+}
+func (f *fakeAggTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
+	f.direct[id] = append(f.direct[id], takeAll(dgs)...)
 }
 
 // decodeOne reassembles a single-datagram consensus message.

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/raft"
+)
+
+// snoopAEs decodes every queued consensus datagram and returns the raft
+// AppendEntries messages currently on the bus (undelivered).
+func snoopAEs(w *world) []*raft.Message {
+	re := r2p2.NewReassembler(time.Second)
+	var out []*raft.Message
+	for _, p := range w.queue {
+		m, err := re.Ingest(append([]byte(nil), p.dg...), p.fromIP, 0)
+		if err != nil || m == nil {
+			continue
+		}
+		if m.Type != r2p2.TypeRaftReq && m.Type != r2p2.TypeRaftResp {
+			continue
+		}
+		env, err := DecodeEnvelope(m.Payload)
+		if err != nil || env.Raft == nil {
+			continue
+		}
+		if env.Raft.Type == raft.MsgApp {
+			out = append(out, env.Raft)
+		}
+	}
+	return out
+}
+
+// logHasBody reports whether the node's applied log contains an entry
+// whose body equals payload.
+func logHasBody(e *Engine, payload string) bool {
+	log := e.Node().Log()
+	for i := log.FirstIndex(); i <= log.Applied(); i++ {
+		if le := log.Entry(i); le != nil && string(le.Data) == payload {
+			return true
+		}
+	}
+	return false
+}
+
+// TestEngineBatchedAEMultiEntryPromotion drives the batched replication
+// path end to end: three proposals accepted between pacing ticks must go
+// out as ONE multi-entry metadata AppendEntries per follower on the next
+// tick, and the followers must promote every entry of the batch from
+// their unordered sets in a single HandleMessage step.
+func TestEngineBatchedAEMultiEntryPromotion(t *testing.T) {
+	w := newWorld(t, ModeHovercraft, 3)
+	w.electLeader(1)
+
+	// Freeze the bus, multicast three requests: bodies park at the
+	// followers (direct delivery), the leader proposes each. AEs are
+	// paced on the tick, so nothing replicates yet.
+	w.hold = true
+	rids := []uint32{
+		w.request(r2p2.PolicyReplicated, []byte("batch-a")),
+		w.request(r2p2.PolicyReplicated, []byte("batch-b")),
+		w.request(r2p2.PolicyReplicated, []byte("batch-c")),
+	}
+	if got := len(snoopAEs(w)); got != 0 {
+		t.Fatalf("AEs escaped before the pacing tick: %d", got)
+	}
+
+	// One pacing tick must batch all three entries into one
+	// metadata-only AE per follower — not three single-entry AEs.
+	w.engines[1].Tick()
+	aes := snoopAEs(w)
+	if len(aes) != 2 {
+		t.Fatalf("got %d AppendEntries after one pacing tick, want 2 (one per follower)", len(aes))
+	}
+	var batched *raft.Message
+	for _, m := range aes {
+		if len(m.Entries) >= 3 {
+			batched = m
+		}
+	}
+	if batched == nil {
+		t.Fatal("pacing tick did not batch the three proposals into one AppendEntries")
+	}
+	for _, en := range batched.Entries {
+		if en.Kind != raft.KindNoop && en.Data != nil {
+			t.Fatalf("batched entry %d carries a %dB body; want metadata-only", en.Index, len(en.Data))
+		}
+	}
+
+	w.hold = false
+	w.deliver()
+	w.tick(20)
+	for _, rid := range rids {
+		if _, ok := w.responses[rid]; !ok {
+			t.Fatalf("request %d never answered after batched resend", rid)
+		}
+	}
+	// Promotion, not recovery: every body was parked, so the batch must
+	// complete without a single recovery round-trip.
+	for _, id := range []raft.NodeID{2, 3} {
+		if n := w.engines[id].Counters().Value("tx_recovery_req"); n != 0 {
+			t.Fatalf("node %d sent %d recovery requests; batch promotion should need none", id, n)
+		}
+		for _, body := range []string{"batch-a", "batch-b", "batch-c"} {
+			if !logHasBody(w.engines[id], body) {
+				t.Fatalf("node %d never promoted %q", id, body)
+			}
+		}
+	}
+}
+
+// TestEngineRecoveryOfMissingBodyMidBatch covers the partial-promotion
+// path: a follower misses the multicast for the MIDDLE request of a
+// batch. When the multi-entry AE lands, it must promote the first and
+// last bodies immediately and body-recover only the middle one.
+func TestEngineRecoveryOfMissingBodyMidBatch(t *testing.T) {
+	w := newWorld(t, ModeHovercraft, 3)
+	w.electLeader(1)
+
+	w.hold = true
+	ra := w.request(r2p2.PolicyReplicated, []byte("mid-a"))
+	w.dropClientTo[3] = true
+	rb := w.request(r2p2.PolicyReplicated, []byte("mid-b"))
+	w.dropClientTo[3] = false
+	rc := w.request(r2p2.PolicyReplicated, []byte("mid-c"))
+	w.queue = nil
+	w.hold = false
+
+	w.tick(30)
+	for _, rid := range []uint32{ra, rb, rc} {
+		if _, ok := w.responses[rid]; !ok {
+			t.Fatalf("request %d never answered", rid)
+		}
+	}
+	e3 := w.engines[3]
+	for _, body := range []string{"mid-a", "mid-b", "mid-c"} {
+		if !logHasBody(e3, body) {
+			t.Fatalf("node 3 missing %q after mid-batch recovery", body)
+		}
+	}
+	if e3.Counters().Value("tx_recovery_req") == 0 {
+		t.Fatal("node 3 promoted everything: the dropped middle body was never recovered")
+	}
+	if w.engines[1].Counters().Value("rx_recovery_req") == 0 {
+		t.Fatal("leader never served the mid-batch recovery")
+	}
+}

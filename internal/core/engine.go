@@ -10,6 +10,7 @@ import (
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/stats"
+	"hovercraft/internal/wire"
 )
 
 // Mode selects the replication protocol variant (the four systems of the
@@ -49,20 +50,26 @@ const AggregatorID raft.NodeID = 0xFFFF
 
 // Transport is how the engine reaches the world. Implementations exist
 // for the discrete-event simulator and for real UDP sockets. All methods
-// take fully encoded R2P2 datagrams.
+// take fully encoded R2P2 datagrams in pooled wire buffers.
+//
+// Ownership: each call transfers one reference per buffer to the
+// transport, which releases it (or hands it to the network) once the
+// datagram is on its way. The slice itself stays owned by the caller and
+// is only valid for the duration of the call — implementations must not
+// retain it.
 type Transport interface {
 	// SendToNode delivers consensus datagrams to a peer node.
-	SendToNode(id raft.NodeID, dgs [][]byte)
+	SendToNode(id raft.NodeID, dgs []*wire.Buf)
 	// SendToAggregator delivers datagrams to the in-network aggregator.
-	SendToAggregator(dgs [][]byte)
+	SendToAggregator(dgs []*wire.Buf)
 	// SendToClient delivers datagrams to the client identified by the
 	// request's R2P2 identity (SrcIP names the client host; SrcPort
 	// disambiguates endpoints sharing an IP, which real UDP transports
 	// need).
-	SendToClient(id r2p2.RequestID, dgs [][]byte)
-	// SendFeedback delivers a FEEDBACK datagram to the flow-control
-	// middlebox.
-	SendFeedback(dgs [][]byte)
+	SendToClient(id r2p2.RequestID, dgs []*wire.Buf)
+	// SendFeedback delivers FEEDBACK datagrams to the flow-control
+	// middlebox (coalesced: one datagram may cover many replies).
+	SendFeedback(dgs []*wire.Buf)
 }
 
 // AppRunner executes state-machine operations on the application thread.
@@ -87,6 +94,17 @@ type Config struct {
 	HeartbeatTicks int
 	// MaxEntriesPerAppend caps one AppendEntries message.
 	MaxEntriesPerAppend int
+	// MaxInflightEntries is the replication pipelining window: how many
+	// entries may be outstanding (sent but unacknowledged) per follower.
+	// When one AppendEntries cannot carry everything new, the leader
+	// sends back-to-back AEs up to this window instead of waiting a
+	// round trip per batch. 0 selects the raft default (4096).
+	MaxInflightEntries int
+	// MaxBatchBytes caps the encoded payload of one AppendEntries, so a
+	// large backlog splits into pipelined MTU-friendly messages instead
+	// of one huge datagram burst. 0 = unlimited (paper-faithful default:
+	// the evaluation batches by entry count only).
+	MaxBatchBytes int
 
 	// Bound is B, the bounded-queue depth for reply load balancing.
 	Bound int
@@ -250,6 +268,15 @@ type Engine struct {
 	lastRestored uint64
 
 	msgSeq uint32
+
+	// Hot-path scratch, reused across sends: encScratch holds one encoded
+	// consensus envelope, dgScratch the pooled datagrams of one message
+	// (transports must not retain the slice), fbPending the reply IDs
+	// whose FEEDBACK is coalesced into one datagram per engine step.
+	encScratch []byte
+	dgScratch  []*wire.Buf
+	fbPending  []r2p2.RequestID
+	entScratch []raft.Entry
 }
 
 // NewEngine builds an engine. transport and runner must be non-nil.
@@ -274,6 +301,8 @@ func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
 		ID: cfg.ID, Peers: cfg.Peers,
 		ElectionTicks: cfg.ElectionTicks, HeartbeatTicks: cfg.HeartbeatTicks,
 		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
+		MaxInflightEntries:  cfg.MaxInflightEntries,
+		MaxBatchBytes:       cfg.MaxBatchBytes,
 		Rand:                cfg.Rand,
 		Storage:             cfg.Storage,
 	})
@@ -375,6 +404,9 @@ func (e *Engine) HandleMessage(m *r2p2.Msg) {
 		// Responses/feedback/nacks are not addressed to servers.
 		e.counters.Get("rx_unexpected").Inc()
 	}
+	// Paths that reply without flushing (dedup cache hits) still get
+	// their feedback out within the step.
+	e.flushFeedback()
 }
 
 // --- client requests ---------------------------------------------------
@@ -410,7 +442,8 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 		if !e.IsLeader() {
 			// Redirect: vanilla Raft clients must talk to the leader.
 			e.counters.Get("tx_nack").Inc()
-			e.transport.SendToClient(m.ID, [][]byte{r2p2.MakeNack(m.ID)})
+			e.dgScratch = append(e.dgScratch[:0], r2p2.MakeNackBuf(m.ID))
+			e.transport.SendToClient(m.ID, e.dgScratch)
 			return
 		}
 		e.obs.Stage(m.ID, obs.StageLeaderRx)
@@ -591,7 +624,8 @@ func (e *Engine) reportApplied() {
 		Success: true, MatchIndex: e.followerMatch, AppliedIndex: applied,
 	}
 	e.counters.Get("tx_applied_report").Inc()
-	dgs := e.consensusDatagrams(r2p2.TypeRaftResp, EncodeRaft(&m))
+	e.encScratch = AppendRaft(e.encScratch[:0], &m)
+	dgs := e.consensusBufs(r2p2.TypeRaftResp, e.encScratch)
 	if e.cfg.Mode == ModeHovercraftPP && e.lastAEViaAgg {
 		e.transport.SendToAggregator(dgs)
 	} else {
@@ -652,7 +686,7 @@ func (e *Engine) sendRecovery(force bool) {
 		e.obs.Emitf("raft", "recovery_request", "node=%d target=%d missing=%d",
 			e.cfg.ID, lead, len(req.Indexes))
 	}
-	e.transport.SendToNode(lead, e.consensusDatagrams(r2p2.TypeRaftReq, EncodeRecoveryReq(req)))
+	e.transport.SendToNode(lead, e.consensusBufs(r2p2.TypeRaftReq, EncodeRecoveryReq(req)))
 }
 
 func (e *Engine) retryRecovery() {
@@ -685,7 +719,7 @@ func (e *Engine) handleRecoveryReq(r *RecoveryReq) {
 		return
 	}
 	e.counters.Get("tx_recovery_resp").Inc()
-	e.transport.SendToNode(r.From, e.consensusDatagrams(r2p2.TypeRaftResp, EncodeRecoveryResp(resp)))
+	e.transport.SendToNode(r.From, e.consensusBufs(r2p2.TypeRaftResp, EncodeRecoveryResp(resp)))
 }
 
 func (e *Engine) handleRecoveryResp(r *RecoveryResp) {
@@ -787,7 +821,7 @@ func (e *Engine) paceAggregated() {
 			e.idleHB = 0
 			e.counters.Get("tx_agg_ping").Inc()
 			ping := EncodeAggPing(&AggPing{Term: e.node.Term(), From: e.cfg.ID})
-			e.transport.SendToAggregator(e.consensusDatagrams(r2p2.TypeRaftReq, ping))
+			e.transport.SendToAggregator(e.consensusBufs(r2p2.TypeRaftReq, ping))
 		}
 		if e.aggPongTerm == e.node.Term() && log.Commit() >= e.noopIndex {
 			e.groupMode = true
@@ -813,13 +847,14 @@ func (e *Engine) paceAggregated() {
 		return
 	}
 	if e.cfg.Mode != ModeVanilla {
-		m.Entries = raft.StripBodies(m.Entries)
+		m.Entries = e.stripBodies(m.Entries)
 	}
 	e.idleHB = 0
 	e.lastBcastCommit = log.Commit()
 	e.groupNext += uint64(len(m.Entries))
 	e.counters.Get("tx_agg_ae").Inc()
-	e.transport.SendToAggregator(e.consensusDatagrams(r2p2.TypeRaftReq, EncodeRaft(&m)))
+	e.encScratch = AppendRaft(e.encScratch[:0], &m)
+	e.transport.SendToAggregator(e.consensusBufs(r2p2.TypeRaftReq, e.encScratch))
 }
 
 // announce advances announced_idx, designating repliers under the bounded
@@ -1067,11 +1102,25 @@ func (e *Engine) markApplied(idx uint64) {
 
 func (e *Engine) reply(id r2p2.RequestID, payload []byte) {
 	e.counters.Get("tx_resp").Inc()
-	e.transport.SendToClient(id, r2p2.MakeResponse(id, payload, 0))
+	e.dgScratch = r2p2.AppendResponseBufs(e.dgScratch[:0], id, payload, 0)
+	e.transport.SendToClient(id, e.dgScratch)
 	if e.cfg.Mode != ModeVanilla {
 		e.counters.Get("tx_feedback").Inc()
-		e.transport.SendFeedback([][]byte{r2p2.MakeFeedback(id)})
+		// Coalesced: the IDs accumulate across the current engine step
+		// and leave as one FEEDBACK datagram in flushFeedback.
+		e.fbPending = append(e.fbPending, id)
 	}
+}
+
+// flushFeedback sends one coalesced FEEDBACK datagram covering every
+// reply emitted since the last flush.
+func (e *Engine) flushFeedback() {
+	if len(e.fbPending) == 0 {
+		return
+	}
+	e.dgScratch = r2p2.AppendFeedbackBufs(e.dgScratch[:0], e.fbPending)
+	e.transport.SendFeedback(e.dgScratch)
+	e.fbPending = e.fbPending[:0]
 }
 
 // --- outbox ---------------------------------------------------------------
@@ -1167,11 +1216,12 @@ func (e *Engine) maybeCompact() {
 
 // flush drains the raft outbox, encodes, and routes messages.
 func (e *Engine) flush() {
+	e.flushFeedback()
 	for _, m := range e.node.ReadMessages() {
 		m := m
 		if m.Type == raft.MsgApp {
 			if e.cfg.Mode != ModeVanilla {
-				m.Entries = raft.StripBodies(m.Entries)
+				m.Entries = e.stripBodies(m.Entries)
 			}
 			if e.cfg.Mode == ModeHovercraftPP && e.groupMode && !e.ctxFromResp {
 				// Group mode replicates via the aggregator; suppress
@@ -1194,17 +1244,35 @@ func (e *Engine) flush() {
 					e.followerMatch = m.MatchIndex
 				}
 				if e.cfg.Mode == ModeHovercraftPP && e.ctxViaAgg {
-					e.transport.SendToAggregator(e.consensusDatagrams(typ, EncodeRaft(&m)))
+					e.encScratch = AppendRaft(e.encScratch[:0], &m)
+					e.transport.SendToAggregator(e.consensusBufs(typ, e.encScratch))
 					continue
 				}
 			}
 		}
-		e.transport.SendToNode(m.To, e.consensusDatagrams(typ, EncodeRaft(&m)))
+		e.encScratch = AppendRaft(e.encScratch[:0], &m)
+		e.transport.SendToNode(m.To, e.consensusBufs(typ, e.encScratch))
 	}
 }
 
-// consensusDatagrams wraps an envelope payload into R2P2 datagrams.
-func (e *Engine) consensusDatagrams(typ r2p2.MessageType, payload []byte) [][]byte {
+// stripBodies is raft.StripBodies into a reused scratch: the result is
+// only valid until the next call, which is fine for the flush loop —
+// every message is encoded onto the wire before the next one is built.
+func (e *Engine) stripBodies(entries []raft.Entry) []raft.Entry {
+	e.entScratch = e.entScratch[:0]
+	for i := range entries {
+		ent := entries[i]
+		ent.Data = nil
+		e.entScratch = append(e.entScratch, ent)
+	}
+	return e.entScratch
+}
+
+// consensusBufs wraps an envelope payload into pooled R2P2 datagrams.
+// The returned slice is the engine's reused scratch: transports consume
+// it synchronously and must not retain it.
+func (e *Engine) consensusBufs(typ r2p2.MessageType, payload []byte) []*wire.Buf {
 	e.msgSeq++
-	return r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, uint16(e.cfg.ID), e.msgSeq, payload, 0)
+	e.dgScratch = r2p2.AppendMsgBufs(e.dgScratch[:0], typ, r2p2.PolicyUnrestricted, uint16(e.cfg.ID), e.msgSeq, payload, 0)
+	return e.dgScratch
 }

@@ -7,6 +7,7 @@ import (
 
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/wire"
 )
 
 // failer abstracts *testing.T so the interleaving explorer can collect
@@ -30,6 +31,10 @@ type world struct {
 	// dropClientTo suppresses multicast delivery of client requests to
 	// specific nodes (multicast loss injection).
 	dropClientTo map[raft.NodeID]bool
+	// hold freezes the bus: sends still enqueue, deliver() is a no-op.
+	// Lets tests pile up pipelined AEs before (re)ordering or dropping
+	// them.
+	hold bool
 
 	queue []busPacket
 
@@ -66,18 +71,30 @@ type busTransport struct {
 	fromIP uint32
 }
 
-func (b *busTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
-	for _, dg := range dgs {
+// takeAll copies pooled datagrams into plain byte slices and releases the
+// transferred references (the bus retains datagrams past the send call,
+// which the Transport contract forbids for the buffers themselves).
+func takeAll(dgs []*wire.Buf) [][]byte {
+	out := make([][]byte, 0, len(dgs))
+	for _, b := range dgs {
+		out = append(out, append([]byte(nil), b.B...))
+		b.Release()
+	}
+	return out
+}
+
+func (b *busTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
 		b.w.queue = append(b.w.queue, busPacket{toNode: id, fromIP: b.fromIP, dg: dg})
 	}
 }
-func (b *busTransport) SendToAggregator(dgs [][]byte) {
-	for _, dg := range dgs {
+func (b *busTransport) SendToAggregator(dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
 		b.w.queue = append(b.w.queue, busPacket{toAgg: true, fromIP: b.fromIP, dg: dg})
 	}
 }
-func (b *busTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
-	for _, dg := range dgs {
+func (b *busTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
 		m, err := b.w.clientRe.Ingest(dg, b.fromIP, 0)
 		if err != nil {
 			b.w.t.Fatalf("client ingest: %v", err)
@@ -96,29 +113,35 @@ func (b *busTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
 		}
 	}
 }
-func (b *busTransport) SendFeedback(dgs [][]byte) { b.w.feedbacks += len(dgs) }
+func (b *busTransport) SendFeedback(dgs []*wire.Buf) {
+	// Count completed replies, not datagrams: feedback is coalesced.
+	for _, dg := range dgs {
+		b.w.feedbacks += 1 + r2p2.FeedbackRecordCount(dg.B[r2p2.HeaderSize:])
+		dg.Release()
+	}
+}
 
 type busAggTransport struct{ w *world }
 
-func (b *busAggTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
-	for id := range b.w.engines {
-		if id == leader {
-			continue
-		}
-		for _, dg := range dgs {
+func (b *busAggTransport) ForwardToFollowers(leader raft.NodeID, dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
+		for id := range b.w.engines {
+			if id == leader {
+				continue
+			}
 			b.w.queue = append(b.w.queue, busPacket{toNode: id, fromIP: aggIP, dg: dg})
 		}
 	}
 }
-func (b *busAggTransport) Broadcast(dgs [][]byte) {
-	for id := range b.w.engines {
-		for _, dg := range dgs {
+func (b *busAggTransport) Broadcast(dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
+		for id := range b.w.engines {
 			b.w.queue = append(b.w.queue, busPacket{toNode: id, fromIP: aggIP, dg: dg})
 		}
 	}
 }
-func (b *busAggTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
-	for _, dg := range dgs {
+func (b *busAggTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
+	for _, dg := range takeAll(dgs) {
 		b.w.queue = append(b.w.queue, busPacket{toNode: id, fromIP: aggIP, dg: dg})
 	}
 }
@@ -164,6 +187,9 @@ func newWorld(t failer, mode Mode, n int) *world {
 }
 
 func (w *world) deliver() {
+	if w.hold {
+		return
+	}
 	for i := 0; i < 100000 && len(w.queue) > 0; i++ {
 		p := w.queue[0]
 		w.queue = w.queue[1:]

@@ -40,6 +40,12 @@ func EncodeRaft(m *raft.Message) []byte {
 	return raft.EncodeMessage(m, []byte{envRaft})
 }
 
+// AppendRaft is EncodeRaft appending to buf — the allocation-free form
+// the send hot path uses with a reused scratch buffer.
+func AppendRaft(buf []byte, m *raft.Message) []byte {
+	return raft.EncodeMessage(m, append(buf, envRaft))
+}
+
 // RecoveryReq asks a node that saw a client request to supply its body
 // (paper §3.2/§5: sent when an AppendEntries references a request missing
 // from the local unordered set, e.g. after multicast loss).

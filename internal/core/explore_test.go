@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"hovercraft/internal/r2p2"
@@ -28,9 +29,16 @@ const (
 	exploreDepth = 5
 )
 
-// exploreReplay runs one schedule. Returns an error describing the first
-// invariant violation, if any.
+// exploreReplay runs one schedule with the default two-request scenario.
 func exploreReplay(mode Mode, schedule []int, crashAt int) error {
+	return exploreReplayN(mode, schedule, crashAt, 2)
+}
+
+// exploreReplayN runs one schedule with nreqs client requests injected
+// back-to-back — with nreqs > 2 the leader has a pipeline of concurrent
+// AppendEntries in flight, which the schedule then reorders and drops.
+// Returns an error describing the first invariant violation, if any.
+func exploreReplayN(mode Mode, schedule []int, crashAt, nreqs int) error {
 	var violation error
 	t := &crashReporter{onFail: func(msg string) {
 		if violation == nil {
@@ -45,9 +53,14 @@ func exploreReplay(mode Mode, schedule []int, crashAt int) error {
 		return fmt.Errorf("no leader during setup")
 	}
 
-	// Two client requests, injected via multicast.
-	w.request(r2p2.PolicyReplicated, []byte("op-A"))
-	w.request(r2p2.PolicyReplicated, []byte("op-B"))
+	// Client requests, injected via multicast. Holding the bus while
+	// they arrive makes the pacing tick batch them, and the follow-up
+	// deliveries race a pipeline of AEs instead of one at a time.
+	w.hold = true
+	for i := 0; i < nreqs; i++ {
+		w.request(r2p2.PolicyReplicated, []byte(fmt.Sprintf("op-%c", 'A'+i)))
+	}
+	w.hold = false
 
 	decisions := 0
 	crashed := false
@@ -184,6 +197,42 @@ func TestExploreInterleavings(t *testing.T) {
 			}
 			rec(0)
 			t.Logf("explored %d interleavings", count)
+		})
+	}
+}
+
+// TestExplorePipelinedAEReordering is the pipelined-replication variant
+// of the interleaving explorer: five requests proposed between pacing
+// ticks put a batch plus follow-up AEs in flight concurrently, and a
+// seeded random schedule set (deeper than the exhaustive sweep can
+// afford) reorders, delays, and drops them — with and without a
+// mid-pipeline leader crash. Safety must hold on every seed; each seed
+// is replayable by its number alone.
+func TestExplorePipelinedAEReordering(t *testing.T) {
+	const (
+		seedBase = 9000
+		numSeeds = 48
+		depth    = 16
+		nreqs    = 5
+	)
+	for _, mode := range []Mode{ModeHovercraft, ModeHovercraftPP} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for s := 0; s < numSeeds; s++ {
+				rng := rand.New(rand.NewSource(seedBase + int64(s)))
+				schedule := make([]int, depth)
+				for i := range schedule {
+					schedule[i] = rng.Intn(exploreWidth)
+				}
+				crashAt := -1
+				if s%3 == 0 {
+					crashAt = rng.Intn(depth / 2)
+				}
+				if err := exploreReplayN(mode, schedule, crashAt, nreqs); err != nil {
+					t.Fatalf("seed %d (schedule %v crashAt %d): %v",
+						seedBase+int64(s), schedule, crashAt, err)
+				}
+			}
 		})
 	}
 }

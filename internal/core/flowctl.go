@@ -77,10 +77,16 @@ func (f *FlowControl) HandleDatagram(dg []byte, srcIP uint32, now time.Duration)
 	key := fcKey{port: h.SrcPort, req: h.ReqID}
 	switch h.Type {
 	case r2p2.TypeFeedback:
-		// One reply completed: free its slot. The feedback carries the
-		// original request's (port, req_id) even though it is sent by
-		// the replying server.
+		// Replies completed: free their slots. The feedback carries the
+		// original requests' (port, req_id) even though it is sent by
+		// the replying server. Nodes coalesce: the header names one
+		// request, the payload carries any further ones as records.
 		delete(f.inflight, key)
+		payload := dg[r2p2.HeaderSize:]
+		for i := 0; i < r2p2.FeedbackRecordCount(payload); i++ {
+			port, req := r2p2.FeedbackRecordAt(payload, i)
+			delete(f.inflight, fcKey{port: port, req: req})
+		}
 		return VerdictConsume, nil
 	case r2p2.TypeRequest:
 		if h.Flags&r2p2.FlagFirst == 0 {

@@ -4,6 +4,7 @@ import (
 	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/stats"
+	"hovercraft/internal/wire"
 )
 
 // UnreplicatedEngine is the paper's UnRep baseline: a plain R2P2 server
@@ -24,6 +25,14 @@ type UnreplicatedEngine struct {
 	// the replicated engines: a retransmitted write is answered from the
 	// cache instead of re-executed.
 	dedup *DedupCache
+
+	dgScratch []*wire.Buf
+}
+
+// sendResponse builds a pooled response and hands it to the transport.
+func (e *UnreplicatedEngine) sendResponse(id r2p2.RequestID, reply []byte) {
+	e.dgScratch = r2p2.AppendResponseBufs(e.dgScratch[:0], id, reply, 0)
+	e.transport.SendToClient(id, e.dgScratch)
 }
 
 // NewUnreplicatedEngine builds the baseline server.
@@ -59,7 +68,7 @@ func (e *UnreplicatedEngine) HandleMessage(m *r2p2.Msg) {
 			e.counters.Get("rx_req_dup").Inc()
 			if hasReply {
 				e.counters.Get("tx_dup_reply").Inc()
-				e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
+				e.sendResponse(m.ID, reply)
 			}
 			return
 		}
@@ -95,7 +104,7 @@ func (e *UnreplicatedEngine) pump() {
 			e.dedup.Record(m.ID, r, 0)
 		}
 		e.counters.Get("tx_resp").Inc()
-		e.transport.SendToClient(m.ID, r2p2.MakeResponse(m.ID, reply, 0))
+		e.sendResponse(m.ID, reply)
 		e.pump()
 	})
 }

@@ -1,0 +1,155 @@
+package r2p2
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"hovercraft/internal/wire"
+)
+
+func benchHeader() Header {
+	return Header{
+		Type:    TypeRequest,
+		Policy:  PolicyReplicated,
+		SrcPort: 7001,
+		ReqID:   42,
+	}
+}
+
+// BenchmarkHeaderMarshal is the raw 16-byte header encode into a
+// caller-provided buffer: the floor for every datagram on the wire.
+func BenchmarkHeaderMarshal(b *testing.B) {
+	h := benchHeader()
+	buf := make([]byte, 0, HeaderSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = h.Marshal(buf[:0])
+	}
+	if len(buf) != HeaderSize {
+		b.Fatal("bad marshal")
+	}
+}
+
+// BenchmarkFragmentSingleMTU is the single-MTU fast path: one small
+// payload in, one datagram out.
+func BenchmarkFragmentSingleMTU(b *testing.B) {
+	h := benchHeader()
+	payload := make([]byte, 24)
+	b.ReportAllocs()
+	var dgs [][]byte
+	for i := 0; i < b.N; i++ {
+		dgs = Fragment(h, payload, 0)
+	}
+	if len(dgs) != 1 {
+		b.Fatal("expected one fragment")
+	}
+}
+
+// BenchmarkFragmentMultiMTU covers the fragmentation path (8KB payload,
+// six MTU-sized fragments).
+func BenchmarkFragmentMultiMTU(b *testing.B) {
+	h := benchHeader()
+	payload := make([]byte, 8192)
+	b.ReportAllocs()
+	var dgs [][]byte
+	for i := 0; i < b.N; i++ {
+		dgs = Fragment(h, payload, 0)
+	}
+	if len(dgs) != (8192+MaxFragPayload-1)/MaxFragPayload {
+		b.Fatal("bad fragment count")
+	}
+}
+
+// BenchmarkPooledFragSingleMTU is the zero-allocation hot path the
+// engines actually use: encode into pooled buffers, send (here: drop),
+// release. Steady state must not touch the heap — CI guards 0 allocs/op
+// via BENCH_hotpath.json, and TestSingleMTUFastPathZeroAlloc enforces it
+// on every plain `go test`.
+func BenchmarkPooledFragSingleMTU(b *testing.B) {
+	h := benchHeader()
+	payload := make([]byte, 24)
+	var dgs []*wire.Buf
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dgs = AppendFragBufs(dgs[:0], h, payload, 0)
+		wire.ReleaseAll(dgs)
+	}
+	if len(dgs) != 1 {
+		b.Fatal("expected one fragment")
+	}
+}
+
+// BenchmarkIngestSingleMTU is the receive-side fast path: one datagram
+// in, one completed message out of the scratch Msg, no reassembly state.
+func BenchmarkIngestSingleMTU(b *testing.B) {
+	h := benchHeader()
+	dg := Fragment(h, make([]byte, 24), 0)[0]
+	r := NewReassembler(time.Millisecond)
+	var m Msg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		done, _, err := r.IngestInto(dg, 1, 0, &m)
+		if err != nil || !done {
+			b.Fatal("fast path did not complete")
+		}
+	}
+}
+
+// TestSingleMTUFastPathZeroAlloc pins the acceptance criterion: a
+// single-MTU message costs zero heap allocations to encode into pooled
+// buffers and zero to ingest.
+func TestSingleMTUFastPathZeroAlloc(t *testing.T) {
+	h := benchHeader()
+	payload := make([]byte, 24)
+	var dgs []*wire.Buf
+	if n := testing.AllocsPerRun(200, func() {
+		dgs = AppendFragBufs(dgs[:0], h, payload, 0)
+		wire.ReleaseAll(dgs)
+	}); n != 0 {
+		t.Fatalf("pooled single-MTU encode allocates %.1f/op, want 0", n)
+	}
+
+	dg := Fragment(h, payload, 0)[0]
+	r := NewReassembler(time.Millisecond)
+	var m Msg
+	if n := testing.AllocsPerRun(200, func() {
+		if done, _, err := r.IngestInto(dg, 1, 0, &m); err != nil || !done {
+			t.Fatal("fast path did not complete")
+		}
+	}); n != 0 {
+		t.Fatalf("single-MTU ingest allocates %.1f/op, want 0", n)
+	}
+}
+
+// BenchmarkReassembleMultiMTU ingests a fragmented message end to end:
+// the per-fragment bookkeeping plus the final join.
+func BenchmarkReassembleMultiMTU(b *testing.B) {
+	h := benchHeader()
+	payload := make([]byte, 8192)
+	dgs := Fragment(h, payload, 0)
+	r := NewReassembler(time.Millisecond)
+	now := time.Duration(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now += time.Microsecond
+		var got *Msg
+		for j, dg := range dgs {
+			// Fresh identity per message, patched in place.
+			binary.BigEndian.PutUint32(dg[8:12], uint32(i))
+			m, err := r.Ingest(dg, 1, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m != nil {
+				if j != len(dgs)-1 {
+					b.Fatal("completed early")
+				}
+				got = m
+			}
+		}
+		if got == nil || len(got.Payload) != len(payload) {
+			b.Fatal("reassembly failed")
+		}
+	}
+}

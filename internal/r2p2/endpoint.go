@@ -1,8 +1,11 @@
 package r2p2
 
 import (
+	"encoding/binary"
 	"sort"
 	"time"
+
+	"hovercraft/internal/wire"
 )
 
 // MakeMsg builds the datagrams of an arbitrary R2P2 message. port and
@@ -12,6 +15,13 @@ import (
 func MakeMsg(t MessageType, policy Policy, port uint16, reqID uint32, payload []byte, maxPayload int) [][]byte {
 	h := Header{Type: t, Policy: policy, SrcPort: port, ReqID: reqID}
 	return Fragment(h, payload, maxPayload)
+}
+
+// AppendMsgBufs is MakeMsg into pooled wire buffers (see AppendFragBufs
+// for the reference contract).
+func AppendMsgBufs(dst []*wire.Buf, t MessageType, policy Policy, port uint16, reqID uint32, payload []byte, maxPayload int) []*wire.Buf {
+	h := Header{Type: t, Policy: policy, SrcPort: port, ReqID: reqID}
+	return AppendFragBufs(dst, h, payload, maxPayload)
 }
 
 // MakeResponse builds the datagrams of a response to the request
@@ -24,6 +34,12 @@ func MakeResponse(id RequestID, payload []byte, maxPayload int) [][]byte {
 	return Fragment(h, payload, maxPayload)
 }
 
+// AppendResponseBufs is MakeResponse into pooled wire buffers.
+func AppendResponseBufs(dst []*wire.Buf, id RequestID, payload []byte, maxPayload int) []*wire.Buf {
+	h := Header{Type: TypeResponse, SrcPort: id.SrcPort, ReqID: id.ReqID}
+	return AppendFragBufs(dst, h, payload, maxPayload)
+}
+
 // MakeFeedback builds the single-datagram FEEDBACK message for the given
 // request, sent to the flow-control middlebox when a reply is emitted.
 func MakeFeedback(id RequestID) []byte {
@@ -32,11 +48,66 @@ func MakeFeedback(id RequestID) []byte {
 	return h.Marshal(nil)
 }
 
+// FeedbackRecordSize is the payload footprint of one extra request in a
+// coalesced FEEDBACK datagram: (src_port, req_id).
+const FeedbackRecordSize = 6
+
+// maxFeedbackIDs caps how many request IDs one FEEDBACK datagram covers
+// (header slot + as many records as fit a single-MTU payload).
+const maxFeedbackIDs = 1 + MaxFragPayload/FeedbackRecordSize
+
+// AppendFeedbackBufs builds coalesced FEEDBACK datagrams covering every
+// id, into pooled wire buffers. The header carries ids[0] the way a
+// single feedback always has; each further id rides as a
+// FeedbackRecordSize payload record, so one datagram releases many
+// middlebox slots. Overflow past a single MTU spills into additional
+// datagrams (at maxFeedbackIDs ≈ 240 per datagram the spill is
+// essentially theoretical).
+func AppendFeedbackBufs(dst []*wire.Buf, ids []RequestID) []*wire.Buf {
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > maxFeedbackIDs {
+			n = maxFeedbackIDs
+		}
+		h := Header{Type: TypeFeedback, SrcPort: ids[0].SrcPort, ReqID: ids[0].ReqID,
+			PktCount: 1, Flags: FlagFirst | FlagLast}
+		b := wire.Get(HeaderSize + (n-1)*FeedbackRecordSize)
+		b.B = h.Marshal(b.B)
+		for _, id := range ids[1:n] {
+			var rec [FeedbackRecordSize]byte
+			binary.BigEndian.PutUint16(rec[0:2], id.SrcPort)
+			binary.BigEndian.PutUint32(rec[2:6], id.ReqID)
+			b.B = append(b.B, rec[:]...)
+		}
+		dst = append(dst, b)
+		ids = ids[n:]
+	}
+	return dst
+}
+
+// FeedbackRecordCount returns how many extra request records a FEEDBACK
+// payload carries (beyond the one in the header).
+func FeedbackRecordCount(payload []byte) int { return len(payload) / FeedbackRecordSize }
+
+// FeedbackRecordAt decodes extra record i of a coalesced FEEDBACK payload.
+func FeedbackRecordAt(payload []byte, i int) (port uint16, req uint32) {
+	rec := payload[i*FeedbackRecordSize:]
+	return binary.BigEndian.Uint16(rec[0:2]), binary.BigEndian.Uint32(rec[2:6])
+}
+
 // MakeNack builds the single-datagram NACK for the given request, sent by
 // the middlebox to a client whose request was shed.
 func MakeNack(id RequestID) []byte {
 	h := Header{Type: TypeNack, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
 	return h.Marshal(nil)
+}
+
+// MakeNackBuf is MakeNack into a pooled wire buffer.
+func MakeNackBuf(id RequestID) *wire.Buf {
+	h := Header{Type: TypeNack, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
+	b := wire.Get(HeaderSize)
+	b.B = h.Marshal(b.B)
+	return b
 }
 
 // Client allocates request identifiers and builds request datagrams for

@@ -3,6 +3,8 @@ package r2p2
 import (
 	"fmt"
 	"time"
+
+	"hovercraft/internal/wire"
 )
 
 // DefaultMTU is the Ethernet MTU assumed by the evaluation (paper §3.3).
@@ -16,43 +18,80 @@ const FrameOverhead = 46
 // fragment fits in a single MTU-sized frame.
 const MaxFragPayload = DefaultMTU - FrameOverhead - HeaderSize
 
-// Fragment encodes a message as one or more datagrams, each at most
-// maxPayload bytes of payload plus the R2P2 header. maxPayload <= 0 uses
-// MaxFragPayload. The header's PktID/PktCount/Flags are filled per
-// fragment; the other header fields are copied from h.
-func Fragment(h Header, payload []byte, maxPayload int) [][]byte {
-	if maxPayload <= 0 {
-		maxPayload = MaxFragPayload
-	}
-	n := (len(payload) + maxPayload - 1) / maxPayload
+// fragCount returns how many fragments a payload needs.
+func fragCount(payloadLen, maxPayload int) int {
+	n := (payloadLen + maxPayload - 1) / maxPayload
 	if n == 0 {
 		n = 1
 	}
 	if n > 0xFFFF {
-		panic(fmt.Sprintf("r2p2: message of %d bytes needs %d fragments (max 65535)", len(payload), n))
+		panic(fmt.Sprintf("r2p2: message of %d bytes needs %d fragments (max 65535)", payloadLen, n))
 	}
+	return n
+}
+
+// fragHeader fills the per-fragment header fields of fragment i of n.
+func fragHeader(h Header, i, n int) Header {
+	h.PktID = uint16(i)
+	h.PktCount = uint16(n)
+	h.Flags = 0
+	if i == 0 {
+		h.Flags |= FlagFirst
+	}
+	if i == n-1 {
+		h.Flags |= FlagLast
+	}
+	return h
+}
+
+// Fragment encodes a message as one or more datagrams, each at most
+// maxPayload bytes of payload plus the R2P2 header. maxPayload <= 0 uses
+// MaxFragPayload. The header's PktID/PktCount/Flags are filled per
+// fragment; the other header fields are copied from h. All datagrams
+// share one backing array (two allocations total, not one per fragment).
+func Fragment(h Header, payload []byte, maxPayload int) [][]byte {
+	if maxPayload <= 0 {
+		maxPayload = MaxFragPayload
+	}
+	n := fragCount(len(payload), maxPayload)
 	out := make([][]byte, 0, n)
+	backing := make([]byte, 0, n*HeaderSize+len(payload))
 	for i := 0; i < n; i++ {
-		fh := h
-		fh.PktID = uint16(i)
-		fh.PktCount = uint16(n)
-		fh.Flags = 0
-		if i == 0 {
-			fh.Flags |= FlagFirst
-		}
-		if i == n-1 {
-			fh.Flags |= FlagLast
-		}
+		fh := fragHeader(h, i, n)
 		lo := i * maxPayload
 		hi := lo + maxPayload
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		dg := fh.Marshal(make([]byte, 0, HeaderSize+hi-lo))
-		dg = append(dg, payload[lo:hi]...)
-		out = append(out, dg)
+		start := len(backing)
+		backing = fh.Marshal(backing)
+		backing = append(backing, payload[lo:hi]...)
+		out = append(out, backing[start:len(backing):len(backing)])
 	}
 	return out
+}
+
+// AppendFragBufs encodes a message like Fragment, but into pooled wire
+// buffers appended to dst. Each returned buffer carries one reference
+// owned by the caller; transports consume that reference when they send.
+func AppendFragBufs(dst []*wire.Buf, h Header, payload []byte, maxPayload int) []*wire.Buf {
+	if maxPayload <= 0 {
+		maxPayload = MaxFragPayload
+	}
+	n := fragCount(len(payload), maxPayload)
+	for i := 0; i < n; i++ {
+		fh := fragHeader(h, i, n)
+		lo := i * maxPayload
+		hi := lo + maxPayload
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		b := wire.Get(HeaderSize + hi - lo)
+		b.B = fh.Marshal(b.B)
+		b.B = append(b.B, payload[lo:hi]...)
+		dst = append(dst, b)
+	}
+	return dst
 }
 
 // WireBytes returns the total bytes on the wire (including framing) for a
@@ -76,8 +115,18 @@ type reasmKey struct {
 	group uint8
 }
 
+// reasmState accumulates one message by copying fragment payloads into a
+// contiguous buffer at their stride offsets as they arrive. Copying on
+// ingest (instead of retaining fragment references and joining at the
+// end) means the reassembler never holds on to a datagram after Ingest
+// returns — the property that lets callers reuse read buffers and the
+// simulator recycle packet payloads.
 type reasmState struct {
-	frags    [][]byte
+	buf      []byte // contiguous payload, sized stride*total up front
+	received []bool
+	stride   int    // payload bytes of every non-final fragment (0 = unknown)
+	lastLen  int    // payload bytes of the final fragment (-1 = unseen)
+	lastCopy []byte // final fragment arrived before stride was known
 	have     int
 	total    int
 	policy   Policy
@@ -86,7 +135,8 @@ type reasmState struct {
 
 // Reassembler reconstructs messages from datagrams. It tolerates loss,
 // duplication, and reordering of fragments; incomplete messages are
-// discarded by GC after a timeout. Not safe for concurrent use.
+// discarded by GC after a timeout. Datagrams are never retained after
+// Ingest returns. Not safe for concurrent use.
 type Reassembler struct {
 	// Timeout after which an incomplete message is dropped.
 	Timeout time.Duration
@@ -102,49 +152,95 @@ func NewReassembler(timeout time.Duration) *Reassembler {
 // now. It returns the completed message when the datagram completes one,
 // or nil. Errors indicate malformed packets (which are dropped).
 func (r *Reassembler) Ingest(datagram []byte, srcIP uint32, now time.Duration) (*Msg, error) {
+	m := &Msg{}
+	done, _, err := r.IngestInto(datagram, srcIP, now, m)
+	if !done {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IngestInto is the allocation-free form of Ingest: when the datagram
+// completes a message it fills *m and returns done=true. owned reports
+// whether m.Payload is backed by reassembler-allocated memory
+// (multi-fragment messages) as opposed to aliasing the datagram itself
+// (the single-fragment fast path). Callers that feed borrowed read
+// buffers copy un-owned payloads of any message type they retain.
+func (r *Reassembler) IngestInto(datagram []byte, srcIP uint32, now time.Duration, m *Msg) (done, owned bool, err error) {
 	var h Header
 	if err := h.Unmarshal(datagram); err != nil {
-		return nil, err
+		return false, false, err
 	}
 	body := datagram[HeaderSize:]
 	id := IDOf(&h, srcIP)
 	if h.PktCount == 1 {
 		// Fast path: single-fragment message.
-		return &Msg{Type: h.Type, Policy: h.Policy, Group: h.Group, ID: id, Payload: body}, nil
+		*m = Msg{Type: h.Type, Policy: h.Policy, Group: h.Group, ID: id, Payload: body}
+		return true, false, nil
 	}
 	key := reasmKey{id: id, t: h.Type, group: h.Group}
 	st, ok := r.pending[key]
 	if !ok {
 		st = &reasmState{
-			frags:  make([][]byte, h.PktCount),
-			total:  int(h.PktCount),
-			policy: h.Policy,
+			received: make([]bool, h.PktCount),
+			total:    int(h.PktCount),
+			lastLen:  -1,
+			policy:   h.Policy,
 		}
 		r.pending[key] = st
 	}
 	if int(h.PktCount) != st.total {
 		// Mismatched fragment metadata: drop the whole message.
 		delete(r.pending, key)
-		return nil, ErrBadFragment
+		return false, false, ErrBadFragment
 	}
 	st.deadline = now + r.Timeout
-	if st.frags[h.PktID] == nil {
-		st.frags[h.PktID] = body
+	if !st.received[h.PktID] {
+		final := int(h.PktID) == st.total-1
+		if !final {
+			if st.stride == 0 {
+				// First non-final fragment fixes the stride; every
+				// fragment's offset is then known, so the whole payload
+				// buffer is allocated once.
+				st.stride = len(body)
+				st.buf = make([]byte, st.stride*st.total)
+				if st.lastCopy != nil {
+					if len(st.lastCopy) > st.stride {
+						delete(r.pending, key)
+						return false, false, ErrBadFragment
+					}
+					copy(st.buf[st.stride*(st.total-1):], st.lastCopy)
+					st.lastCopy = nil
+				}
+			} else if len(body) != st.stride {
+				delete(r.pending, key)
+				return false, false, ErrBadFragment
+			}
+			copy(st.buf[int(h.PktID)*st.stride:], body)
+		} else {
+			st.lastLen = len(body)
+			switch {
+			case st.stride == 0:
+				// Final fragment before any full-size one: park a copy
+				// until the stride is known.
+				st.lastCopy = append([]byte(nil), body...)
+			case len(body) > st.stride:
+				delete(r.pending, key)
+				return false, false, ErrBadFragment
+			default:
+				copy(st.buf[st.stride*(st.total-1):], body)
+			}
+		}
+		st.received[h.PktID] = true
 		st.have++
 	}
 	if st.have < st.total {
-		return nil, nil
+		return false, false, nil
 	}
 	delete(r.pending, key)
-	size := 0
-	for _, f := range st.frags {
-		size += len(f)
-	}
-	payload := make([]byte, 0, size)
-	for _, f := range st.frags {
-		payload = append(payload, f...)
-	}
-	return &Msg{Type: h.Type, Policy: st.policy, Group: h.Group, ID: id, Payload: payload}, nil
+	*m = Msg{Type: h.Type, Policy: st.policy, Group: h.Group, ID: id,
+		Payload: st.buf[:st.stride*(st.total-1)+st.lastLen]}
+	return true, true, nil
 }
 
 // GC drops incomplete reassemblies whose deadline passed and returns how

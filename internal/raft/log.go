@@ -95,6 +95,40 @@ func (l *Log) Slice(lo, hi uint64, maxEntries int) []Entry {
 
 // Append adds entries at the tail, assigning indices; the caller sets
 // terms. Returns the last index.
+// View returns the entries in [lo, hi] as a window into the log's own
+// storage — no copy. maxEntries > 0 caps the count; maxBytes > 0 caps
+// the cumulative wire size (fixed per-entry metadata plus carried data),
+// always admitting at least one entry so progress never stalls. The view
+// is only valid until the log is next mutated: it is for messages that
+// are encoded and dropped within the same drain step (the send hot
+// path). Callers that retain entries (storage, tests) use Slice.
+func (l *Log) View(lo, hi uint64, maxEntries, maxBytes int) []Entry {
+	if lo < l.FirstIndex() {
+		lo = l.FirstIndex()
+	}
+	if hi > l.LastIndex() {
+		hi = l.LastIndex()
+	}
+	if lo > hi {
+		return nil
+	}
+	if maxEntries > 0 && hi-lo+1 > uint64(maxEntries) {
+		hi = lo + uint64(maxEntries) - 1
+	}
+	w := l.entries[lo-l.FirstIndex() : hi-l.FirstIndex()+1]
+	if maxBytes > 0 {
+		bytes := 0
+		for i := range w {
+			bytes += EntryWireSize(&w[i])
+			if bytes > maxBytes && i > 0 {
+				w = w[:i]
+				break
+			}
+		}
+	}
+	return w
+}
+
 func (l *Log) Append(entries ...Entry) uint64 {
 	for i := range entries {
 		entries[i].Index = l.LastIndex() + 1

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
 // Config parameterizes a Node.
@@ -24,7 +23,16 @@ type Config struct {
 	// entries per follower (Next - Match); beyond it the leader stops
 	// shipping new entries until acks arrive or a heartbeat probe
 	// resynchronizes. Prevents unbounded bursts at follower ingress.
+	// This is also the pipelining window: one paced broadcast emits as
+	// many back-to-back AppendEntries per follower as fit in it.
 	MaxInflightEntries int
+	// MaxBatchBytes, when nonzero, additionally caps one AppendEntries
+	// message by the wire size of its entries (fixed metadata bytes plus
+	// any carried body bytes). The paper-faithful default of 0 leaves
+	// batching bounded by MaxEntriesPerAppend only; setting it near the
+	// MTU payload size keeps every metadata append in a single datagram
+	// and lets the pipeline (see MaxInflightEntries) provide throughput.
+	MaxBatchBytes int
 	// Rand supplies election jitter. Required for determinism under the
 	// simulator; nil uses a fixed-seed source.
 	Rand *rand.Rand
@@ -116,6 +124,12 @@ type Node struct {
 	repLimit uint64
 
 	msgs []Message
+	// spare is the outbox double buffer: ReadMessages hands out one
+	// array while new sends fill the other, so steady-state draining
+	// never allocates.
+	spare []Message
+	// matchScratch is reused by maybeCommit's quorum count.
+	matchScratch []uint64
 }
 
 // NewNode creates a node. It panics on invalid configuration (a startup
@@ -170,10 +184,13 @@ func (n *Node) Status() Status {
 	}
 }
 
-// ReadMessages drains the outbox.
+// ReadMessages drains the outbox. The returned slice (and the Entries
+// views inside its messages) is valid until the call after next: callers
+// must finish encoding the drained messages before stepping the node
+// again, which the engine's synchronous drain loop guarantees.
 func (n *Node) ReadMessages() []Message {
 	out := n.msgs
-	n.msgs = nil
+	n.msgs, n.spare = n.spare[:0], out
 	return out
 }
 
@@ -307,7 +324,32 @@ func (n *Node) BroadcastAppend() {
 func (n *Node) broadcastAppend() {
 	for _, p := range n.cfg.Peers {
 		if p != n.cfg.ID {
-			n.sendAppend(p)
+			n.sendAppendBurst(p)
+		}
+	}
+}
+
+// sendAppendBurst pipelines AppendEntries to one follower: after the
+// first (possibly empty, heartbeat-carrying) append, it keeps sending
+// back-to-back appends while the follower still lags and the in-flight
+// window (MaxInflightEntries) has room. Each append is bounded by
+// MaxEntriesPerAppend/MaxBatchBytes, so a long backlog goes out as a
+// train of bounded datagrams within one pacing tick instead of one
+// append per tick.
+func (n *Node) sendAppendBurst(to NodeID) {
+	pr := n.prs[to]
+	if pr == nil {
+		return
+	}
+	n.sendAppend(to)
+	target := n.replicationTarget()
+	for !pr.pendingSnap && pr.Next <= target &&
+		pr.Next-pr.Match-1 < uint64(n.cfg.MaxInflightEntries) {
+		before := pr.Next
+		n.sendAppend(to)
+		if pr.Next == before {
+			// Window exhausted (or nothing sendable): stop the train.
+			break
 		}
 	}
 }
@@ -356,7 +398,7 @@ func (n *Node) sendAppend(to NodeID) {
 	}
 	var entries []Entry
 	if maxEnt > 0 {
-		entries = n.log.Slice(pr.Next, n.replicationTarget(), maxEnt)
+		entries = n.log.View(pr.Next, n.replicationTarget(), maxEnt, n.cfg.MaxBatchBytes)
 	}
 	n.send(Message{
 		Type: MsgApp, To: to,
@@ -394,7 +436,7 @@ func (n *Node) AppendMsgFrom(next uint64, to NodeID, maxEntries int) (Message, b
 	m := Message{
 		Type: MsgApp, From: n.cfg.ID, To: to, Term: n.term,
 		Index: prevIdx, LogTerm: prevTerm,
-		Entries: n.log.Slice(next, hi, maxEntries),
+		Entries: n.log.View(next, hi, maxEntries, n.cfg.MaxBatchBytes),
 		Commit:  n.log.Commit(),
 	}
 	return m, true
@@ -423,13 +465,21 @@ func (n *Node) replicationTarget() uint64 {
 	return last
 }
 
-// maybeCommit advances commit from the leader's match indices.
+// maybeCommit advances commit from the leader's match indices. It runs
+// on every append response, so the quorum count reuses a scratch slice
+// and an insertion sort (cluster sizes are single-digit) instead of
+// allocating via sort.Slice.
 func (n *Node) maybeCommit() bool {
-	matches := make([]uint64, 0, len(n.prs))
+	matches := n.matchScratch[:0]
 	for _, pr := range n.prs {
 		matches = append(matches, pr.Match)
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i] > matches[j] })
+	n.matchScratch = matches
+	for i := 1; i < len(matches); i++ { // descending insertion sort
+		for j := i; j > 0 && matches[j] > matches[j-1]; j-- {
+			matches[j], matches[j-1] = matches[j-1], matches[j]
+		}
+	}
 	candidate := matches[n.Quorum()-1]
 	// Raft §5.4.2: only commit entries from the current term by counting.
 	if t, ok := n.log.Term(candidate); ok && t == n.term {
@@ -593,7 +643,7 @@ func (n *Node) handleAppendResp(m Message) {
 	// per-entry train and flood the leader's NIC.
 	if target := n.replicationTarget(); pr.Next <= target &&
 		target-pr.Next+1 >= uint64(n.cfg.MaxEntriesPerAppend) {
-		n.sendAppend(m.From)
+		n.sendAppendBurst(m.From)
 	}
 }
 

@@ -177,6 +177,11 @@ func DecodeEntry(b []byte) (Entry, int, error) { return decodeEntry(b) }
 // StripBodies returns a copy of entries with Data removed — the
 // metadata-only form HovercRaft replicates (§3.2). Noop entries never
 // carry data in the first place.
+// EntryWireSize returns the encoded size of one entry: the fixed
+// metadata plus any carried data bytes (43 bytes for a body-stripped
+// HovercRaft metadata entry).
+func EntryWireSize(e *Entry) int { return entryFixedSize + len(e.Data) }
+
 func StripBodies(entries []Entry) []Entry {
 	out := make([]Entry, len(entries))
 	copy(out, entries)

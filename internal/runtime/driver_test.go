@@ -1,0 +1,130 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hovercraft/internal/r2p2"
+)
+
+type recorder struct {
+	types    []r2p2.MessageType
+	payloads [][]byte // aliased, deliberately: the retention contract under test
+}
+
+func (r *recorder) HandleMessage(m *r2p2.Msg) {
+	r.types = append(r.types, m.Type)
+	r.payloads = append(r.payloads, m.Payload)
+}
+
+func fixedNow(d time.Duration) func() time.Duration {
+	return func() time.Duration { return d }
+}
+
+func TestDriverDispatchesCompletedMessages(t *testing.T) {
+	rec := &recorder{}
+	d := New(rec, Options{Now: fixedNow(0)})
+
+	payload := []byte("hello hovercraft")
+	for _, dg := range r2p2.MakeMsg(r2p2.TypeRaftReq, r2p2.PolicyUnrestricted, 7, 42, payload, 0) {
+		d.Ingest(dg, 1)
+	}
+	if len(rec.types) != 1 || rec.types[0] != r2p2.TypeRaftReq {
+		t.Fatalf("dispatched %v, want one TypeRaftReq", rec.types)
+	}
+	if !bytes.Equal(rec.payloads[0], payload) {
+		t.Fatalf("payload = %q, want %q", rec.payloads[0], payload)
+	}
+}
+
+func TestDriverBorrowedCopiesRetainedTypes(t *testing.T) {
+	rec := &recorder{}
+	d := New(rec, Options{
+		Now:           fixedNow(0),
+		RetainPayload: []r2p2.MessageType{r2p2.TypeRequest},
+	})
+
+	// Simulate a reused read buffer: ingest from it, then scribble.
+	readBuf := make([]byte, 2048)
+	feed := func(typ r2p2.MessageType, payload []byte) {
+		dgs := r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, 7, uint32(len(rec.types)), payload, 0)
+		if len(dgs) != 1 {
+			t.Fatalf("want single-fragment message, got %d fragments", len(dgs))
+		}
+		n := copy(readBuf, dgs[0])
+		d.IngestBorrowed(readBuf[:n], 1)
+	}
+
+	feed(r2p2.TypeRequest, []byte("keep me"))
+	for i := range readBuf {
+		readBuf[i] = 0xEE
+	}
+	if !bytes.Equal(rec.payloads[0], []byte("keep me")) {
+		t.Fatalf("retained payload scribbled: %q", rec.payloads[0])
+	}
+
+	// Non-retained types alias the buffer: valid during dispatch only.
+	feed(r2p2.TypeRaftReq, []byte("transient"))
+	if !bytes.Equal(rec.payloads[1], []byte("transient")) {
+		t.Fatalf("aliased payload wrong during dispatch window: %q", rec.payloads[1])
+	}
+}
+
+func TestDriverBorrowedReassemblesAcrossBufferReuse(t *testing.T) {
+	rec := &recorder{}
+	d := New(rec, Options{Now: fixedNow(0)})
+
+	payload := make([]byte, 4*r2p2.MaxFragPayload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	dgs := r2p2.MakeMsg(r2p2.TypeRaftReq, r2p2.PolicyUnrestricted, 7, 99, payload, 0)
+	if len(dgs) < 2 {
+		t.Fatalf("want multi-fragment message, got %d fragments", len(dgs))
+	}
+	// All fragments pass through ONE reused buffer, overwritten between
+	// ingests — the reassembler must copy on ingest.
+	readBuf := make([]byte, 2048)
+	for _, dg := range dgs {
+		n := copy(readBuf, dg)
+		d.IngestBorrowed(readBuf[:n], 1)
+	}
+	if len(rec.payloads) != 1 || !bytes.Equal(rec.payloads[0], payload) {
+		t.Fatalf("multi-fragment payload corrupted (got %d messages)", len(rec.payloads))
+	}
+}
+
+func TestDriverTickCadence(t *testing.T) {
+	now := time.Duration(0)
+	ticks := 0
+	d := New(&recorder{}, Options{
+		Now:          func() time.Duration { return now },
+		ReasmTimeout: time.Millisecond,
+		Tick:         func() { ticks++ },
+		GCEvery:      4,
+	})
+
+	// Park a half-reassembled message, then expire it.
+	payload := make([]byte, 2*r2p2.MaxFragPayload)
+	dgs := r2p2.MakeMsg(r2p2.TypeRaftReq, r2p2.PolicyUnrestricted, 7, 5, payload, 0)
+	d.Ingest(dgs[0], 1)
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", d.Pending())
+	}
+
+	now = 10 * time.Millisecond // past the reassembly deadline
+	for i := 0; i < 3; i++ {
+		d.Tick()
+	}
+	if ticks != 3 {
+		t.Fatalf("engine ticked %d times, want 3", ticks)
+	}
+	if d.Pending() != 1 {
+		t.Fatal("GC ran before the 4-tick cadence")
+	}
+	d.Tick()
+	if d.Pending() != 0 {
+		t.Fatal("GC did not run on the 4th tick")
+	}
+}

@@ -33,15 +33,26 @@ func (s *chaosService) Execute(p []byte, readOnly bool) []byte {
 // drive closed-loop clients, then check every invariant and fingerprint
 // the run.
 func chaosRun(seed int64, sched fault.Schedule) (uint64, error) {
+	return chaosRunWith(seed, sched, nil)
+}
+
+// chaosRunWith is chaosRun with a cluster-options hook, so runner
+// variants (e.g. constrained replication pipelining) share the full
+// invariant battery.
+func chaosRunWith(seed int64, sched fault.Schedule, tweak func(*Options)) (uint64, error) {
 	const horizon = 80 * time.Millisecond
 	tracer := obs.New()
-	c := New(Options{
+	opts := Options{
 		Setup: SetupHovercraft, Nodes: 3, Seed: seed, WAL: true, Obs: tracer,
 		NewService: func() (app.Service, app.CostModel) {
 			s := &chaosService{}
 			return s, app.FixedCost{Service: s, PerOp: 2 * time.Microsecond}
 		},
-	})
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	c := New(opts)
 	var clients []*closedLoopClient
 	for i := 0; i < 3; i++ {
 		clients = append(clients, newClosedLoopClient(c, i, horizon))
@@ -180,6 +191,43 @@ func TestChaosExplorer(t *testing.T) {
 	}
 	t.Logf("%d runs, %d failures, %d replay mismatches, coverage=%v",
 		rep.Runs, len(rep.Failures), len(rep.Mismatches), rep.Coverage)
+}
+
+// TestChaosPipelinedAEReplication sweeps a dedicated fault-schedule
+// seed set with replication pipelining constrained: MaxBatchBytes is
+// squeezed so every multi-proposal batch splits into several
+// AppendEntries, and the inflight window is small enough that faults
+// land mid-pipeline. Partitions, delay bursts, and crashes then reorder
+// and truncate the AE stream; the same safety battery (linearizability,
+// election safety, log matching, state-machine safety) plus same-seed
+// determinism must hold.
+func TestChaosPipelinedAEReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipelined chaos sweep is long; run without -short")
+	}
+	pipelined := func(seed int64, sched fault.Schedule) (uint64, error) {
+		return chaosRunWith(seed, sched, func(o *Options) {
+			// ~3 metadata entries per AE; an 8-entry inflight window.
+			o.MaxBatchBytes = 130
+			o.MaxInflightEntries = 8
+		})
+	}
+	rep := fault.Explore(fault.Options{
+		Seeds: fault.Seeds(7000, 25),
+		Spec: fault.Spec{
+			Nodes: 3, Incidents: 4, WAL: true,
+			Start: 8 * time.Millisecond, End: 60 * time.Millisecond,
+		},
+		ReplayEvery: 5,
+	}, pipelined)
+	for _, f := range rep.Failures {
+		t.Errorf("pipelined chaos failure: %s", f)
+	}
+	for _, seed := range rep.Mismatches {
+		t.Errorf("seed %d: replay fingerprint mismatch (nondeterminism)", seed)
+	}
+	t.Logf("%d runs, %d failures, %d replay mismatches",
+		rep.Runs, len(rep.Failures), len(rep.Mismatches))
 }
 
 // TestChaosSmoke is the -short variant: a handful of seeds with replay

@@ -15,7 +15,9 @@ import (
 	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/runtime"
 	"hovercraft/internal/simnet"
+	"hovercraft/internal/wire"
 )
 
 // Setup selects one of the paper's four evaluated systems.
@@ -64,6 +66,11 @@ type Options struct {
 	Bound          int
 	Policy         core.SelectPolicy
 	DisableReplyLB bool
+	// MaxInflightEntries / MaxBatchBytes tune replication pipelining
+	// and per-AE batching; zero values take the paper-faithful core
+	// defaults (deep pipeline, unbounded batch).
+	MaxInflightEntries int
+	MaxBatchBytes      int
 
 	// FlowLimit caps in-flight requests at the middlebox (0 = 4096).
 	FlowLimit int
@@ -103,9 +110,8 @@ type Node struct {
 	Service app.Service
 
 	cluster    *Cluster
-	reasm      *r2p2.Reassembler
+	drv        *runtime.Driver
 	crashed    bool
-	ticks      uint64
 	storage    *raft.BufferStorage
 	fsyncDelay time.Duration
 	peers      []raft.NodeID
@@ -181,10 +187,7 @@ func New(opts Options) *Cluster {
 	for _, id := range peers {
 		h := c.Net.NewHost(fmt.Sprintf("node%d", id), opts.Host)
 		c.addrOf[id] = h.Addr()
-		n := &Node{
-			ID: id, Host: h, cluster: c, peers: peers,
-			reasm: r2p2.NewReassembler(20 * time.Millisecond),
-		}
+		n := &Node{ID: id, Host: h, cluster: c, peers: peers}
 		if opts.WAL && opts.Setup != SetupUnreplicated {
 			n.storage = raft.NewBufferStorage()
 			n.storage.OnAppend = func(int) {
@@ -240,12 +243,11 @@ func New(opts Options) *Cluster {
 		agCfg.IngressQueue = 8192
 		c.aggHost = c.Net.NewHost("aggregator", agCfg)
 		c.Agg = core.NewAggregator(peers, &aggTransport{c: c})
-		aggReasm := r2p2.NewReassembler(20 * time.Millisecond)
+		aggDrv := runtime.New(c.Agg, runtime.Options{
+			Now: c.Sim.Now, ReasmTimeout: 20 * time.Millisecond,
+		})
 		c.aggHost.SetHandler(func(pkt *simnet.Packet) {
-			m, err := aggReasm.Ingest(pkt.Payload, uint32(pkt.Src), c.Sim.Now())
-			if err == nil && m != nil {
-				c.Agg.HandleMessage(m)
-			}
+			aggDrv.Ingest(pkt.Payload, uint32(pkt.Src))
 		})
 	}
 	return c
@@ -293,8 +295,25 @@ func (c *Cluster) buildEngine(n *Node) {
 			CompactEvery:   opts.CompactEvery,
 			Storage:        storage,
 			Obs:            opts.Obs,
+
+			MaxInflightEntries: opts.MaxInflightEntries,
+			MaxBatchBytes:      opts.MaxBatchBytes,
 		}, &nodeTransport{c: c, host: n.Host}, runner)
 	}
+	var handler runtime.Handler
+	var tick func()
+	if n.Unrep != nil {
+		handler = n.Unrep
+	} else {
+		handler = n.Engine
+		tick = n.Engine.Tick
+	}
+	n.drv = runtime.New(handler, runtime.Options{
+		Now:          c.Sim.Now,
+		ReasmTimeout: 20 * time.Millisecond,
+		Tick:         tick,
+		GCEvery:      1024,
+	})
 	n.Host.SetHandler(n.onPacket)
 }
 
@@ -355,28 +374,14 @@ func (n *Node) startTicking() {
 		if n.crashed {
 			return
 		}
-		n.ticks++
-		if n.Engine != nil {
-			n.Engine.Tick()
-		}
-		if n.ticks%1024 == 0 {
-			n.reasm.GC(n.cluster.Sim.Now())
-		}
+		n.drv.Tick()
 		n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 	}
 	n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 }
 
 func (n *Node) onPacket(pkt *simnet.Packet) {
-	m, err := n.reasm.Ingest(pkt.Payload, uint32(pkt.Src), n.cluster.Sim.Now())
-	if err != nil || m == nil {
-		return
-	}
-	if n.Unrep != nil {
-		n.Unrep.HandleMessage(m)
-	} else {
-		n.Engine.HandleMessage(m)
-	}
+	n.drv.Ingest(pkt.Payload, uint32(pkt.Src))
 }
 
 // Crash fail-stops the node.
@@ -429,8 +434,7 @@ func (n *Node) RestartFromWAL(tornBytes int) error {
 	if err != nil {
 		return err
 	}
-	n.reasm = r2p2.NewReassembler(20 * time.Millisecond)
-	n.cluster.buildEngine(n)
+	n.cluster.buildEngine(n) // rebuilds the runtime driver (fresh reassembly state)
 	if err := n.Engine.Bootstrap(rs); err != nil {
 		return err
 	}
@@ -445,71 +449,69 @@ func (n *Node) RestartFromWAL(tornBytes int) error {
 
 // --- transports ------------------------------------------------------------
 
+// sendBufs hands pooled datagrams to a host: each Packet takes over the
+// buffer's reference, which the network releases at delivery (or drop).
+func sendBufs(host *simnet.Host, dst simnet.Addr, dgs []*wire.Buf) {
+	for _, b := range dgs {
+		host.Send(&simnet.Packet{Dst: dst, Payload: b.B, Buf: b})
+	}
+}
+
 type nodeTransport struct {
 	c    *Cluster
 	host *simnet.Host
 }
 
-func (t *nodeTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+func (t *nodeTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
 	dst, ok := t.c.addrOf[id]
 	if !ok {
+		wire.ReleaseAll(dgs)
 		return
 	}
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: dst, Payload: dg})
-	}
+	sendBufs(t.host, dst, dgs)
 }
 
-func (t *nodeTransport) SendToAggregator(dgs [][]byte) {
+func (t *nodeTransport) SendToAggregator(dgs []*wire.Buf) {
 	if t.c.aggHost == nil {
+		wire.ReleaseAll(dgs)
 		return
 	}
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: t.c.aggHost.Addr(), Payload: dg})
-	}
+	sendBufs(t.host, t.c.aggHost.Addr(), dgs)
 }
 
-func (t *nodeTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: simnet.Addr(id.SrcIP), Payload: dg})
-	}
+func (t *nodeTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
+	sendBufs(t.host, simnet.Addr(id.SrcIP), dgs)
 }
 
-func (t *nodeTransport) SendFeedback(dgs [][]byte) {
+func (t *nodeTransport) SendFeedback(dgs []*wire.Buf) {
 	if t.c.flowHost == nil {
+		wire.ReleaseAll(dgs)
 		return
 	}
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: t.c.flowHost.Addr(), Payload: dg})
-	}
+	sendBufs(t.host, t.c.flowHost.Addr(), dgs)
 }
 
 type aggTransport struct{ c *Cluster }
 
-func (t *aggTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
+func (t *aggTransport) ForwardToFollowers(leader raft.NodeID, dgs []*wire.Buf) {
 	dst, ok := t.c.groupExcept[leader]
 	if !ok {
 		dst = t.c.groupAll
 	}
-	for _, dg := range dgs {
-		t.c.aggHost.Send(&simnet.Packet{Dst: dst, Payload: dg})
-	}
+	sendBufs(t.c.aggHost, dst, dgs)
 }
 
-func (t *aggTransport) Broadcast(dgs [][]byte) {
-	for _, dg := range dgs {
-		t.c.aggHost.Send(&simnet.Packet{Dst: t.c.groupAll, Payload: dg})
-	}
+func (t *aggTransport) Broadcast(dgs []*wire.Buf) {
+	sendBufs(t.c.aggHost, t.c.groupAll, dgs)
 }
 
-func (t *aggTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+func (t *aggTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
 	dst, ok := t.c.addrOf[id]
 	if !ok {
+		wire.ReleaseAll(dgs)
 		return
 	}
-	for _, dg := range dgs {
-		t.c.aggHost.Send(&simnet.Packet{Dst: dst, Payload: dg})
-	}
+	sendBufs(t.c.aggHost, dst, dgs)
 }
 
 // onFlowPacket is the middlebox datapath.

@@ -9,8 +9,10 @@ import (
 	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/runtime"
 	"hovercraft/internal/shard"
 	"hovercraft/internal/simnet"
+	"hovercraft/internal/wire"
 )
 
 // MultiOptions configures a sharded (Multi-Raft) deployment: G independent
@@ -71,9 +73,8 @@ type MultiNode struct {
 	Services []app.Service
 
 	cluster *MultiCluster
-	reasm   *r2p2.Reassembler
+	drv     *runtime.Driver
 	crashed bool
-	ticks   uint64
 }
 
 // MultiCluster is the assembled sharded deployment.
@@ -166,8 +167,13 @@ func NewMulti(opts MultiOptions) *MultiCluster {
 			ID: id, Host: h, cluster: c,
 			Engines:  make([]*core.Engine, opts.Groups),
 			Services: make([]app.Service, opts.Groups),
-			reasm:    r2p2.NewReassembler(20 * time.Millisecond),
 		}
+		n.drv = runtime.New(runtime.HandlerFunc(n.dispatch), runtime.Options{
+			Now:          c.Sim.Now,
+			ReasmTimeout: 20 * time.Millisecond,
+			Tick:         n.tickEngines,
+			GCEvery:      1024,
+		})
 		h.SetHandler(n.onPacket)
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -300,25 +306,28 @@ func (n *MultiNode) startTicking() {
 		if n.crashed {
 			return
 		}
-		n.ticks++
-		for _, e := range n.Engines {
-			if e != nil {
-				e.Tick()
-			}
-		}
-		if n.ticks%1024 == 0 {
-			n.reasm.GC(n.cluster.Sim.Now())
-		}
+		n.drv.Tick()
 		n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 	}
 	n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 }
 
-func (n *MultiNode) onPacket(pkt *simnet.Packet) {
-	m, err := n.reasm.Ingest(pkt.Payload, uint32(pkt.Src), n.cluster.Sim.Now())
-	if err != nil || m == nil {
-		return
+// tickEngines is the MultiNode protocol timer: every colocated group
+// replica ticks on the shared cadence.
+func (n *MultiNode) tickEngines() {
+	for _, e := range n.Engines {
+		if e != nil {
+			e.Tick()
+		}
 	}
+}
+
+func (n *MultiNode) onPacket(pkt *simnet.Packet) {
+	n.drv.Ingest(pkt.Payload, uint32(pkt.Src))
+}
+
+// dispatch routes a reassembled message to the engine of its shard group.
+func (n *MultiNode) dispatch(m *r2p2.Msg) {
 	g := int(m.Group)
 	if g >= len(n.Engines) || n.Engines[g] == nil {
 		// Not a member of this group under the current map. A client
@@ -368,36 +377,38 @@ type groupTransport struct {
 	group uint8
 }
 
-func (t *groupTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+func (t *groupTransport) stamp(dgs []*wire.Buf) {
+	for _, b := range dgs {
+		r2p2.SetGroup(b.B, t.group)
+	}
+}
+
+func (t *groupTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
 	dst, ok := t.c.addrOf[id]
 	if !ok {
+		wire.ReleaseAll(dgs)
 		return
 	}
-	r2p2.StampGroup(dgs, t.group)
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: dst, Payload: dg})
-	}
+	t.stamp(dgs)
+	sendBufs(t.host, dst, dgs)
 }
 
-func (t *groupTransport) SendToAggregator(dgs [][]byte) {
+func (t *groupTransport) SendToAggregator(dgs []*wire.Buf) {
 	// The sharded simulation runs plain HovercRaft (no in-network
 	// aggregator); the engine never calls this in ModeHovercraft.
+	wire.ReleaseAll(dgs)
 }
 
-func (t *groupTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
+func (t *groupTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
 	// Responses keep the group stamp so shard-aware clients can attribute
 	// completions to groups without re-hashing the key.
-	r2p2.StampGroup(dgs, t.group)
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: simnet.Addr(id.SrcIP), Payload: dg})
-	}
+	t.stamp(dgs)
+	sendBufs(t.host, simnet.Addr(id.SrcIP), dgs)
 }
 
-func (t *groupTransport) SendFeedback(dgs [][]byte) {
-	r2p2.StampGroup(dgs, t.group)
-	for _, dg := range dgs {
-		t.host.Send(&simnet.Packet{Dst: t.c.flowHost.Addr(), Payload: dg})
-	}
+func (t *groupTransport) SendFeedback(dgs []*wire.Buf) {
+	t.stamp(dgs)
+	sendBufs(t.host, t.c.flowHost.Addr(), dgs)
 }
 
 // --- middlebox datapath --------------------------------------------------

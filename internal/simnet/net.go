@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"hovercraft/internal/wire"
 )
 
 // Addr identifies a network endpoint. Addresses at or above MulticastBase
@@ -28,6 +30,13 @@ func (a Addr) String() string {
 // UDP (for HovercRaft, an encoded R2P2 packet); the simulator adds
 // FrameOverhead bytes of Ethernet/IP/UDP framing when computing
 // serialization time, so byte-level bottlenecks are faithful.
+//
+// Ownership: Host.Send consumes the Packet — the network recycles the
+// struct through a free list once the pipeline is done with it (delivered,
+// or dropped anywhere along the way), so senders must not touch a Packet
+// after Send. Handlers receive a Packet for the duration of the callback
+// only; Payload must not be retained past the handler unless Buf is nil
+// (see below).
 type Packet struct {
 	Src Addr
 	Dst Addr
@@ -35,6 +44,13 @@ type Packet struct {
 	// middlebox rewrites a unicast service address to the cluster
 	// multicast group); zero means Dst is original.
 	Payload []byte
+	// Buf, when non-nil, is the pooled buffer backing Payload. Send
+	// consumes one reference; the fabric retains one more per multicast
+	// copy and releases each after the destination handler returns (or at
+	// the drop point). Client requests leave Buf nil: their payloads are
+	// parked in server-side stores for the lifetime of the request, so
+	// they stay ordinary heap memory.
+	Buf *wire.Buf
 }
 
 // WireSize returns the on-wire size of the packet including framing.
@@ -184,43 +200,64 @@ func (h *Host) procCost(base time.Duration, payload []byte) time.Duration {
 
 func (h *Host) send(pkt *Packet, keepSrc bool) {
 	if h.down {
+		h.net.freePacket(pkt)
 		return
 	}
 	if !keepSrc {
 		pkt.Src = h.addr
 	}
-	ok := h.netThread.Submit(h.procCost(h.cfg.TxCost, pkt.Payload), func() {
-		if !h.egress.Submit(wireTime(pkt.WireSize(h.net.FrameOverhead), h.cfg.LinkBps), func() {
-			h.TxPkts++
-			h.TxBytes += uint64(len(pkt.Payload))
-			h.net.forward(h, pkt)
-		}) {
-			h.TxDrops++
-			h.net.noteDrop("egress", h.addr, pkt.Dst)
-		}
-	})
-	if !ok {
+	if !h.netThread.submitOp(h.procCost(h.cfg.TxCost, pkt.Payload), opTxEgress, h, pkt, 0) {
 		h.TxDrops++
 		h.net.noteDrop("tx_thread", h.addr, pkt.Dst)
+		h.net.freePacket(pkt)
 	}
+}
+
+// txEgress runs when the network thread finishes tx processing: the
+// packet enters the NIC transmit ring for wire serialization.
+func (h *Host) txEgress(pkt *Packet) {
+	if !h.egress.submitOp(wireTime(pkt.WireSize(h.net.FrameOverhead), h.cfg.LinkBps), opTxDone, h, pkt, 0) {
+		h.TxDrops++
+		h.net.noteDrop("egress", h.addr, pkt.Dst)
+		h.net.freePacket(pkt)
+	}
+}
+
+// txDone runs when the NIC finishes serializing the packet onto the wire.
+func (h *Host) txDone(pkt *Packet) {
+	h.TxPkts++
+	h.TxBytes += uint64(len(pkt.Payload))
+	h.net.forward(h, pkt)
+}
+
+// portDone runs when the destination's switch output port finishes
+// serializing the packet; extra is the injected link delay + jitter.
+func (h *Host) portDone(pkt *Packet, extra time.Duration) {
+	h.net.sim.atOp(h.net.sim.now+h.net.PropDelay+extra, opReceive, h, pkt)
 }
 
 // receive is called by the network when a packet reaches this host's NIC.
 func (h *Host) receive(pkt *Packet) {
 	if h.down {
+		h.net.freePacket(pkt)
 		return
 	}
-	ok := h.netThread.Submit(h.cfg.RxCost, func() {
-		h.RxPkts++
-		h.RxBytes += uint64(len(pkt.Payload))
-		if h.handler != nil {
-			h.handler(pkt)
-		}
-	})
-	if !ok {
+	if !h.netThread.submitOp(h.cfg.RxCost, opRxDeliver, h, pkt, 0) {
 		h.RxDrops++
 		h.net.noteDrop("rx_thread", pkt.Src, h.addr)
+		h.net.freePacket(pkt)
 	}
+}
+
+// rxDeliver runs when the network thread finishes rx processing: the
+// packet is handed to the host's protocol handler and then recycled.
+func (h *Host) rxDeliver(pkt *Packet) {
+	h.RxPkts++
+	h.RxBytes += uint64(len(pkt.Payload))
+	if h.handler != nil {
+		h.handler(pkt)
+	}
+	h.net.freePacket(pkt)
 }
 
 // Network is a single-switch rack fabric. All hosts hang off one
@@ -243,6 +280,10 @@ type Network struct {
 	hosts  map[Addr]*Host
 	ports  map[Addr]*Proc // per-host downlink
 	groups map[Addr][]Addr
+
+	// pktFree recycles Packet structs: fan-out and delivery in steady
+	// state allocate nothing.
+	pktFree []*Packet
 
 	nextAddr  Addr
 	nextGroup Addr
@@ -436,17 +477,44 @@ func (n *Network) SetLinkDelay(from, to Addr, d time.Duration) {
 	n.linkDelay[[2]Addr{from, to}] = d
 }
 
+// getPacket draws a Packet struct from the free list.
+func (n *Network) getPacket() *Packet {
+	if len(n.pktFree) == 0 {
+		return &Packet{}
+	}
+	p := n.pktFree[len(n.pktFree)-1]
+	n.pktFree = n.pktFree[:len(n.pktFree)-1]
+	return p
+}
+
+// freePacket releases the packet's payload reference (if pooled) and
+// recycles the struct. Every Packet in the pipeline owns exactly one
+// reference of its Buf, so each drop/delivery point frees exactly once.
+func (n *Network) freePacket(p *Packet) {
+	if p.Buf != nil {
+		p.Buf.Release()
+		p.Buf = nil
+	}
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
+}
+
 // forward is invoked when src finishes serializing pkt onto its uplink.
 func (n *Network) forward(src *Host, pkt *Packet) {
-	n.sim.After(n.PropDelay+n.SwitchDelay, func() {
-		dsts := []Addr{pkt.Dst}
-		if pkt.Dst.IsMulticast() {
-			dsts = n.groups[pkt.Dst]
-		}
-		for _, dst := range dsts {
+	n.sim.atOp(n.sim.now+n.PropDelay+n.SwitchDelay, opFanout, src, pkt)
+}
+
+// fanout runs at the switch: one copy of pkt is queued on each
+// destination's output port, then the sender's reference is dropped.
+func (n *Network) fanout(src *Host, pkt *Packet) {
+	if pkt.Dst.IsMulticast() {
+		for _, dst := range n.groups[pkt.Dst] {
 			n.deliverCopy(src.addr, dst, pkt)
 		}
-	})
+	} else {
+		n.deliverCopy(src.addr, pkt.Dst, pkt)
+	}
+	n.freePacket(pkt)
 }
 
 // deliverCopy pushes one copy of pkt through dst's switch output port.
@@ -480,18 +548,20 @@ func (n *Network) deliverCopy(src, dst Addr, pkt *Packet) {
 		}
 	}
 	for i := 0; i < copies; i++ {
-		// Each copy is an independent datagram from here on.
-		cp := &Packet{Src: pkt.Src, Dst: dst, Payload: pkt.Payload}
+		// Each copy is an independent datagram from here on, sharing the
+		// (reference-counted) payload.
+		cp := n.getPacket()
+		cp.Src, cp.Dst, cp.Payload, cp.Buf = pkt.Src, dst, pkt.Payload, pkt.Buf
+		cp.Buf.Retain()
 		extra := n.linkDelay[[2]Addr{src, dst}]
 		if n.jitter > 0 {
 			extra += time.Duration(n.sim.rng.Int63n(int64(n.jitter)))
 		}
 		port := n.ports[dst]
-		if !port.Submit(wireTime(cp.WireSize(n.FrameOverhead), h.cfg.LinkBps), func() {
-			n.sim.After(n.PropDelay+extra, func() { h.receive(cp) })
-		}) {
+		if !port.submitOp(wireTime(cp.WireSize(n.FrameOverhead), h.cfg.LinkBps), opPortDone, h, cp, extra) {
 			n.SwitchDrops++
 			n.noteDrop("switch_port", src, dst)
+			n.freePacket(cp)
 		}
 	}
 }

@@ -16,11 +16,17 @@ func twoHosts(t *testing.T) (*Sim, *Network, *Host, *Host) {
 
 func TestUnicastDelivery(t *testing.T) {
 	s, _, a, b := twoHosts(t)
-	var got *Packet
-	b.SetHandler(func(pkt *Packet) { got = pkt })
+	// Packets are recycled after the handler returns: copy what the
+	// assertions need instead of retaining the pointer.
+	var got Packet
+	delivered := false
+	b.SetHandler(func(pkt *Packet) {
+		got = Packet{Src: pkt.Src, Dst: pkt.Dst, Payload: append([]byte(nil), pkt.Payload...)}
+		delivered = true
+	})
 	a.Send(&Packet{Dst: b.Addr(), Payload: []byte("hello")})
 	s.Run(time.Millisecond)
-	if got == nil {
+	if !delivered {
 		t.Fatal("packet not delivered")
 	}
 	if string(got.Payload) != "hello" {

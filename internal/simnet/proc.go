@@ -15,6 +15,11 @@ import "time"
 // rejected and reported via the drop callback. This is what produces
 // realistic drop-under-overload behaviour (and hence the flow-control and
 // recovery paths of HovercRaft get exercised for real).
+//
+// The queue is a ring over a reused slice and completion is a typed
+// event pointing back at the Proc, so steady-state operation performs no
+// allocation. Packet-pipeline stages submit typed ops (no closures);
+// everything else uses Submit with a callback.
 type Proc struct {
 	sim *Sim
 
@@ -26,8 +31,11 @@ type Proc struct {
 	OnDrop func()
 
 	queue    []procWork
+	head     int // queue[head:] are pending items
+	current  procWork
 	busy     bool
 	stopped  bool
+	gen      uint32  // bumped on Stop/Restart; stale completions are ignored
 	slowdown float64 // >1 stretches every submitted cost (slow-CPU fault)
 
 	// accounting
@@ -37,8 +45,12 @@ type Proc struct {
 }
 
 type procWork struct {
-	cost time.Duration
-	fn   func()
+	cost  time.Duration
+	op    uint8
+	fn    func()
+	host  *Host
+	pkt   *Packet
+	extra time.Duration
 }
 
 // NewProc returns a serial resource bound to sim. limit==0 means an
@@ -56,20 +68,35 @@ func (p *Proc) SetSlowdown(factor float64) { p.slowdown = factor }
 // Submit enqueues a work item that takes cost to process; fn (may be nil)
 // runs at completion. It reports false if the queue bound rejected the item.
 func (p *Proc) Submit(cost time.Duration, fn func()) bool {
+	return p.submit(procWork{cost: cost, op: opFunc, fn: fn})
+}
+
+// submitOp enqueues a typed packet-pipeline work item. On rejection the
+// caller keeps ownership of pkt (and must release it).
+func (p *Proc) submitOp(cost time.Duration, op uint8, host *Host, pkt *Packet, extra time.Duration) bool {
+	return p.submit(procWork{cost: cost, op: op, host: host, pkt: pkt, extra: extra})
+}
+
+func (p *Proc) submit(w procWork) bool {
 	if p.stopped {
 		return false
 	}
 	if p.slowdown > 1 {
-		cost = time.Duration(float64(cost) * p.slowdown)
+		w.cost = time.Duration(float64(w.cost) * p.slowdown)
 	}
-	if p.Limit > 0 && len(p.queue) >= p.Limit {
+	if p.Limit > 0 && len(p.queue)-p.head >= p.Limit {
 		p.dropped++
 		if p.OnDrop != nil {
 			p.OnDrop()
 		}
 		return false
 	}
-	p.queue = append(p.queue, procWork{cost: cost, fn: fn})
+	if p.head == len(p.queue) {
+		// Queue fully drained: rewind to reuse the slice's capacity.
+		p.queue = p.queue[:0]
+		p.head = 0
+	}
+	p.queue = append(p.queue, w)
 	if !p.busy {
 		p.startNext()
 	}
@@ -77,28 +104,83 @@ func (p *Proc) Submit(cost time.Duration, fn func()) bool {
 }
 
 func (p *Proc) startNext() {
-	if len(p.queue) == 0 || p.stopped {
+	if p.head == len(p.queue) || p.stopped {
 		p.busy = false
 		return
 	}
-	w := p.queue[0]
-	p.queue = p.queue[1:]
+	w := p.queue[p.head]
+	p.queue[p.head] = procWork{} // drop fn/pkt references from the slot
+	p.head++
+	if p.head == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.head = 0
+	} else if p.head >= 256 && p.head*2 >= len(p.queue) {
+		// Bound slack when the queue never fully drains.
+		n := copy(p.queue, p.queue[p.head:])
+		for i := n; i < len(p.queue); i++ {
+			p.queue[i] = procWork{}
+		}
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
 	p.busy = true
 	p.busyTime += w.cost
-	p.sim.After(w.cost, func() {
-		if p.stopped {
-			return
-		}
-		p.completed++
+	p.current = w
+	p.sim.atProcDone(p.sim.now+w.cost, p, p.gen)
+}
+
+// complete finishes the in-service item. A generation mismatch means the
+// Proc was stopped (and possibly restarted) after this completion was
+// scheduled: the item is gone, nothing runs.
+func (p *Proc) complete(gen uint32) {
+	if p.stopped || gen != p.gen {
+		return
+	}
+	p.completed++
+	w := p.current
+	p.current = procWork{}
+	p.runWork(&w)
+	p.startNext()
+}
+
+func (p *Proc) runWork(w *procWork) {
+	switch w.op {
+	case opFunc:
 		if w.fn != nil {
 			w.fn()
 		}
-		p.startNext()
-	})
+	case opTxEgress:
+		w.host.txEgress(w.pkt)
+	case opTxDone:
+		w.host.txDone(w.pkt)
+	case opPortDone:
+		w.host.portDone(w.pkt, w.extra)
+	case opRxDeliver:
+		w.host.rxDeliver(w.pkt)
+	default:
+		panic("simnet: bad work op")
+	}
+}
+
+// releaseAll frees packets held by queued and in-service items (crash
+// path: the work is lost, buffers must still return to their pools).
+func (p *Proc) releaseAll() {
+	for i := p.head; i < len(p.queue); i++ {
+		if w := &p.queue[i]; w.pkt != nil {
+			w.host.net.freePacket(w.pkt)
+		}
+		p.queue[i] = procWork{}
+	}
+	if p.current.pkt != nil {
+		p.current.host.net.freePacket(p.current.pkt)
+	}
+	p.current = procWork{}
+	p.queue = p.queue[:0]
+	p.head = 0
 }
 
 // QueueLen returns the number of queued (not yet started) items.
-func (p *Proc) QueueLen() int { return len(p.queue) }
+func (p *Proc) QueueLen() int { return len(p.queue) - p.head }
 
 // Busy reports whether an item is currently in service.
 func (p *Proc) Busy() bool { return p.busy }
@@ -118,13 +200,15 @@ func (p *Proc) BusyTime() time.Duration { return p.busyTime }
 // suppressed.
 func (p *Proc) Stop() {
 	p.stopped = true
-	p.queue = nil
+	p.gen++
+	p.releaseAll()
 	p.busy = false
 }
 
 // Restart re-enables a stopped resource with an empty queue.
 func (p *Proc) Restart() {
 	p.stopped = false
-	p.queue = nil
+	p.gen++
+	p.releaseAll()
 	p.busy = false
 }

@@ -13,10 +13,15 @@
 // Everything is driven by a single event loop; there are no goroutines and
 // no wall-clock reads, so a simulation with a fixed seed is bit-for-bit
 // reproducible.
+//
+// The event loop and the packet pipeline are allocation-free in steady
+// state: events live in a hand-rolled value heap (container/heap would box
+// every Push/Pop through interface{}), the per-packet pipeline stages are
+// typed ops on the event/work structs instead of captured closures, and
+// Packet structs recycle through a free list on the Network.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,37 +30,47 @@ import (
 // Time is virtual time since the start of the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same timestamp run first (deterministic FIFO ordering).
+// Typed event/work ops. The per-packet pipeline (send → egress → switch →
+// port → receive → deliver) runs entirely on these, so forwarding a packet
+// schedules no closures.
+const (
+	opFunc      uint8 = iota // fn()
+	opProcDone               // a Proc finished its in-service item
+	opFanout                 // switch fan-out of pkt from host
+	opReceive                // pkt reaches host's NIC
+	opTxEgress               // Proc work: net-thread tx done, enter NIC egress
+	opTxDone                 // Proc work: NIC serialization done, forward
+	opPortDone               // Proc work: switch port serialization done
+	opRxDeliver              // Proc work: net-thread rx done, run handler
+)
+
+// event is a scheduled occurrence. seq breaks ties so that events
+// scheduled earlier at the same timestamp run first (deterministic FIFO
+// ordering). Exactly one of fn/proc/(host,pkt) is meaningful, selected
+// by op.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	op    uint8
+	gen   uint32 // Proc generation guard for opProcDone
+	fn    func()
+	host  *Host
+	pkt   *Packet
+	proc  *Proc
+	extra time.Duration
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Sim is a discrete-event simulation. Create one with New.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events []event // binary min-heap ordered by eventBefore
 	seq    uint64
 	rng    *rand.Rand
 
@@ -76,27 +91,97 @@ func (s *Sim) Now() Time { return s.now }
 // to keep runs reproducible.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: it indicates a simulation bug, not a recoverable condition.
-func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+// schedule inserts e into the heap. Scheduling in the past panics: it
+// indicates a simulation bug, not a recoverable condition.
+func (s *Sim) schedule(e event) {
+	if e.at < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", e.at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// popEvent removes and returns the earliest event.
+func (s *Sim) popEvent() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop pkt/fn references held by the vacated slot
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventBefore(&h[l], &h[min]) {
+			min = l
+		}
+		if r < n && eventBefore(&h[r], &h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	s.events = h
+	return top
+}
+
+// At schedules fn to run at absolute virtual time t.
+func (s *Sim) At(t Time, fn func()) {
+	s.schedule(event{at: t, op: opFunc, fn: fn})
 }
 
 // After schedules fn to run d from now.
 func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now+d, fn) }
+
+// atOp schedules a typed packet-pipeline event.
+func (s *Sim) atOp(t Time, op uint8, host *Host, pkt *Packet) {
+	s.schedule(event{at: t, op: op, host: host, pkt: pkt})
+}
+
+// atProcDone schedules p's in-service item completion. gen guards against
+// completions scheduled before a Stop/Restart firing afterwards.
+func (s *Sim) atProcDone(t Time, p *Proc, gen uint32) {
+	s.schedule(event{at: t, op: opProcDone, proc: p, gen: gen})
+}
+
+func (s *Sim) dispatch(e *event) {
+	switch e.op {
+	case opFunc:
+		e.fn()
+	case opProcDone:
+		e.proc.complete(e.gen)
+	case opFanout:
+		e.host.net.fanout(e.host, e.pkt)
+	case opReceive:
+		e.host.receive(e.pkt)
+	default:
+		panic("simnet: bad event op")
+	}
+}
 
 // Step runs the single next event, if any, and reports whether one ran.
 func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.popEvent()
 	s.now = e.at
-	e.fn()
+	s.dispatch(&e)
 	return true
 }
 

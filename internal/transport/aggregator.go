@@ -7,8 +7,9 @@ import (
 	"time"
 
 	"hovercraft/internal/core"
-	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/runtime"
+	"hovercraft/internal/wire"
 )
 
 // AggregatorServer runs the HovercRaft++ in-network aggregator as a UDP
@@ -22,7 +23,7 @@ type AggregatorServer struct {
 	peers map[raft.NodeID]*net.UDPAddr
 
 	mu    sync.Mutex
-	reasm *r2p2.Reassembler
+	drv   *runtime.Driver
 	start time.Time
 
 	closed  chan struct{}
@@ -44,7 +45,6 @@ func NewAggregatorServer(listenAddr string, peers map[uint32]string) (*Aggregato
 	a := &AggregatorServer{
 		conn:   conn,
 		peers:  make(map[raft.NodeID]*net.UDPAddr),
-		reasm:  r2p2.NewReassembler(2 * time.Second),
 		start:  time.Now(),
 		closed: make(chan struct{}),
 		done:   make(chan struct{}),
@@ -60,6 +60,13 @@ func NewAggregatorServer(listenAddr string, peers map[uint32]string) (*Aggregato
 		ids = append(ids, raft.NodeID(id))
 	}
 	a.agg = core.NewAggregator(ids, (*aggUDPTransport)(a))
+	// The aggregator retains no payloads: leader appends are decoded
+	// (and copied) inside HandleMessage, so the read buffer is safe to
+	// reuse without per-type copies.
+	a.drv = runtime.New(a.agg, runtime.Options{
+		Now:          func() time.Duration { return time.Since(a.start) },
+		ReasmTimeout: 2 * time.Second,
+	})
 	go a.readLoop()
 	return a, nil
 }
@@ -90,41 +97,35 @@ func (a *AggregatorServer) readLoop() {
 				continue
 			}
 		}
-		dg := make([]byte, n)
-		copy(dg, buf[:n])
 		a.mu.Lock()
-		msg, err := a.reasm.Ingest(dg, ipKey(from), time.Since(a.start))
-		if err == nil && msg != nil {
-			a.agg.HandleMessage(msg)
-		}
+		a.drv.IngestBorrowed(buf[:n], ipKey(from))
 		a.mu.Unlock()
 	}
 }
 
 type aggUDPTransport AggregatorServer
 
-func (t *aggUDPTransport) send(addr *net.UDPAddr, dgs [][]byte) {
-	for _, dg := range dgs {
-		_, _ = t.conn.WriteToUDP(dg, addr)
-	}
-}
-
-func (t *aggUDPTransport) ForwardToFollowers(leader raft.NodeID, dgs [][]byte) {
-	for id, addr := range t.peers {
-		if id != leader {
-			t.send(addr, dgs)
+// sendRelease writes each datagram to every selected peer, then drops the
+// transferred buffer references (one per buffer regardless of fan-out).
+func (t *aggUDPTransport) sendRelease(dgs []*wire.Buf, sel func(id raft.NodeID) bool) {
+	for _, b := range dgs {
+		for id, addr := range t.peers {
+			if sel(id) {
+				_, _ = t.conn.WriteToUDP(b.B, addr)
+			}
 		}
+		b.Release()
 	}
 }
 
-func (t *aggUDPTransport) Broadcast(dgs [][]byte) {
-	for _, addr := range t.peers {
-		t.send(addr, dgs)
-	}
+func (t *aggUDPTransport) ForwardToFollowers(leader raft.NodeID, dgs []*wire.Buf) {
+	t.sendRelease(dgs, func(id raft.NodeID) bool { return id != leader })
 }
 
-func (t *aggUDPTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
-	if addr, ok := t.peers[id]; ok {
-		t.send(addr, dgs)
-	}
+func (t *aggUDPTransport) Broadcast(dgs []*wire.Buf) {
+	t.sendRelease(dgs, func(raft.NodeID) bool { return true })
+}
+
+func (t *aggUDPTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
+	t.sendRelease(dgs, func(n raft.NodeID) bool { return n == id })
 }

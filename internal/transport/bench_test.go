@@ -1,0 +1,42 @@
+package transport
+
+import (
+	"testing"
+
+	"hovercraft/internal/core"
+)
+
+// BenchmarkLoopbackUDPThroughput drives a 3-node HovercRaft cluster over
+// real loopback UDP sockets, one closed-loop client. Unlike the simnet
+// benchmarks this exercises the actual read loops (reused read buffers,
+// borrowed ingest) and socket sends, so allocs/op here covers the whole
+// deployable stack; absolute latency is dominated by the kernel UDP
+// stack, not the protocol.
+func BenchmarkLoopbackUDPThroughput(b *testing.B) {
+	probe, err := newEphemeral()
+	if err != nil {
+		b.Skipf("loopback UDP unavailable: %v", err)
+	}
+	probe.Close()
+
+	servers, peers, cleanup := startCluster(b, core.ModeHovercraft, 3)
+	defer cleanup()
+	cl := dialCluster(b, peers)
+	defer cl.Close()
+
+	payload := []byte("incr")
+	// Warm the path (leader commit, client tables) outside the timer.
+	if _, err := cl.Call(payload, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Call(payload, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	_ = servers
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hovercraft/internal/r2p2"
+	"hovercraft/internal/runtime"
 )
 
 // ClientOptions tune a UDP client.
@@ -32,7 +33,7 @@ type Client struct {
 	r2cl  *r2p2.Client
 
 	mu      sync.Mutex
-	reasm   *r2p2.Reassembler
+	drv     *runtime.Driver
 	waiting map[uint32]*callState
 	start   time.Time
 
@@ -79,11 +80,17 @@ func Dial(peerAddrs []string, opts ...ClientOptions) (*Client, error) {
 	c := &Client{
 		opts:    o,
 		conn:    conn,
-		reasm:   r2p2.NewReassembler(o.Timeout),
 		waiting: make(map[uint32]*callState),
 		start:   time.Now(),
 		closed:  make(chan struct{}),
 	}
+	c.drv = runtime.New((*clientHandler)(c), runtime.Options{
+		Now:          func() time.Duration { return time.Since(c.start) },
+		ReasmTimeout: o.Timeout,
+		// Response payloads cross a channel to the calling goroutine,
+		// outliving the read buffer.
+		RetainPayload: []r2p2.MessageType{r2p2.TypeResponse},
+	})
 	for _, pa := range peerAddrs {
 		ua, err := net.ResolveUDPAddr("udp4", pa)
 		if err != nil {
@@ -125,26 +132,31 @@ func (c *Client) readLoop() {
 				continue
 			}
 		}
-		dg := make([]byte, n)
-		copy(dg, buf[:n])
 		c.mu.Lock()
-		msg, err := c.reasm.Ingest(dg, ipKey(from), time.Since(c.start))
-		if err == nil && msg != nil {
-			if st, ok := c.waiting[msg.ID.ReqID]; ok {
-				switch msg.Type {
-				case r2p2.TypeResponse:
-					delete(c.waiting, msg.ID.ReqID)
-					st.ch <- clientResult{payload: msg.Payload}
-				case r2p2.TypeNack:
-					st.nacks++
-					if st.nacks >= len(c.peers) {
-						delete(c.waiting, msg.ID.ReqID)
-						st.ch <- clientResult{nack: true}
-					}
-				}
-			}
-		}
+		c.drv.IngestBorrowed(buf[:n], ipKey(from))
 		c.mu.Unlock()
+	}
+}
+
+// clientHandler adapts Client to runtime.Handler: it resolves responses
+// and NACK fan-in against the waiting-call table. Called under c.mu.
+type clientHandler Client
+
+func (h *clientHandler) HandleMessage(m *r2p2.Msg) {
+	st, ok := h.waiting[m.ID.ReqID]
+	if !ok {
+		return
+	}
+	switch m.Type {
+	case r2p2.TypeResponse:
+		delete(h.waiting, m.ID.ReqID)
+		st.ch <- clientResult{payload: m.Payload}
+	case r2p2.TypeNack:
+		st.nacks++
+		if st.nacks >= len(h.peers) {
+			delete(h.waiting, m.ID.ReqID)
+			st.ch <- clientResult{nack: true}
+		}
 	}
 }
 

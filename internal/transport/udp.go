@@ -29,6 +29,8 @@ import (
 	"hovercraft/internal/core"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
+	"hovercraft/internal/runtime"
+	"hovercraft/internal/wire"
 )
 
 // ipKey converts an IPv4 UDP address to the uint32 identity R2P2 uses.
@@ -66,6 +68,10 @@ type ServerConfig struct {
 	Bound          int
 	Policy         core.SelectPolicy
 	DisableReplyLB bool
+	// MaxInflightEntries / MaxBatchBytes mirror core.Config: replication
+	// pipelining depth and per-AE batch cap (0 = paper defaults).
+	MaxInflightEntries int
+	MaxBatchBytes      int
 	// Storage receives raft persistence callbacks (nil = volatile).
 	Storage raft.Storage
 	// Recovered, when set alongside Storage (from
@@ -84,11 +90,12 @@ type Server struct {
 	service app.Service
 
 	mu      sync.Mutex
-	reasm   *r2p2.Reassembler
+	drv     *runtime.Driver
 	peers   map[raft.NodeID]*net.UDPAddr
 	agg     *net.UDPAddr
 	clients map[clientKey]*net.UDPAddr
 	start   time.Time
+	from    *net.UDPAddr // sender of the datagram being ingested
 
 	runq chan runJob
 
@@ -130,7 +137,6 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		cfg:     cfg,
 		conn:    conn,
 		service: svc,
-		reasm:   r2p2.NewReassembler(2 * time.Second),
 		peers:   make(map[raft.NodeID]*net.UDPAddr),
 		clients: make(map[clientKey]*net.UDPAddr),
 		start:   time.Now(),
@@ -165,15 +171,17 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	}
 	s.engine = core.NewEngine(core.Config{
 		Mode: cfg.Mode, ID: raft.NodeID(cfg.ID), Peers: ids,
-		TickInterval:   cfg.TickInterval,
-		ElectionTicks:  cfg.ElectionTicks,
-		HeartbeatTicks: cfg.HeartbeatTicks,
-		Bound:          cfg.Bound,
-		Policy:         cfg.Policy,
-		DisableReplyLB: cfg.DisableReplyLB,
-		Storage:        cfg.Storage,
-		Snapshotter:    snapshotter,
-		CompactEvery:   cfg.CompactEvery,
+		TickInterval:       cfg.TickInterval,
+		ElectionTicks:      cfg.ElectionTicks,
+		HeartbeatTicks:     cfg.HeartbeatTicks,
+		Bound:              cfg.Bound,
+		Policy:             cfg.Policy,
+		DisableReplyLB:     cfg.DisableReplyLB,
+		MaxInflightEntries: cfg.MaxInflightEntries,
+		MaxBatchBytes:      cfg.MaxBatchBytes,
+		Storage:            cfg.Storage,
+		Snapshotter:        snapshotter,
+		CompactEvery:       cfg.CompactEvery,
 		// Real networks have ms-scale timers; scale the unordered GC.
 		UnorderedTimeout: 10 * time.Second,
 	}, (*serverTransport)(s), (*serverRunner)(s))
@@ -183,6 +191,14 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 			return nil, fmt.Errorf("transport: bootstrap: %w", err)
 		}
 	}
+	s.drv = runtime.New((*serverHandler)(s), runtime.Options{
+		Now:          func() time.Duration { return time.Since(s.start) },
+		ReasmTimeout: 2 * time.Second,
+		Tick:         s.engine.Tick,
+		// The engine parks request bodies until commit; responses,
+		// feedback, and consensus payloads are consumed within the step.
+		RetainPayload: []r2p2.MessageType{r2p2.TypeRequest},
+	})
 
 	s.wg.Add(3)
 	go s.readLoop()
@@ -248,6 +264,9 @@ func (s *Server) Close() error {
 
 func (s *Server) readLoop() {
 	defer s.wg.Done()
+	// One reused read buffer: the driver copies out the only payloads
+	// the engine retains (request bodies), everything else aliases it
+	// for the duration of the dispatch.
 	buf := make([]byte, 65536)
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
@@ -259,18 +278,9 @@ func (s *Server) readLoop() {
 				continue
 			}
 		}
-		dg := make([]byte, n)
-		copy(dg, buf[:n])
 		s.mu.Lock()
-		msg, err := s.reasm.Ingest(dg, ipKey(from), time.Since(s.start))
-		if err == nil && msg != nil {
-			if msg.Type == r2p2.TypeRequest {
-				// Remember where to send this client's replies. The
-				// r2p2 SrcPort disambiguates clients sharing an IP.
-				s.clients[clientKey{ip: msg.ID.SrcIP, port: msg.ID.SrcPort}] = from
-			}
-			s.engine.HandleMessage(msg)
-		}
+		s.from = from
+		s.drv.IngestBorrowed(buf[:n], ipKey(from))
 		s.mu.Unlock()
 	}
 }
@@ -285,8 +295,7 @@ func (s *Server) tickLoop() {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			s.engine.Tick()
-			s.reasm.GC(time.Since(s.start))
+			s.drv.Tick()
 			s.mu.Unlock()
 		}
 	}
@@ -310,31 +319,45 @@ func (s *Server) appLoop() {
 	}
 }
 
+// serverHandler adapts Server to runtime.Handler: it learns client
+// reply addresses from requests, then feeds the engine.
+type serverHandler Server
+
+func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
+	if m.Type == r2p2.TypeRequest {
+		// Remember where to send this client's replies. The r2p2
+		// SrcPort disambiguates clients sharing an IP.
+		h.clients[clientKey{ip: m.ID.SrcIP, port: m.ID.SrcPort}] = h.from
+	}
+	h.engine.HandleMessage(m)
+}
+
 // serverTransport adapts Server to core.Transport.
 type serverTransport Server
 
-func (t *serverTransport) sendAll(addr *net.UDPAddr, dgs [][]byte) {
-	if addr == nil {
-		return
-	}
-	for _, dg := range dgs {
-		// Best-effort datagrams; the protocol tolerates loss.
-		_, _ = t.conn.WriteToUDP(dg, addr)
+func (t *serverTransport) sendAll(addr *net.UDPAddr, dgs []*wire.Buf) {
+	for _, b := range dgs {
+		if addr != nil {
+			// Best-effort datagrams; the protocol tolerates loss.
+			_, _ = t.conn.WriteToUDP(b.B, addr)
+		}
+		b.Release()
 	}
 }
 
-func (t *serverTransport) SendToNode(id raft.NodeID, dgs [][]byte) {
+func (t *serverTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
 	t.sendAll(t.peers[id], dgs)
 }
 
-func (t *serverTransport) SendToAggregator(dgs [][]byte) { t.sendAll(t.agg, dgs) }
+func (t *serverTransport) SendToAggregator(dgs []*wire.Buf) { t.sendAll(t.agg, dgs) }
 
-func (t *serverTransport) SendToClient(id r2p2.RequestID, dgs [][]byte) {
+func (t *serverTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
 	t.sendAll(t.clients[clientKey{ip: id.SrcIP, port: id.SrcPort}], dgs)
 }
 
-func (t *serverTransport) SendFeedback(dgs [][]byte) {
+func (t *serverTransport) SendFeedback(dgs []*wire.Buf) {
 	// No middlebox over plain UDP: flow control is a switch service.
+	wire.ReleaseAll(dgs)
 }
 
 // serverRunner adapts Server to core.AppRunner.

@@ -29,7 +29,7 @@ func (c *counterService) Execute(payload []byte, readOnly bool) []byte {
 var _ app.Service = (*counterService)(nil)
 
 // freePorts grabs n distinct loopback UDP ports.
-func freePorts(t *testing.T, n int) []string {
+func freePorts(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -45,7 +45,7 @@ func freePorts(t *testing.T, n int) []string {
 	return addrs
 }
 
-func startCluster(t *testing.T, mode core.Mode, n int) ([]*Server, map[uint32]string, func()) {
+func startCluster(t testing.TB, mode core.Mode, n int) ([]*Server, map[uint32]string, func()) {
 	t.Helper()
 	ports := freePorts(t, n+1)
 	peers := make(map[uint32]string, n)
@@ -88,7 +88,7 @@ func startCluster(t *testing.T, mode core.Mode, n int) ([]*Server, map[uint32]st
 	return servers, peers, cleanup
 }
 
-func waitForLeader(t *testing.T, servers []*Server) {
+func waitForLeader(t testing.TB, servers []*Server) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
@@ -102,7 +102,7 @@ func waitForLeader(t *testing.T, servers []*Server) {
 	t.Fatal("no leader elected over UDP")
 }
 
-func dialCluster(t *testing.T, peers map[uint32]string) *Client {
+func dialCluster(t testing.TB, peers map[uint32]string) *Client {
 	t.Helper()
 	var addrs []string
 	for _, a := range peers {

@@ -1,0 +1,110 @@
+// Package wire provides pooled, reference-counted datagram buffers for
+// the message hot path. Every datagram the protocol engines emit —
+// AppendEntries metadata, responses, feedback, recovery traffic — is
+// encoded into a Buf drawn from a size-classed pool and released at an
+// explicit point: after the UDP socket write in the real transport, or
+// after the last delivered copy's handler returns in simnet. The paper's
+// throughput ceiling is per-packet work (HovercRaft §6, and eRPC makes
+// the same point for general RPC stacks); recycling buffers removes the
+// allocator from that per-packet cost.
+//
+// Ownership contract: the producer of a Buf holds one reference. Passing
+// a Buf to a transport Send transfers that reference; fan-out paths
+// (simnet multicast delivery) Retain once per additional consumer and
+// every consumer Releases when done. A Buf whose count reaches zero
+// returns to the pool; Release below zero panics, so double-free bugs
+// surface in tests instead of corrupting reused memory.
+package wire
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from 64B to 64KB: every R2P2 datagram
+// fits in the 2KB class (1500B MTU), while envelope payloads before
+// fragmentation (recovery responses, snapshots) use the larger classes.
+const (
+	minClassBits = 6  // 64 B
+	maxClassBits = 16 // 64 KB
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Buf is one pooled buffer. B is the encoded datagram: writers append
+// into B (the pool guarantees capacity for the requested size, so append
+// never reallocates) and readers slice it. The struct and its backing
+// array recycle together.
+type Buf struct {
+	B     []byte
+	refs  atomic.Int32
+	class int8 // pool class; -1 for unpooled wrappers
+}
+
+var pools [numClasses]sync.Pool
+
+func classFor(size int) int {
+	if size <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(size-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get returns a Buf with len(B) == 0, cap(B) >= size, and one reference.
+// Sizes beyond the largest class fall back to a plain heap allocation
+// that Release hands to the GC instead of a pool.
+func Get(size int) *Buf {
+	c := classFor(size)
+	if c < 0 {
+		b := &Buf{B: make([]byte, 0, size), class: -1}
+		b.refs.Store(1)
+		return b
+	}
+	if v := pools[c].Get(); v != nil {
+		b := v.(*Buf)
+		b.B = b.B[:0]
+		b.refs.Store(1)
+		return b
+	}
+	b := &Buf{B: make([]byte, 0, 1<<(minClassBits+c)), class: int8(c)}
+	b.refs.Store(1)
+	return b
+}
+
+// Retain adds a reference for an additional consumer.
+func (b *Buf) Retain() {
+	if b == nil {
+		return
+	}
+	b.refs.Add(1)
+}
+
+// Release drops one reference; the last release recycles the buffer.
+// After releasing, the caller must not touch B again.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("wire: Buf released more times than retained")
+	}
+	if b.class >= 0 {
+		pools[int(b.class)].Put(b)
+	}
+}
+
+// ReleaseAll releases every Buf in dgs (one reference each). Convenience
+// for transports that consume a batch.
+func ReleaseAll(dgs []*Buf) {
+	for _, d := range dgs {
+		d.Release()
+	}
+}

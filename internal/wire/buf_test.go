@@ -1,0 +1,54 @@
+package wire
+
+import "testing"
+
+func TestGetCapacity(t *testing.T) {
+	for _, size := range []int{0, 1, 63, 64, 65, 1500, 2048, 65536, 1 << 20} {
+		b := Get(size)
+		if len(b.B) != 0 {
+			t.Fatalf("Get(%d): len %d, want 0", size, len(b.B))
+		}
+		if cap(b.B) < size {
+			t.Fatalf("Get(%d): cap %d too small", size, cap(b.B))
+		}
+		b.Release()
+	}
+}
+
+func TestRefcount(t *testing.T) {
+	b := Get(100)
+	b.Retain()
+	b.Release()
+	b.B = append(b.B, 1, 2, 3) // still one ref: must be usable
+	if len(b.B) != 3 {
+		t.Fatal("buffer unusable while referenced")
+	}
+	b.Release()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	over := &Buf{class: -1}
+	over.refs.Store(1)
+	over.Release()
+	over.Release()
+}
+
+func TestNilSafe(t *testing.T) {
+	var b *Buf
+	b.Retain()
+	b.Release() // must not panic
+}
+
+// BenchmarkGetRelease guards the pool's own hot path: steady-state
+// get/encode/release cycles must not allocate.
+func BenchmarkGetRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(1500)
+		buf.B = append(buf.B, 0xA7)
+		buf.Release()
+	}
+}
