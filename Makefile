@@ -14,7 +14,17 @@ SHELL := /bin/bash
 BENCH_PATTERN := Hotpath|HeaderMarshal|Fragment|PooledFrag|IngestSingle|Reassemble|GetRelease
 BENCH_PKGS := . ./internal/r2p2 ./internal/wire
 
-.PHONY: all build test race bench bench-check
+# The gated data-plane benchmarks: the batch-size × socket-count matrix
+# (dg/sendmmsg amortization) and the group-commit durable-throughput run
+# (fsyncs/req). These need loopback sockets; the gated units are syscall
+# and fsync ratios, which hold across machines even though dg/s does not.
+DATAPLANE_PATTERN := Dataplane|LoopbackDurableThroughput
+DATAPLANE_PKG := ./internal/transport
+DATAPLANE_NOTE := Data-plane baseline: sendmmsg amortization and WAL group-commit \
+fsync ratios; regenerate with 'make bench'. CI gates dg/sendmmsg (floor) and \
+fsyncs/req (ceiling) against this file (cmd/benchcheck).
+
+.PHONY: all build test race bench bench-check bench-dataplane bench-dataplane-check
 
 all: build test
 
@@ -27,12 +37,22 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-bench:
+bench: bench-dataplane
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json -update
 	@rm -f bench.out
 
-bench-check:
+bench-check: bench-dataplane-check
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=100x $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json
 	@rm -f bench.out
+
+bench-dataplane:
+	$(GO) test -run '^$$' -bench '$(DATAPLANE_PATTERN)' -benchmem -benchtime=20000x $(DATAPLANE_PKG) | tee bench-dataplane.out
+	$(GO) run ./cmd/benchcheck -in bench-dataplane.out -baseline BENCH_dataplane.json -update -note "$(DATAPLANE_NOTE)"
+	@rm -f bench-dataplane.out
+
+bench-dataplane-check:
+	$(GO) test -run '^$$' -bench '$(DATAPLANE_PATTERN)' -benchmem -benchtime=20000x $(DATAPLANE_PKG) | tee bench-dataplane.out
+	$(GO) run ./cmd/benchcheck -in bench-dataplane.out -baseline BENCH_dataplane.json
+	@rm -f bench-dataplane.out

@@ -1,8 +1,13 @@
 // benchcheck compares `go test -bench -benchmem` output against a
-// committed JSON baseline of allocation metrics, failing on regressions.
-// It is the CI tripwire behind the zero-allocation hot path: timing
-// metrics are machine-dependent and ignored; allocation counts are
-// deterministic enough to gate on.
+// committed JSON baseline, failing on regressions. It is the CI
+// tripwire behind the zero-allocation hot path and the batched data
+// plane: timing metrics are machine-dependent and ignored; allocation
+// counts, syscall-amortization ratios (dg/sendmmsg), and fsync
+// amortization (fsyncs/req) are deterministic enough to gate on.
+//
+// Gating is direction-aware: for most units higher is worse
+// (allocations, fsyncs per request), but for dg/sendmmsg lower is
+// worse — a drop means sends stopped batching.
 //
 //	go test -run '^$' -bench Hotpath -benchmem ./... | tee bench.out
 //	benchcheck -in bench.out -baseline BENCH_hotpath.json          # gate
@@ -27,9 +32,21 @@ type Baseline struct {
 	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 }
 
-// gatedUnits are the metrics compared against the baseline. ns/op and
-// req/s vary with the machine; allocation counts do not.
-var gatedUnits = []string{"allocs/op", "allocs/req"}
+// maxUnits are metrics where exceeding the baseline fails (higher is
+// worse); minUnits are metrics where falling below it fails (lower is
+// worse — dg/sendmmsg collapsing to 1 means sends stopped batching).
+// ns/op and req/s vary with the machine and are never gated.
+var (
+	maxUnits = []string{"allocs/op", "allocs/req", "fsyncs/req", "syscalls/op"}
+	minUnits = []string{"dg/sendmmsg"}
+)
+
+// unitSlack overrides the -slack flag for units whose natural scale is
+// nowhere near one allocation: a whole extra fsync per request would
+// sail under the default slack of 1.0, so fsyncs/req gets a headroom
+// sized to catch group commit degrading toward per-record syncing
+// while tolerating scheduler-dependent batch-size noise.
+var unitSlack = map[string]float64{"fsyncs/req": 0.25}
 
 // parseBench extracts benchmark result lines. A result line looks like:
 //
@@ -76,8 +93,9 @@ func main() {
 		in       = flag.String("in", "", "benchmark output file (from go test -bench -benchmem)")
 		baseline = flag.String("baseline", "BENCH_hotpath.json", "committed baseline JSON")
 		update   = flag.Bool("update", false, "rewrite the baseline from -in instead of gating")
-		tol      = flag.Float64("tol", 0.10, "relative allocation headroom before a regression fails")
-		slack    = flag.Float64("slack", 1.0, "absolute allocation headroom (covers one-off init amortization)")
+		tol      = flag.Float64("tol", 0.10, "relative headroom before a regression fails")
+		slack    = flag.Float64("slack", 1.0, "absolute headroom (covers one-off init amortization)")
+		note     = flag.String("note", "", "baseline note written by -update (default describes the allocation gate)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -95,11 +113,11 @@ func main() {
 	}
 
 	if *update {
-		b := Baseline{
-			Note: "Allocation baseline for the message hot path; regenerate with `make bench`. " +
-				"CI gates allocs/op and allocs/req against this file (cmd/benchcheck).",
-			Benchmarks: got,
+		if *note == "" {
+			*note = "Allocation baseline for the message hot path; regenerate with `make bench`. " +
+				"CI gates allocs/op and allocs/req against this file (cmd/benchcheck)."
 		}
+		b := Baseline{Note: *note, Benchmarks: got}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: marshal: %v\n", err)
@@ -132,18 +150,33 @@ func main() {
 			failed = true
 			continue
 		}
-		for _, unit := range gatedUnits {
+		check := func(unit string, lowerIsWorse bool) {
 			want, tracked := baseMetrics[unit]
 			if !tracked {
-				continue
+				return
 			}
 			have, ok := gotMetrics[unit]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "FAIL %s: baseline tracks %s but the run did not report it\n", name, unit)
 				failed = true
-				continue
+				return
 			}
-			limit := want*(1+*tol) + *slack
+			sl := *slack
+			if s, ok := unitSlack[unit]; ok {
+				sl = s
+			}
+			if lowerIsWorse {
+				floor := want*(1-*tol) - sl
+				if have < floor {
+					fmt.Fprintf(os.Stderr, "FAIL %s: %s regressed %.2f -> %.2f (floor %.2f)\n",
+						name, unit, want, have, floor)
+					failed = true
+				} else {
+					fmt.Printf("ok   %s: %s %.2f (baseline %.2f, floor %.2f)\n", name, unit, have, want, floor)
+				}
+				return
+			}
+			limit := want*(1+*tol) + sl
 			if have > limit {
 				fmt.Fprintf(os.Stderr, "FAIL %s: %s regressed %.2f -> %.2f (limit %.2f)\n",
 					name, unit, want, have, limit)
@@ -152,9 +185,15 @@ func main() {
 				fmt.Printf("ok   %s: %s %.2f (baseline %.2f, limit %.2f)\n", name, unit, have, want, limit)
 			}
 		}
+		for _, unit := range maxUnits {
+			check(unit, false)
+		}
+		for _, unit := range minUnits {
+			check(unit, true)
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchcheck: %d benchmarks within allocation baseline\n", len(base.Benchmarks))
+	fmt.Printf("benchcheck: %d benchmarks within baseline\n", len(base.Benchmarks))
 }

@@ -129,8 +129,15 @@ func main() {
 		shards    = flag.Int("shards", 1, "independent Raft groups on this node; shard s listens on each peer's port+s")
 		tick      = flag.Duration("tick", time.Millisecond, "protocol tick interval")
 		walDir    = flag.String("wal", "", "directory for the write-ahead log (empty = volatile)")
-		walSync   = flag.Bool("wal-sync", false, "fsync every WAL record")
+		walSync   = flag.Bool("wal-sync", false, "fsync WAL records before acknowledging")
 		compact   = flag.Uint64("compact-every", 100000, "snapshot+truncate the log every N applied entries (0 = never)")
+
+		sockets    = flag.Int("sockets", 1, "SO_REUSEPORT ingress sockets per shard (Linux; >1 shards flows across read loops)")
+		recvBatch  = flag.Int("recv-batch", 0, "datagrams drained per recvmmsg (0 = default 32)")
+		sendBatch  = flag.Int("send-batch", 0, "datagrams coalesced per sendmmsg (0 = default 32)")
+		sockBuf    = flag.Int("sockbuf", 0, "SO_RCVBUF/SO_SNDBUF per socket in bytes (0 = default 2 MiB)")
+		fsyncBatch = flag.Int("fsync-batch", 0, "WAL group commit: records staged per fsync (<=1 = sync every record)")
+		fsyncDelay = flag.Duration("fsync-delay", 0, "WAL group commit: max time a staged record may wait for its fsync")
 
 		aggDaemon = flag.Bool("aggregator-daemon", false, "run the in-network aggregator instead of a replica")
 		listen    = flag.String("listen", "", "listen address for -aggregator-daemon")
@@ -193,6 +200,10 @@ func main() {
 			Bound:        *bound,
 			TickInterval: *tick,
 			CompactEvery: *compact,
+			Sockets:      *sockets,
+			RecvBatch:    *recvBatch,
+			SendBatch:    *sendBatch,
+			SockBufBytes: *sockBuf,
 		}
 		if *walDir != "" {
 			dir := *walDir
@@ -203,6 +214,9 @@ func main() {
 			if err != nil {
 				log.Fatalf("hovernode: shard %d: %v", s, err)
 			}
+			// Group commit trades one fsync per record for one per batch;
+			// the transport's egress barrier keeps acks behind the sync.
+			fs.GroupCommit(*fsyncBatch, *fsyncDelay)
 			defer fs.Close()
 			cfg.Storage = fs
 			cfg.Recovered = recovered

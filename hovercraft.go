@@ -103,6 +103,11 @@ type Config struct {
 	// listens on each peer's port+s; use StartSharded to supply per-shard
 	// state machines and DialSharded for a key-routing client.
 	Shards int
+
+	// Sockets shards each group's ingress across this many SO_REUSEPORT
+	// sockets with independent batch read loops (default 1). Only Linux
+	// binds more than one; elsewhere the value is ignored.
+	Sockets int
 }
 
 // Node is a running replica: one server per shard group (a single
@@ -186,6 +191,7 @@ func StartSharded(cfg Config, f ShardFactory) (*Node, error) {
 			HeartbeatTicks: cfg.HeartbeatTicks,
 			Bound:          cfg.Bound,
 			DisableReplyLB: cfg.DisableReplyLB,
+			Sockets:        cfg.Sockets,
 		}, smService{sm: f.NewShard(s)})
 		if err != nil {
 			n.Close()

@@ -19,6 +19,23 @@ type Storage interface {
 	SaveSnapshot(index, term uint64, data []byte)
 }
 
+// GroupCommitter is an optional Storage extension for durability group
+// commit. A group-committing storage may stage SaveState/AppendEntries
+// records in memory instead of persisting them synchronously; the
+// runtime then calls Flush at its durability barriers — before any
+// datagram that could acknowledge the staged records leaves the node —
+// so a whole pacing tick's appends are covered by one vectored write
+// and one fsync. MaybeFlush is the background latency bound: runtimes
+// call it from their timer loop so staged records never outlive the
+// configured flush delay even when no traffic forces a barrier.
+type GroupCommitter interface {
+	// Flush makes every staged record durable before returning.
+	Flush()
+	// MaybeFlush flushes only if staged records have exceeded the
+	// storage's configured age bound (cheap no-op otherwise).
+	MaybeFlush()
+}
+
 // NopStorage discards everything.
 type NopStorage struct{}
 

@@ -111,6 +111,16 @@ func (d *Driver) IngestBorrowed(dg []byte, srcIP uint32) {
 	d.h.HandleMessage(&d.msg)
 }
 
+// IngestBorrowedBatch feeds a batch-syscall reader's datagram vector in
+// one call: dgs[i] arrived from the host whose R2P2 identity is
+// srcIPs[i]. Every slice follows IngestBorrowed's borrowing contract —
+// valid only until the caller's next read fills the slab again.
+func (d *Driver) IngestBorrowedBatch(dgs [][]byte, srcIPs []uint32) {
+	for i, dg := range dgs {
+		d.IngestBorrowed(dg, srcIPs[i])
+	}
+}
+
 // Tick advances the engine timer (when configured) and runs reassembly
 // GC at the configured cadence.
 func (d *Driver) Tick() {

@@ -42,6 +42,9 @@ func NewAggregatorServer(listenAddr string, peers map[uint32]string) (*Aggregato
 	if err != nil {
 		return nil, fmt.Errorf("transport: aggregator listen: %w", err)
 	}
+	// The aggregator absorbs the whole cluster's AE fan-in; default
+	// socket buffers drop under that burst load.
+	setSockBufs([]*net.UDPConn{conn}, 0)
 	a := &AggregatorServer{
 		conn:   conn,
 		peers:  make(map[raft.NodeID]*net.UDPAddr),
@@ -86,9 +89,12 @@ func (a *AggregatorServer) Close() error {
 
 func (a *AggregatorServer) readLoop() {
 	defer close(a.done)
-	buf := make([]byte, 65536)
+	r, err := newBatchReader(a.conn, defaultRecvBatch)
+	if err != nil {
+		return
+	}
 	for {
-		n, from, err := a.conn.ReadFromUDP(buf)
+		n, err := r.read()
 		if err != nil {
 			select {
 			case <-a.closed:
@@ -98,7 +104,7 @@ func (a *AggregatorServer) readLoop() {
 			}
 		}
 		a.mu.Lock()
-		a.drv.IngestBorrowed(buf[:n], ipKey(from))
+		a.drv.IngestBorrowedBatch(r.views[:n], r.keys[:n])
 		a.mu.Unlock()
 	}
 }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// mmsg syscall numbers for linux/amd64 (absent from the frozen stdlib
+// syscall tables on some arches, so pinned here per architecture).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

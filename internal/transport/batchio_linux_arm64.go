@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// mmsg syscall numbers for linux/arm64 (absent from the frozen stdlib
+// syscall tables on some arches, so pinned here per architecture).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"hovercraft/internal/r2p2"
@@ -27,10 +28,12 @@ type ClientOptions struct {
 // Client issues R2P2 requests against a HovercRaft cluster over UDP.
 // Safe for concurrent use.
 type Client struct {
-	opts  ClientOptions
-	conn  *net.UDPConn
-	peers []*net.UDPAddr
-	r2cl  *r2p2.Client
+	opts     ClientOptions
+	conn     *net.UDPConn
+	rawConn  syscall.RawConn
+	peers    []*net.UDPAddr
+	r2cl     *r2p2.Client
+	sendPool sync.Pool // *sender: request fan-out batches per peer
 
 	mu      sync.Mutex
 	drv     *runtime.Driver
@@ -77,13 +80,21 @@ func Dial(peerAddrs []string, opts ...ClientOptions) (*Client, error) {
 			return nil, fmt.Errorf("transport: client listen: %w", err)
 		}
 	}
+	setSockBufs([]*net.UDPConn{conn}, 0)
+	rawConn, err := conn.SyscallConn()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: client raw conn: %w", err)
+	}
 	c := &Client{
 		opts:    o,
 		conn:    conn,
+		rawConn: rawConn,
 		waiting: make(map[uint32]*callState),
 		start:   time.Now(),
 		closed:  make(chan struct{}),
 	}
+	c.sendPool.New = func() interface{} { return newSender(defaultSendBatch) }
 	c.drv = runtime.New((*clientHandler)(c), runtime.Options{
 		Now:          func() time.Duration { return time.Since(c.start) },
 		ReasmTimeout: o.Timeout,
@@ -121,9 +132,12 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) readLoop() {
-	buf := make([]byte, 65536)
+	r, err := newBatchReader(c.conn, defaultRecvBatch)
+	if err != nil {
+		return
+	}
 	for {
-		n, from, err := c.conn.ReadFromUDP(buf)
+		n, err := r.read()
 		if err != nil {
 			select {
 			case <-c.closed:
@@ -133,7 +147,7 @@ func (c *Client) readLoop() {
 			}
 		}
 		c.mu.Lock()
-		c.drv.IngestBorrowed(buf[:n], ipKey(from))
+		c.drv.IngestBorrowedBatch(r.views[:n], r.keys[:n])
 		c.mu.Unlock()
 	}
 }
@@ -204,11 +218,13 @@ func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 			}
 			backoff *= 2
 		}
+		// Fan the request out to every node, one vectored send per peer
+		// (multi-fragment requests ride a single sendmmsg).
+		sn := c.sendPool.Get().(*sender)
 		for _, peer := range c.peers {
-			for _, dg := range dgs {
-				_, _ = c.conn.WriteToUDP(dg, peer)
-			}
+			sn.sendTo(c.conn, c.rawConn, peer, dgs)
 		}
+		c.sendPool.Put(sn)
 		select {
 		case res := <-st.ch:
 			if res.nack {

@@ -1,0 +1,42 @@
+//go:build linux
+
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// kernelRxDrops sums the kernel's per-socket receive-drop counter (the
+// trailing "drops" column of /proc/net/udp) over every socket bound to
+// port. This is the canonical signal that SO_RCVBUF is too small for the
+// offered burst rate: the kernel discards datagrams that arrive while
+// the socket buffer is full, and nothing in userspace ever sees them.
+func kernelRxDrops(port int) uint64 {
+	f, err := os.Open("/proc/net/udp")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	want := fmt.Sprintf("%04X", port)
+	var drops uint64
+	sc := bufio.NewScanner(f)
+	sc.Scan() // header
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 13 {
+			continue
+		}
+		// fields[1] is local_address as IPHEX:PORTHEX.
+		if i := strings.IndexByte(fields[1], ':'); i < 0 || fields[1][i+1:] != want {
+			continue
+		}
+		if d, err := strconv.ParseUint(fields[len(fields)-1], 10, 64); err == nil {
+			drops += d
+		}
+	}
+	return drops
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package transport
+
+// kernelRxDrops needs /proc/net/udp; other platforms report zero rather
+// than guessing at their socket-statistics interfaces.
+func kernelRxDrops(port int) uint64 { return 0 }

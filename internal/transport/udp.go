@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"hovercraft/internal/app"
@@ -30,6 +31,7 @@ import (
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/runtime"
+	"hovercraft/internal/stats"
 	"hovercraft/internal/wire"
 )
 
@@ -80,14 +82,40 @@ type ServerConfig struct {
 	// CompactEvery enables raft log compaction every N applied entries
 	// when the service implements core.Snapshotter.
 	CompactEvery uint64
+	// Sockets shards ingress across N SO_REUSEPORT sockets, each with
+	// its own batch-read goroutine (Linux; other platforms fall back to
+	// one socket). 0 or 1 binds a single socket.
+	Sockets int
+	// RecvBatch / SendBatch cap datagrams per recvmmsg/sendmmsg
+	// syscall (0 = 32). Ignored where batch I/O is unsupported.
+	RecvBatch int
+	SendBatch int
+	// SockBufBytes sets SO_RCVBUF/SO_SNDBUF on every socket (0 = 2MB).
+	// Kernel-default buffers (~212KB) silently drop bursts; the drop
+	// counter is surfaced as udp_rx_dropped in DebugVars.
+	SockBufBytes int
 }
 
-// Server is a running HovercRaft node on a UDP socket.
+// Server is a running HovercRaft node on one or more UDP sockets.
+//
+// Data-plane shape: N SO_REUSEPORT sockets each feed a dedicated read
+// goroutine that drains a recvmmsg batch, ingests it into the engine
+// under one lock acquisition, and carries the resulting egress away.
+// All sends funnel through a per-destination coalescer: datagrams
+// produced while the engine lock is held are queued, then flushed
+// outside the lock with sendmmsg — one flush drains a pipelined-AE
+// batch in a handful of syscalls. The flush is also the durability
+// barrier: when the storage group-commits (raft.GroupCommitter), the
+// staged WAL batch is written and fsynced once before any datagram
+// that could acknowledge it leaves the node.
 type Server struct {
 	cfg     ServerConfig
-	conn    *net.UDPConn
+	conn    *net.UDPConn // conns[0]; all egress goes out here
+	conns   []*net.UDPConn
+	rawConn syscall.RawConn // cached for vectored sends on conn
 	engine  *core.Engine
 	service app.Service
+	gc      raft.GroupCommitter // non-nil when Storage group-commits
 
 	mu      sync.Mutex
 	drv     *runtime.Driver
@@ -96,6 +124,10 @@ type Server struct {
 	clients map[clientKey]*net.UDPAddr
 	start   time.Time
 	from    *net.UDPAddr // sender of the datagram being ingested
+	egq     *egBatch     // egress queued during the current lock scope
+
+	sendPool sync.Pool // *sender, one per concurrent flusher
+	ctr      *stats.CounterSet
 
 	runq chan runJob
 
@@ -109,6 +141,22 @@ type runJob struct {
 	readOnly bool
 	done     func([]byte)
 }
+
+// egressItem is one queued datagram: a pooled wire buffer bound for a
+// destination. The addr pointers are the stable entries of the peer,
+// aggregator, and client tables, so run-grouping can compare pointers.
+type egressItem struct {
+	addr *net.UDPAddr
+	buf  *wire.Buf
+}
+
+// egBatch is a swappable egress queue. Takers swap the whole batch out
+// under the engine lock and flush it outside, so concurrent readers,
+// the ticker, and the app thread each drain only what their own lock
+// scope produced.
+type egBatch struct{ items []egressItem }
+
+var egBatchPool = sync.Pool{New: func() interface{} { return new(egBatch) }}
 
 // NewServer binds the node to its configured address and starts serving.
 func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
@@ -129,25 +177,49 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve self: %w", err)
 	}
-	conn, err := net.ListenUDP("udp4", addr)
+	sockets := cfg.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	conns, err := listenBatch(addr, sockets)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	setSockBufs(conns, cfg.SockBufBytes)
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	rawConn, err := conns[0].SyscallConn()
+	if err != nil {
+		closeAll()
+		return nil, fmt.Errorf("transport: raw conn: %w", err)
+	}
 	s := &Server{
 		cfg:     cfg,
-		conn:    conn,
+		conn:    conns[0],
+		conns:   conns,
+		rawConn: rawConn,
 		service: svc,
 		peers:   make(map[raft.NodeID]*net.UDPAddr),
 		clients: make(map[clientKey]*net.UDPAddr),
 		start:   time.Now(),
+		ctr:     stats.NewCounterSet(),
 		runq:    make(chan runJob, 1024),
 		closed:  make(chan struct{}),
 	}
+	s.gc, _ = cfg.Storage.(raft.GroupCommitter)
+	sendBatch := cfg.SendBatch
+	if sendBatch <= 0 {
+		sendBatch = defaultSendBatch
+	}
+	s.sendPool.New = func() interface{} { return newSender(sendBatch) }
 	ids := make([]raft.NodeID, 0, len(cfg.Peers))
 	for id, pa := range cfg.Peers {
 		ua, err := net.ResolveUDPAddr("udp4", pa)
 		if err != nil {
-			conn.Close()
+			closeAll()
 			return nil, fmt.Errorf("transport: resolve peer %d: %w", id, err)
 		}
 		s.peers[raft.NodeID(id)] = ua
@@ -156,12 +228,12 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	if cfg.Aggregator != "" {
 		ua, err := net.ResolveUDPAddr("udp4", cfg.Aggregator)
 		if err != nil {
-			conn.Close()
+			closeAll()
 			return nil, fmt.Errorf("transport: resolve aggregator: %w", err)
 		}
 		s.agg = ua
 	} else if cfg.Mode == core.ModeHovercraftPP {
-		conn.Close()
+		closeAll()
 		return nil, errors.New("transport: HovercRaft++ needs an aggregator address")
 	}
 
@@ -187,7 +259,7 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	}, (*serverTransport)(s), (*serverRunner)(s))
 	if cfg.Recovered != nil {
 		if err := s.engine.Bootstrap(cfg.Recovered); err != nil {
-			conn.Close()
+			closeAll()
 			return nil, fmt.Errorf("transport: bootstrap: %w", err)
 		}
 	}
@@ -200,8 +272,15 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		RetainPayload: []r2p2.MessageType{r2p2.TypeRequest},
 	})
 
-	s.wg.Add(3)
-	go s.readLoop()
+	s.wg.Add(len(conns) + 2)
+	for _, c := range conns {
+		r, err := newBatchReader(c, cfg.RecvBatch)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		go s.readLoop(r)
+	}
 	go s.tickLoop()
 	go s.appLoop()
 	return s, nil
@@ -231,7 +310,7 @@ func (s *Server) DebugVars() map[string]interface{} {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.engine.Node().Status()
-	return map[string]interface{}{
+	vars := map[string]interface{}{
 		"id":             s.cfg.ID,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"is_leader":      s.engine.IsLeader(),
@@ -239,21 +318,48 @@ func (s *Server) DebugVars() map[string]interface{} {
 		"commit_index":   st.Commit,
 		"known_clients":  len(s.clients),
 		"counters":       s.engine.Counters().Snapshot(),
+		"net":            s.NetStats(),
 	}
+	if fs, ok := s.cfg.Storage.(*raft.FileStorage); ok {
+		vars["wal_fsyncs"] = fs.SyncCount()
+		vars["wal_pending_records"] = fs.PendingRecords()
+	}
+	return vars
+}
+
+// NetStats snapshots the data-plane counters: datagrams and syscalls
+// per direction (their ratio is the syscall-amortization factor), the
+// socket/batch shape, and the kernel's receive-drop counter for this
+// port — datagrams discarded because SO_RCVBUF overflowed, which never
+// reach userspace and previously went unobserved.
+func (s *Server) NetStats() map[string]uint64 {
+	out := s.ctr.Snapshot()
+	out["sockets"] = uint64(len(s.conns))
+	if batchIOSupported {
+		out["batch_io"] = 1
+	} else {
+		out["batch_io"] = 0
+	}
+	out["udp_rx_dropped"] = kernelRxDrops(s.Addr().Port)
+	return out
 }
 
 // Campaign triggers an immediate election (cluster bootstrap helper).
 func (s *Server) Campaign() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.engine.Campaign()
+	b := s.takeEgress()
+	s.mu.Unlock()
+	s.flushEgress(b)
 }
 
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() error {
 	s.closeMu.Do(func() {
 		close(s.closed)
-		s.conn.Close()
+		for _, c := range s.conns {
+			c.Close()
+		}
 		// runq is deliberately never closed: serverRunner.Run may race
 		// a send against shutdown; appLoop exits via the closed signal
 		// and the buffered queue is garbage collected.
@@ -262,14 +368,13 @@ func (s *Server) Close() error {
 	return nil
 }
 
-func (s *Server) readLoop() {
+// readLoop drains one ingress socket: each wakeup ingests a whole
+// recvmmsg batch under a single lock acquisition, then flushes the
+// egress that batch produced outside the lock.
+func (s *Server) readLoop(r *batchReader) {
 	defer s.wg.Done()
-	// One reused read buffer: the driver copies out the only payloads
-	// the engine retains (request bodies), everything else aliases it
-	// for the duration of the dispatch.
-	buf := make([]byte, 65536)
 	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
+		n, err := r.read()
 		if err != nil {
 			select {
 			case <-s.closed:
@@ -278,10 +383,16 @@ func (s *Server) readLoop() {
 				continue
 			}
 		}
+		s.ctr.Get("ingress_datagrams").Add(uint64(n))
+		s.ctr.Get("ingress_syscalls").Inc()
 		s.mu.Lock()
-		s.from = from
-		s.drv.IngestBorrowed(buf[:n], ipKey(from))
+		for i := 0; i < n; i++ {
+			s.from = r.addr(i)
+			s.drv.IngestBorrowed(r.views[i], r.keys[i])
+		}
+		b := s.takeEgress()
 		s.mu.Unlock()
+		s.flushEgress(b)
 	}
 }
 
@@ -296,7 +407,14 @@ func (s *Server) tickLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			s.drv.Tick()
+			b := s.takeEgress()
 			s.mu.Unlock()
+			s.flushEgress(b)
+			if s.gc != nil {
+				// Latency bound for staged WAL records that no egress
+				// barrier has covered yet (honors FsyncDelay).
+				s.gc.MaybeFlush()
+			}
 		}
 	}
 }
@@ -314,9 +432,57 @@ func (s *Server) appLoop() {
 			reply := s.service.Execute(job.payload, job.readOnly)
 			s.mu.Lock()
 			job.done(reply)
+			b := s.takeEgress()
 			s.mu.Unlock()
+			s.flushEgress(b)
 		}
 	}
+}
+
+// takeEgress swaps the queued egress out from under the engine lock.
+// Returns nil when the lock scope produced nothing to send.
+func (s *Server) takeEgress() *egBatch {
+	b := s.egq
+	s.egq = nil
+	return b
+}
+
+// flushEgress is the coalesced send path and the durability barrier:
+// first the group-committing storage (if any) makes every staged WAL
+// record durable — no ack may leave before its covering fsync — then
+// consecutive same-destination runs go out via sendmmsg.
+func (s *Server) flushEgress(b *egBatch) {
+	if b == nil {
+		return
+	}
+	if s.gc != nil {
+		s.gc.Flush()
+	}
+	sn := s.sendPool.Get().(*sender)
+	items := b.items
+	var pkts [][]byte
+	for i := 0; i < len(items); {
+		j := i
+		for j < len(items) && items[j].addr == items[i].addr {
+			j++
+		}
+		pkts = pkts[:0]
+		for _, it := range items[i:j] {
+			pkts = append(pkts, it.buf.B)
+		}
+		sn.sendTo(s.conn, s.rawConn, items[i].addr, pkts)
+		i = j
+	}
+	s.ctr.Get("egress_datagrams").Add(uint64(len(items)))
+	s.ctr.Get("egress_syscalls").Add(sn.syscalls)
+	sn.syscalls, sn.datagrams = 0, 0
+	s.sendPool.Put(sn)
+	for i := range items {
+		items[i].buf.Release()
+		items[i] = egressItem{}
+	}
+	b.items = items[:0]
+	egBatchPool.Put(b)
 }
 
 // serverHandler adapts Server to runtime.Handler: it learns client
@@ -326,33 +492,43 @@ type serverHandler Server
 func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
 	if m.Type == r2p2.TypeRequest {
 		// Remember where to send this client's replies. The r2p2
-		// SrcPort disambiguates clients sharing an IP.
-		h.clients[clientKey{ip: m.ID.SrcIP, port: m.ID.SrcPort}] = h.from
+		// SrcPort disambiguates clients sharing an IP. h.from points
+		// into the batch reader's reused address slots, so the table
+		// keeps a stable clone (refreshed if the client re-binds).
+		k := clientKey{ip: m.ID.SrcIP, port: m.ID.SrcPort}
+		if known := h.clients[k]; !sameUDPAddr(known, h.from) {
+			h.clients[k] = cloneUDPAddr(h.from)
+		}
 	}
 	h.engine.HandleMessage(m)
 }
 
-// serverTransport adapts Server to core.Transport.
+// serverTransport adapts Server to core.Transport. Sends are queued on
+// the egress coalescer (the caller holds the engine lock) and flushed
+// by whichever loop drove the engine, outside the lock.
 type serverTransport Server
 
-func (t *serverTransport) sendAll(addr *net.UDPAddr, dgs []*wire.Buf) {
+func (t *serverTransport) enqueue(addr *net.UDPAddr, dgs []*wire.Buf) {
+	if addr == nil {
+		wire.ReleaseAll(dgs)
+		return
+	}
+	if t.egq == nil {
+		t.egq = egBatchPool.Get().(*egBatch)
+	}
 	for _, b := range dgs {
-		if addr != nil {
-			// Best-effort datagrams; the protocol tolerates loss.
-			_, _ = t.conn.WriteToUDP(b.B, addr)
-		}
-		b.Release()
+		t.egq.items = append(t.egq.items, egressItem{addr: addr, buf: b})
 	}
 }
 
 func (t *serverTransport) SendToNode(id raft.NodeID, dgs []*wire.Buf) {
-	t.sendAll(t.peers[id], dgs)
+	t.enqueue(t.peers[id], dgs)
 }
 
-func (t *serverTransport) SendToAggregator(dgs []*wire.Buf) { t.sendAll(t.agg, dgs) }
+func (t *serverTransport) SendToAggregator(dgs []*wire.Buf) { t.enqueue(t.agg, dgs) }
 
 func (t *serverTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
-	t.sendAll(t.clients[clientKey{ip: id.SrcIP, port: id.SrcPort}], dgs)
+	t.enqueue(t.clients[clientKey{ip: id.SrcIP, port: id.SrcPort}], dgs)
 }
 
 func (t *serverTransport) SendFeedback(dgs []*wire.Buf) {

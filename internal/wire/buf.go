@@ -108,3 +108,17 @@ func ReleaseAll(dgs []*Buf) {
 		d.Release()
 	}
 }
+
+// Slab carves one contiguous allocation into n equally sized full-length
+// views. Batch-syscall readers (recvmmsg) hand the kernel n receive
+// slots at once; one backing array keeps them cache-adjacent and costs a
+// single allocation instead of n. Each view has len == cap == size, so a
+// reader can safely reslice view[:got] per datagram.
+func Slab(n, size int) [][]byte {
+	backing := make([]byte, n*size)
+	views := make([][]byte, n)
+	for i := range views {
+		views[i] = backing[i*size : (i+1)*size : (i+1)*size]
+	}
+	return views
+}

@@ -52,3 +52,27 @@ func BenchmarkGetRelease(b *testing.B) {
 		buf.Release()
 	}
 }
+
+func TestSlab(t *testing.T) {
+	views := Slab(4, 16)
+	if len(views) != 4 {
+		t.Fatalf("Slab(4, 16) = %d views", len(views))
+	}
+	for i, v := range views {
+		if len(v) != 16 || cap(v) != 16 {
+			t.Fatalf("view %d: len %d cap %d, want 16/16", i, len(v), cap(v))
+		}
+		for j := range v {
+			v[j] = byte(i)
+		}
+	}
+	// Full-capacity slicing means appends cannot bleed into the next view.
+	_ = append(views[0], 0xff)
+	for i, v := range views {
+		for j, b := range v {
+			if b != byte(i) {
+				t.Fatalf("view %d byte %d = %#x: views overlap", i, j, b)
+			}
+		}
+	}
+}
