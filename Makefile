@@ -8,11 +8,12 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 # The gated hot-path benchmarks: the Fig. 7 steady-state end-to-end run
-# (root package), the r2p2 codec paths, and the wire buffer pool. The
-# loopback UDP benchmark is deliberately excluded — it needs socket
+# (root package, bare and with telemetry attached), the r2p2 codec
+# paths, the wire buffer pool, and the telemetry record/rotate hooks.
+# The loopback UDP benchmark is deliberately excluded — it needs socket
 # bind permissions and reports throughput, not allocations.
 BENCH_PATTERN := Hotpath|HeaderMarshal|Fragment|PooledFrag|IngestSingle|Reassemble|GetRelease
-BENCH_PKGS := . ./internal/r2p2 ./internal/wire
+BENCH_PKGS := . ./internal/r2p2 ./internal/wire ./internal/obs
 
 # The gated data-plane benchmarks: the batch-size × socket-count matrix
 # (dg/sendmmsg amortization) and the group-commit durable-throughput run

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"hovercraft/internal/loadgen"
+	"hovercraft/internal/obs"
+	"hovercraft/internal/raft"
 	"hovercraft/internal/simcluster"
 	"hovercraft/internal/simnet"
 )
@@ -20,13 +22,19 @@ import (
 // hotpathCluster assembles the Fig. 7 steady-state setup: HovercRaft on
 // three nodes, reply load balancing disabled (§7.1), one open-loop client
 // at a rate well under saturation.
-func hotpathCluster(rate float64) (*simcluster.Cluster, *loadgen.Client) {
-	cl := simcluster.New(simcluster.Options{
+func hotpathCluster(rate float64, withTelemetry bool) (*simcluster.Cluster, *loadgen.Client) {
+	opts := simcluster.Options{
 		Setup:          simcluster.SetupHovercraft,
 		Nodes:          3,
 		Seed:           42,
 		DisableReplyLB: true,
-	})
+	}
+	if withTelemetry {
+		opts.NewTelemetry = func(raft.NodeID) *obs.Telemetry {
+			return obs.NewTelemetry(nil, 0, 0)
+		}
+	}
+	cl := simcluster.New(opts)
 	wl := &loadgen.Synthetic{
 		ServiceTime: loadgen.Fixed(time.Microsecond),
 		ReqSize:     24,
@@ -52,7 +60,19 @@ func hotpathCluster(rate float64) (*simcluster.Cluster, *loadgen.Client) {
 // whole path (client encode, fabric delivery, reassembly, consensus
 // encode/decode, apply, reply).
 func BenchmarkHotpathFig7SteadyState(b *testing.B) {
-	cl, c := hotpathCluster(200_000)
+	benchFig7(b, false)
+}
+
+// BenchmarkHotpathFig7Telemetry is the same steady-state run with the
+// per-stage queue-delay telemetry attached to every node — the
+// "always-on" configuration. Gated at the same allocs/req as the bare
+// run: instrumentation must not put allocations back on the hot path.
+func BenchmarkHotpathFig7Telemetry(b *testing.B) {
+	benchFig7(b, true)
+}
+
+func benchFig7(b *testing.B, withTelemetry bool) {
+	cl, c := hotpathCluster(200_000, withTelemetry)
 	until := 10 * time.Millisecond
 	cl.Run(until) // warmup: leader elected, pipeline streaming
 
@@ -73,4 +93,13 @@ func BenchmarkHotpathFig7SteadyState(b *testing.B) {
 	}
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(reqs), "allocs/req")
 	b.ReportMetric(float64(reqs)/float64(b.N), "req/op")
+	if withTelemetry {
+		// Telemetry actually ran: every node dispatched through the
+		// instrumented path.
+		for _, n := range cl.Nodes {
+			if n.Tel.Window(obs.QEngine).Count == 0 && n.Tel.Hist(obs.QEngine).TotalCount() == 0 {
+				b.Fatal("telemetry attached but recorded nothing")
+			}
+		}
+	}
 }

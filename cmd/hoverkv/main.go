@@ -23,9 +23,14 @@ import (
 
 	"hovercraft"
 	"hovercraft/internal/kvstore"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/stats"
 	"hovercraft/internal/ycsb"
 )
+
+// benchWindow tracks client-observed request latency for the /metrics
+// endpoint during long bench runs (nil when -debug-addr is off).
+var benchWindow *stats.WindowedHist
 
 func main() {
 	peersFlag := flag.String("peers", "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
@@ -36,6 +41,14 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /debug/pprof (profile long bench runs)")
 	flag.Parse()
 	if *debugAddr != "" {
+		// Client-side observability: the bench loop records every
+		// request's end-to-end latency into a sliding window, exposed
+		// as hovercraft_client_request_latency_* on /metrics next to
+		// the pprof handlers.
+		benchWindow = stats.NewWindowedHist(obs.DefaultTelemetryEpochs)
+		reg := obs.NewRegistry()
+		reg.Window("client.request_latency", benchWindow)
+		http.Handle("/metrics", obs.PromHandler(reg))
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				log.Printf("debug endpoint: %v", err)
@@ -132,13 +145,22 @@ func bench(cl *hovercraft.ShardedClient, n, keys int) {
 	}
 	hist := stats.NewHistogram()
 	start := time.Now()
+	lastRotate := start
 	for i := 0; i < n; i++ {
 		op := w.Next(rng)
 		t0 := time.Now()
 		if _, err := cl.CallKey([]byte(op.Key), op.Payload, op.ReadOnly); err != nil {
 			log.Fatalf("hoverkv: op %d: %v", i, err)
 		}
-		hist.RecordDuration(time.Since(t0))
+		d := time.Since(t0)
+		hist.RecordDuration(d)
+		if benchWindow != nil {
+			benchWindow.Record(int64(d))
+			if t0.Sub(lastRotate) >= obs.DefaultTelemetryEpoch {
+				benchWindow.Rotate()
+				lastRotate = t0
+			}
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("%d YCSB-E ops over %d keys in %v: %.0f ops/s\n", n, keys,

@@ -42,6 +42,7 @@ import (
 
 	"hovercraft/internal/core"
 	"hovercraft/internal/kvstore"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/transport"
 )
@@ -243,10 +244,20 @@ func main() {
 			}
 			return vars
 		}))
+		// Prometheus exposition of the same state, from the unified obs
+		// registry: per-shard role gauges, data-plane counters, and the
+		// always-on per-stage queue-delay windows.
+		reg := obs.NewRegistry()
+		reg.Gauge("node_id", func() float64 { return float64(*id) })
+		reg.Gauge("shards", func() float64 { return float64(len(servers)) })
+		for s, srv := range servers {
+			srv.RegisterMetrics(reg.Sub(fmt.Sprintf("shard%d", s)))
+		}
+		http.Handle("/metrics", obs.PromHandler(reg))
 		go func() {
 			// DefaultServeMux carries expvar's /debug/vars and pprof's
-			// /debug/pprof from their package inits.
-			log.Printf("debug endpoint on http://%s/debug/vars", *debugAddr)
+			// /debug/pprof from their package inits, plus /metrics above.
+			log.Printf("debug endpoint on http://%s/debug/vars and /metrics", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				log.Printf("debug endpoint: %v", err)
 			}

@@ -1,0 +1,71 @@
+// Command hovertop is a fleet dashboard for hovernode processes: it
+// scrapes each node's /metrics endpoint (the -debug-addr listener) and
+// merges the per-shard series into one cluster view — leader per raft
+// group, per-stage queue-delay tails, SLO burn rate, WAL fsync
+// amortization, and drop counters.
+//
+//	hovertop -targets 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003
+//	hovertop -targets ... -once -json   # one deterministic snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"hovercraft/internal/hovertop"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "", "comma-separated /metrics endpoints (host:port or URL)")
+		interval    = flag.Duration("interval", 2*time.Second, "refresh interval for the live dashboard")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-target scrape timeout")
+		once        = flag.Bool("once", false, "scrape once, print, and exit")
+		asJSON      = flag.Bool("json", false, "emit the cluster view as JSON instead of the dashboard")
+	)
+	flag.Parse()
+	if *targetsFlag == "" {
+		log.Fatal("hovertop: -targets is required")
+	}
+	targets := strings.Split(*targetsFlag, ",")
+	for i := range targets {
+		targets[i] = strings.TrimSpace(targets[i])
+	}
+	sc := hovertop.NewScraper(targets, *timeout)
+
+	emit := func(v *hovertop.ClusterView) {
+		if *asJSON {
+			b, err := v.JSON()
+			if err != nil {
+				log.Fatalf("hovertop: %v", err)
+			}
+			os.Stdout.Write(b)
+			fmt.Println()
+			return
+		}
+		v.Render(os.Stdout)
+	}
+
+	if *once {
+		v := sc.View()
+		emit(v)
+		for _, n := range v.Nodes {
+			if n.Up {
+				return
+			}
+		}
+		os.Exit(1) // every target down: let smoke scripts fail loudly
+	}
+	for {
+		v := sc.View()
+		if !*asJSON {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		emit(v)
+		time.Sleep(*interval)
+	}
+}

@@ -141,6 +141,11 @@ type Config struct {
 	// events. A nil value disables tracing at zero allocation cost.
 	Obs *obs.Obs
 
+	// Tel, when non-nil, receives queue-delay telemetry: the engine
+	// records raft step/propose time (obs.QRaftStep) and drives epoch
+	// rotation from its tick. Nil disables at one pointer test per hook.
+	Tel *obs.Telemetry
+
 	// DedupWindow bounds the exactly-once RPC-ID cache: every replica
 	// remembers the last DedupWindow applied read-write request IDs with
 	// their replies, suppresses re-execution of retransmitted
@@ -205,6 +210,7 @@ type Engine struct {
 	queues    *BoundedQueues
 	counters  *stats.CounterSet
 	obs       *obs.Obs
+	tel       *obs.Telemetry
 
 	// obsCommitSeen is the commit watermark already stamped into the
 	// tracer (leader-side StageCommit walk; unused when obs is nil).
@@ -290,6 +296,7 @@ func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
 		queues:    NewBoundedQueues(cfg.Peers, cfg.Bound),
 		counters:  stats.NewCounterSet(),
 		obs:       cfg.Obs,
+		tel:       cfg.Tel,
 		missing:   make(map[uint64]r2p2.RequestID),
 		heardTerm: make(map[raft.NodeID]uint64),
 		inLog:     make(map[r2p2.RequestID]bool),
@@ -375,6 +382,9 @@ func (e *Engine) Campaign() {
 func (e *Engine) Tick() {
 	e.ticks++
 	e.now += e.cfg.TickInterval
+	// The tick is the single-threaded cadence driver for telemetry epoch
+	// rotation in both runtimes (DES loop / engine mutex).
+	e.tel.MaybeRotate()
 	e.node.Tick()
 	if e.IsLeader() {
 		e.pace()
@@ -447,7 +457,7 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 			return
 		}
 		e.obs.Stage(m.ID, obs.StageLeaderRx)
-		_, err := e.node.Propose(raft.Entry{
+		_, err := e.propose(raft.Entry{
 			Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
 			Data: m.Payload, Replier: e.cfg.ID,
 		})
@@ -468,7 +478,7 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 		e.unordered.Put(m.ID, m.Policy, m.Payload, e.now)
 		if e.IsLeader() {
 			e.obs.Stage(m.ID, obs.StageLeaderRx)
-			_, err := e.node.Propose(raft.Entry{
+			_, err := e.propose(raft.Entry{
 				Kind: kind, ID: m.ID, BodyHash: raft.Hash64(m.Payload),
 				Data: m.Payload,
 			})
@@ -481,6 +491,17 @@ func (e *Engine) handleClientRequest(m *r2p2.Msg) {
 			}
 		}
 	}
+}
+
+// propose runs node.Propose, timed as the raft_step telemetry stage.
+func (e *Engine) propose(ent raft.Entry) (uint64, error) {
+	if !e.tel.Active() {
+		return e.node.Propose(ent)
+	}
+	t0 := e.tel.Now()
+	idx, err := e.node.Propose(ent)
+	e.tel.Record(obs.QRaftStep, e.tel.Now()-t0)
+	return idx, err
 }
 
 // shouldAnswerDup decides whether this node resends the cached reply for
@@ -547,7 +568,13 @@ func (e *Engine) handleRaft(m *raft.Message, viaAgg bool) {
 	}
 	e.ctxViaAgg = viaAgg
 	e.ctxFromResp = m.IsResponse()
-	e.node.Step(*m)
+	if e.tel.Active() {
+		t0 := e.tel.Now()
+		e.node.Step(*m)
+		e.tel.Record(obs.QRaftStep, e.tel.Now()-t0)
+	} else {
+		e.node.Step(*m)
+	}
 	if m.Type == raft.MsgApp {
 		e.lastAEViaAgg = viaAgg
 		e.promoteBodies(m)
@@ -990,7 +1017,7 @@ func (e *Engine) becomeLeader() {
 		if e.dedup != nil && ent.Kind == raft.KindReadWrite && e.dedup.Seen(ent.ID) {
 			continue
 		}
-		if _, err := e.node.Propose(ent); err != nil {
+		if _, err := e.propose(ent); err != nil {
 			break
 		}
 		if ent.Kind == raft.KindReadWrite {

@@ -1,0 +1,157 @@
+// Package hovertop is the fleet scraper behind cmd/hovertop: it polls
+// the /metrics endpoints of N hovernode processes, parses the
+// Prometheus text exposition, and merges the per-shard series into one
+// cluster view — leader per group, per-stage queue-delay tails, SLO
+// burn, fsync amortization, and drop counters. The merge is pure and
+// deterministic: identical scrapes produce byte-identical JSON, which
+// the golden-scrape test relies on.
+package hovertop
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric family name, its
+// label set, and the sample value. Timestamps (rare, optional in the
+// text format) are discarded — hovertop aggregates instantaneous
+// scrapes, not time series.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the named label or "" when absent.
+func (s *Sample) Label(key string) string {
+	if s.Labels == nil {
+		return ""
+	}
+	return s.Labels[key]
+}
+
+// ParseMetrics reads a Prometheus text-format exposition (version
+// 0.0.4) and returns its samples in input order. Comment and blank
+// lines are skipped; malformed sample lines are an error, since a
+// scrape that half-parses would silently skew the cluster view.
+func ParseMetrics(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest[1:])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the map plus
+// the unconsumed tail. Values may contain the text-format escapes
+// \\ , \" and \n.
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 0
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("unterminated label set %q", in)
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value in %q", key, in)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", key)
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order — the backbone of
+// every deterministic iteration in the merge.
+func sortedKeys[M map[K]V, K ~string | ~int, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

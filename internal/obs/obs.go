@@ -117,6 +117,13 @@ type Obs struct {
 
 	seg [numSegments]*stats.Histogram
 
+	// Optional sliding windows over the same decomposition (EnableWindows):
+	// rotated on the session clock so recent-history quantiles and SLO
+	// burn are available live, not just end-of-run.
+	win        [numSegments]*stats.WindowedHist
+	winEpoch   time.Duration
+	winRotated time.Duration
+
 	completed uint64
 	abandoned uint64
 
@@ -147,6 +154,41 @@ func New() *Obs {
 		o.reg.Histogram("latency."+def.name, o.seg[i])
 	}
 	return o
+}
+
+// EnableWindows attaches sliding-window histograms to the per-segment
+// latency decomposition, registered as latency.<segment> windows in the
+// metrics registry. Epochs rotate on the session clock every epoch
+// duration (0 selects the telemetry defaults). Call before the run.
+func (o *Obs) EnableWindows(epoch time.Duration, epochs int) {
+	if o == nil {
+		return
+	}
+	if epoch <= 0 {
+		epoch = DefaultTelemetryEpoch
+	}
+	if epochs <= 0 {
+		epochs = DefaultTelemetryEpochs
+	}
+	o.winEpoch = epoch
+	for i, def := range segments {
+		o.win[i] = stats.NewWindowedHist(epochs)
+		o.reg.Window("latency."+def.name, o.win[i])
+	}
+}
+
+// SegmentWindow returns the sliding-window summary of the named
+// decomposition segment (zero when windows are off or name unknown).
+func (o *Obs) SegmentWindow(name string) stats.WindowSummary {
+	if o == nil {
+		return stats.WindowSummary{}
+	}
+	for i, def := range segments {
+		if def.name == name && o.win[i] != nil {
+			return o.win[i].Window()
+		}
+	}
+	return stats.WindowSummary{}
 }
 
 // Active reports whether tracing is enabled. Hot paths that would box
@@ -225,6 +267,17 @@ func (o *Obs) finalize(id r2p2.RequestID, sp *span) {
 			d = 0
 		}
 		o.seg[i].RecordDuration(d)
+		if o.win[i] != nil {
+			o.win[i].RecordDuration(d)
+		}
+	}
+	if o.winEpoch > 0 {
+		if now := o.now(); now-o.winRotated >= o.winEpoch {
+			o.winRotated = now
+			for _, w := range o.win {
+				w.Rotate()
+			}
+		}
 	}
 	if len(o.traced) < o.maxTrace {
 		o.traced = append(o.traced, tracedReq{id: id, ts: sp.ts, seen: sp.seen})

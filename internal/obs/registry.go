@@ -3,19 +3,28 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"sync"
 	"time"
 
 	"hovercraft/internal/stats"
 )
 
-// Registry is a unified metrics namespace: counters, gauges, and latency
-// histograms registered by name and snapshotted together. Sources are
-// registered as closures, so a snapshot always reads live values; the
-// JSON rendering sorts keys, making it deterministic for a fixed run.
+// Registry is a unified metrics namespace: counters, gauges, latency
+// histograms, and sliding-window histograms registered by name and
+// snapshotted together. Sources are registered as closures, so a
+// snapshot always reads live values; the JSON rendering sorts keys,
+// making it deterministic for a fixed run.
+//
+// Registration and snapshotting are safe from any goroutine: real
+// processes register per-shard subsystems concurrently and scrape from
+// an HTTP handler while shards keep running.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]func() uint64
 	gauges   map[string]func() float64
 	hists    map[string]*stats.Histogram
+	windows  map[string]*stats.WindowedHist
+	sets     map[string]*stats.CounterSet
 }
 
 // NewRegistry returns an empty registry.
@@ -24,39 +33,57 @@ func NewRegistry() *Registry {
 		counters: make(map[string]func() uint64),
 		gauges:   make(map[string]func() float64),
 		hists:    make(map[string]*stats.Histogram),
+		windows:  make(map[string]*stats.WindowedHist),
+		sets:     make(map[string]*stats.CounterSet),
 	}
 }
 
 // Counter registers a monotonic counter source under name.
 func (r *Registry) Counter(name string, f func() uint64) {
 	if r != nil {
+		r.mu.Lock()
 		r.counters[name] = f
+		r.mu.Unlock()
 	}
 }
 
 // Gauge registers an instantaneous value source under name.
 func (r *Registry) Gauge(name string, f func() float64) {
 	if r != nil {
+		r.mu.Lock()
 		r.gauges[name] = f
+		r.mu.Unlock()
 	}
 }
 
 // Histogram registers a latency histogram under name.
 func (r *Registry) Histogram(name string, h *stats.Histogram) {
 	if r != nil {
+		r.mu.Lock()
 		r.hists[name] = h
+		r.mu.Unlock()
 	}
 }
 
-// CounterSet registers every counter of cs under prefix+".".
+// Window registers a sliding-window histogram under name.
+func (r *Registry) Window(name string, w *stats.WindowedHist) {
+	if r != nil && w != nil {
+		r.mu.Lock()
+		r.windows[name] = w
+		r.mu.Unlock()
+	}
+}
+
+// CounterSet registers the whole set under prefix+".". The set is
+// resolved at snapshot time, so counters created lazily (CounterSet
+// allocates on first Get) still show up in later scrapes.
 func (r *Registry) CounterSet(prefix string, cs *stats.CounterSet) {
 	if r == nil || cs == nil {
 		return
 	}
-	for _, name := range cs.Names() {
-		name := name
-		r.counters[prefix+"."+name] = func() uint64 { return cs.Value(name) }
-	}
+	r.mu.Lock()
+	r.sets[prefix] = cs
+	r.mu.Unlock()
 }
 
 // Scoped is a prefix-qualified view of a Registry: every registration is
@@ -105,6 +132,13 @@ func (s *Scoped) Histogram(name string, h *stats.Histogram) {
 	}
 }
 
+// Window registers a sliding-window histogram under the view's prefix.
+func (s *Scoped) Window(name string, w *stats.WindowedHist) {
+	if s != nil {
+		s.r.Window(s.prefix+"."+name, w)
+	}
+}
+
 // CounterSet registers a counter set under the view's prefix.
 func (s *Scoped) CounterSet(prefix string, cs *stats.CounterSet) {
 	if s != nil {
@@ -124,18 +158,73 @@ type histJSON struct {
 	Mean  float64 `json:"mean_ns"`
 }
 
+// windowJSON is the snapshot shape of one sliding-window histogram.
+type windowJSON struct {
+	Count       uint64  `json:"count"`
+	P50         int64   `json:"p50_ns"`
+	P99         int64   `json:"p99_ns"`
+	P999        int64   `json:"p999_ns"`
+	Max         int64   `json:"max_ns"`
+	Above       uint64  `json:"above"`
+	ThresholdNs int64   `json:"threshold_ns"`
+	Burn        float64 `json:"burn"`
+	TotalCount  uint64  `json:"total_count"`
+	TotalSumNs  int64   `json:"total_sum_ns"`
+}
+
+// collect copies the registered sources under the read lock so value
+// reads (which may themselves take locks, e.g. CounterSet) happen
+// outside it.
+func (r *Registry) collect() (
+	counters map[string]func() uint64,
+	gauges map[string]func() float64,
+	hists map[string]*stats.Histogram,
+	windows map[string]*stats.WindowedHist,
+	sets map[string]*stats.CounterSet,
+) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	counters = make(map[string]func() uint64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges = make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists = make(map[string]*stats.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	windows = make(map[string]*stats.WindowedHist, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
+	}
+	sets = make(map[string]*stats.CounterSet, len(r.sets))
+	for k, v := range r.sets {
+		sets[k] = v
+	}
+	return
+}
+
 // Snapshot captures every registered source into plain maps.
 func (r *Registry) Snapshot() map[string]interface{} {
-	counters := make(map[string]uint64, len(r.counters))
-	for name, f := range r.counters {
+	csrc, gsrc, hsrc, wsrc, ssrc := r.collect()
+	counters := make(map[string]uint64, len(csrc))
+	for name, f := range csrc {
 		counters[name] = f()
 	}
-	gauges := make(map[string]float64, len(r.gauges))
-	for name, f := range r.gauges {
+	for prefix, cs := range ssrc {
+		for _, name := range cs.Names() {
+			counters[prefix+"."+name] = cs.Value(name)
+		}
+	}
+	gauges := make(map[string]float64, len(gsrc))
+	for name, f := range gsrc {
 		gauges[name] = f()
 	}
-	hists := make(map[string]histJSON, len(r.hists))
-	for name, h := range r.hists {
+	hists := make(map[string]histJSON, len(hsrc))
+	for name, h := range hsrc {
 		s := h.Summary()
 		hists[name] = histJSON{
 			Count: s.Count, Min: int64(s.Min), P50: int64(s.P50),
@@ -143,10 +232,21 @@ func (r *Registry) Snapshot() map[string]interface{} {
 			Max: int64(s.Max), Mean: float64(s.Mean) / float64(time.Nanosecond),
 		}
 	}
+	windows := make(map[string]windowJSON, len(wsrc))
+	for name, w := range wsrc {
+		s := w.Window()
+		windows[name] = windowJSON{
+			Count: s.Count, P50: int64(s.P50), P99: int64(s.P99),
+			P999: int64(s.P999), Max: int64(s.Max),
+			Above: s.Above, ThresholdNs: int64(s.Threshold), Burn: s.Burn,
+			TotalCount: w.TotalCount(), TotalSumNs: w.TotalSum(),
+		}
+	}
 	return map[string]interface{}{
 		"counters":   counters,
 		"gauges":     gauges,
 		"histograms": hists,
+		"windows":    windows,
 	}
 }
 

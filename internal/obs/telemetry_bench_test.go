@@ -1,0 +1,81 @@
+// Telemetry-overhead benchmarks, part of the gated hot-path suite
+// (`make bench` / BENCH_hotpath.json): the always-on instrument must
+// cost zero allocations per observation, and its per-record price —
+// two clock reads plus one atomic histogram add — is snapshotted as
+// tel_delta_ns/op so regressions in "always-on" stay visible.
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHotpathTelemetryRecord is the enabled-path cost of one
+// queue-delay observation as the data plane pays it: read the clock,
+// do the work, read the clock, record the difference. Gated at zero
+// allocs/op.
+func BenchmarkHotpathTelemetryRecord(b *testing.B) {
+	start := time.Now()
+	tel := NewTelemetry(func() time.Duration { return time.Since(start) }, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tel.Active() {
+			t0 := tel.Now()
+			tel.Record(QEngine, tel.Now()-t0)
+		}
+	}
+	if tel.Window(QEngine).Count == 0 {
+		b.Fatal("benchmark recorded nothing")
+	}
+}
+
+// BenchmarkHotpathTelemetryOverhead measures the marginal cost of
+// telemetry being on: the enabled hook (clock reads + atomic record)
+// minus the disabled hook (one nil test), reported as tel_delta_ns/op.
+// The delta is informational — timing units are machine-dependent and
+// never gated — but the committed baseline documents the budget.
+func BenchmarkHotpathTelemetryOverhead(b *testing.B) {
+	start := time.Now()
+	tel := NewTelemetry(func() time.Duration { return time.Since(start) }, 0, 0)
+	var off *Telemetry
+
+	offStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if off.Active() {
+			t0 := off.Now()
+			off.Record(QEngine, off.Now()-t0)
+		}
+	}
+	offNs := float64(time.Since(offStart).Nanoseconds()) / float64(b.N)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tel.Active() {
+			t0 := tel.Now()
+			tel.Record(QEngine, tel.Now()-t0)
+		}
+	}
+	b.StopTimer()
+	onNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(onNs-offNs, "tel_delta_ns/op")
+}
+
+// BenchmarkHotpathTelemetryRotate prices the epoch rotation the engine
+// tick performs: clearing one epoch across all stages. It runs at tick
+// cadence (~1ms), not per request, so its absolute cost matters little;
+// it is gated at zero allocs/op like every hot-path hook.
+func BenchmarkHotpathTelemetryRotate(b *testing.B) {
+	var now time.Duration
+	tel := NewTelemetry(func() time.Duration { return now }, time.Millisecond, 4)
+	for s := QStage(0); s < NumQStages; s++ {
+		tel.Record(s, 100*time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Millisecond
+		tel.MaybeRotate()
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTelemetryIsInert(t *testing.T) {
+	var tel *Telemetry
+	if tel.Active() {
+		t.Fatal("nil Telemetry reports active")
+	}
+	tel.Record(QIngress, time.Microsecond)
+	tel.RecordN(QEgress, time.Microsecond, 8)
+	tel.MaybeRotate()
+	tel.SetClock(func() time.Duration { return 0 })
+	tel.SetSLO(time.Millisecond, 0.999)
+	tel.Register(nil)
+	if tel.Now() != 0 {
+		t.Fatal("nil Now != 0")
+	}
+	if s := tel.Window(QService); s.Count != 0 {
+		t.Fatal("nil Window not zero")
+	}
+	if tel.Hist(QService) != nil {
+		t.Fatal("nil Hist not nil")
+	}
+}
+
+func TestTelemetryRecordAndWindow(t *testing.T) {
+	var now time.Duration
+	tel := NewTelemetry(testClock(&now), time.Second, 4)
+	tel.Record(QRaftStep, 100*time.Microsecond)
+	tel.RecordN(QIngress, 20*time.Microsecond, 32)
+	if got := tel.Window(QRaftStep).Count; got != 1 {
+		t.Fatalf("raft_step count = %d", got)
+	}
+	if got := tel.Window(QIngress).Count; got != 32 {
+		t.Fatalf("ingress count = %d", got)
+	}
+	if got := tel.Window(QEgress).Count; got != 0 {
+		t.Fatalf("egress count = %d", got)
+	}
+}
+
+func TestTelemetryMaybeRotate(t *testing.T) {
+	var now time.Duration
+	tel := NewTelemetry(testClock(&now), time.Second, 3)
+	tel.Record(QService, time.Millisecond)
+	// Under one epoch: no rotation.
+	now = 900 * time.Millisecond
+	tel.MaybeRotate()
+	if got := tel.Hist(QService).Rotations(); got != 0 {
+		t.Fatalf("rotated early: %d", got)
+	}
+	now = time.Second
+	tel.MaybeRotate()
+	if got := tel.Hist(QService).Rotations(); got != 1 {
+		t.Fatalf("rotations = %d, want 1", got)
+	}
+	// The observation is still inside the 3-epoch window...
+	if got := tel.Window(QService).Count; got != 1 {
+		t.Fatalf("window lost data after one rotation: %d", got)
+	}
+	// ...and the cumulative total survives any number of rotations.
+	for i := 0; i < 5; i++ {
+		now += time.Second
+		tel.MaybeRotate()
+	}
+	if got := tel.Window(QService).Count; got != 0 {
+		t.Fatalf("window kept aged-out data: %d", got)
+	}
+	if got := tel.Hist(QService).TotalCount(); got != 1 {
+		t.Fatalf("total count = %d", got)
+	}
+}
+
+func TestTelemetryStageNames(t *testing.T) {
+	names := QStageNames()
+	want := []string{"ingress", "engine", "raft_step", "wal_sync", "apply_queue", "service", "egress"}
+	if len(names) != len(want) {
+		t.Fatalf("got %d stages", len(names))
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, names[i], want[i])
+		}
+		if QStage(i).String() != want[i] {
+			t.Errorf("QStage(%d).String() = %q", i, QStage(i).String())
+		}
+	}
+}
+
+func TestTelemetryRegister(t *testing.T) {
+	var now time.Duration
+	tel := NewTelemetry(testClock(&now), 0, 0)
+	tel.Record(QWalSync, 750*time.Microsecond)
+	reg := NewRegistry()
+	tel.Register(reg.Sub("shard0"))
+	snap := reg.Snapshot()
+	windows := snap["windows"].(map[string]windowJSON)
+	w, ok := windows["shard0.qdelay.wal_sync"]
+	if !ok {
+		t.Fatalf("wal_sync window not registered; have %v", windows)
+	}
+	if w.Count != 1 || w.Above != 1 {
+		t.Fatalf("wal_sync window = %+v", w)
+	}
+	if len(windows) != int(NumQStages) {
+		t.Fatalf("registered %d windows, want %d", len(windows), NumQStages)
+	}
+}
+
+// TestTelemetryRecordAllocs is the hot-path contract: Record, RecordN,
+// Now, and MaybeRotate (non-firing) allocate nothing.
+func TestTelemetryRecordAllocs(t *testing.T) {
+	var now time.Duration
+	tel := NewTelemetry(testClock(&now), time.Hour, 4)
+	if n := testing.AllocsPerRun(1000, func() {
+		t0 := tel.Now()
+		tel.Record(QRaftStep, 5*time.Microsecond)
+		tel.RecordN(QIngress, tel.Now()-t0, 16)
+		tel.MaybeRotate()
+	}); n != 0 {
+		t.Errorf("telemetry hot path allocates %v per run, want 0", n)
+	}
+}
+
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := reg.Sub("shard" + string(rune('0'+g)))
+			var now time.Duration
+			tel := NewTelemetry(testClock(&now), 0, 0)
+			tel.Register(sc)
+			sc.Counter("reqs", func() uint64 { return 1 })
+			sc.Gauge("depth", func() float64 { return 2 })
+			for i := 0; i < 50; i++ {
+				reg.Snapshot()
+				var buf bytes.Buffer
+				if err := WritePrometheus(&buf, reg); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatalf("final write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "hovercraft_qdelay_window_p99_ns") {
+		t.Fatal("qdelay window gauges missing from exposition")
+	}
+}
+
+func TestObsEnableWindows(t *testing.T) {
+	var now time.Duration
+	o := New()
+	o.SetClock(testClock(&now))
+	o.EnableWindows(time.Second, 3)
+	id := rid(1)
+	stamp(o, &now, id, StageClientSend, 0)
+	stamp(o, &now, id, StageLeaderRx, 100*time.Microsecond)
+	stamp(o, &now, id, StageAppend, 200*time.Microsecond)
+	stamp(o, &now, id, StageCommit, 300*time.Microsecond)
+	stamp(o, &now, id, StageApplyStart, 400*time.Microsecond)
+	stamp(o, &now, id, StageApplyDone, 500*time.Microsecond)
+	stamp(o, &now, id, StageClientRecv, 600*time.Microsecond)
+	w := o.SegmentWindow("total")
+	if w.Count != 1 {
+		t.Fatalf("total window count = %d", w.Count)
+	}
+	if w.Above != 1 { // 600µs end-to-end breaches the 500µs SLO
+		t.Fatalf("total window above = %d", w.Above)
+	}
+	if o.SegmentWindow("order").Count != 1 {
+		t.Fatal("order window empty")
+	}
+	// Snapshot carries the windows section.
+	snap := o.Metrics().Snapshot()
+	windows := snap["windows"].(map[string]windowJSON)
+	if _, ok := windows["latency.total"]; !ok {
+		t.Fatalf("latency.total window missing: %v", windows)
+	}
+	// Rotation is driven by the clock crossing epoch boundaries.
+	id2 := rid(2)
+	stamp(o, &now, id2, StageClientSend, 1500*time.Millisecond)
+	stamp(o, &now, id2, StageClientRecv, 1501*time.Millisecond)
+	if o.SegmentWindow("total").Count != 2 {
+		t.Fatal("window should still hold both requests")
+	}
+}

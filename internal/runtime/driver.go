@@ -9,6 +9,7 @@ package runtime
 import (
 	"time"
 
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 )
 
@@ -45,6 +46,9 @@ type Options struct {
 	// channel). IngestBorrowed copies those payloads out of the
 	// caller's read buffer; every other payload may alias it.
 	RetainPayload []r2p2.MessageType
+	// Telemetry, when non-nil, records per-message engine dispatch time
+	// (obs.QEngine) around every HandleMessage call.
+	Telemetry *obs.Telemetry
 }
 
 // Driver feeds one Handler from raw datagrams. It is not safe for
@@ -59,6 +63,7 @@ type Driver struct {
 	gcEvery uint64
 	ticks   uint64
 	retain  [256]bool
+	tel     *obs.Telemetry
 	msg     r2p2.Msg // dispatch scratch, reused across ingests
 }
 
@@ -76,6 +81,7 @@ func New(h Handler, opts Options) *Driver {
 		now:     opts.Now,
 		tick:    opts.Tick,
 		gcEvery: opts.GCEvery,
+		tel:     opts.Telemetry,
 	}
 	for _, t := range opts.RetainPayload {
 		d.retain[t] = true
@@ -92,7 +98,19 @@ func (d *Driver) Ingest(dg []byte, srcIP uint32) {
 	if err != nil || !done {
 		return
 	}
+	d.dispatch()
+}
+
+// dispatch hands the scratch message to the handler, timing it as the
+// engine stage when telemetry is attached.
+func (d *Driver) dispatch() {
+	if !d.tel.Active() {
+		d.h.HandleMessage(&d.msg)
+		return
+	}
+	t0 := d.tel.Now()
 	d.h.HandleMessage(&d.msg)
+	d.tel.Record(obs.QEngine, d.tel.Now()-t0)
 }
 
 // IngestBorrowed feeds one datagram from a reused read buffer that the
@@ -108,7 +126,7 @@ func (d *Driver) IngestBorrowed(dg []byte, srcIP uint32) {
 	if !owned && d.retain[d.msg.Type] {
 		d.msg.Payload = append([]byte(nil), d.msg.Payload...)
 	}
-	d.h.HandleMessage(&d.msg)
+	d.dispatch()
 }
 
 // IngestBorrowedBatch feeds a batch-syscall reader's datagram vector in

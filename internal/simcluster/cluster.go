@@ -99,6 +99,14 @@ type Options struct {
 	// events across every node, the fabric, and the middleboxes. Its
 	// clock is bound to this cluster's virtual time.
 	Obs *obs.Obs
+
+	// NewTelemetry, when non-nil, builds each node's queue-delay
+	// telemetry instrument (per-stage windowed histograms). The cluster
+	// binds every instrument's clock to virtual time, so a fixed seed
+	// produces identical telemetry counts run over run. The instrument
+	// survives crash/restart cycles (it models the process, not the
+	// engine incarnation).
+	NewTelemetry func(id raft.NodeID) *obs.Telemetry
 }
 
 // Node is one simulated server.
@@ -108,6 +116,7 @@ type Node struct {
 	Engine  *core.Engine             // nil for SetupUnreplicated
 	Unrep   *core.UnreplicatedEngine // nil unless SetupUnreplicated
 	Service app.Service
+	Tel     *obs.Telemetry // nil unless Options.NewTelemetry
 
 	cluster    *Cluster
 	drv        *runtime.Driver
@@ -188,6 +197,10 @@ func New(opts Options) *Cluster {
 		h := c.Net.NewHost(fmt.Sprintf("node%d", id), opts.Host)
 		c.addrOf[id] = h.Addr()
 		n := &Node{ID: id, Host: h, cluster: c, peers: peers}
+		if opts.NewTelemetry != nil {
+			n.Tel = opts.NewTelemetry(id)
+			n.Tel.SetClock(c.Sim.Now)
+		}
 		if opts.WAL && opts.Setup != SetupUnreplicated {
 			n.storage = raft.NewBufferStorage()
 			n.storage.OnAppend = func(int) {
@@ -295,6 +308,7 @@ func (c *Cluster) buildEngine(n *Node) {
 			CompactEvery:   opts.CompactEvery,
 			Storage:        storage,
 			Obs:            opts.Obs,
+			Tel:            n.Tel,
 
 			MaxInflightEntries: opts.MaxInflightEntries,
 			MaxBatchBytes:      opts.MaxBatchBytes,
@@ -313,6 +327,7 @@ func (c *Cluster) buildEngine(n *Node) {
 		ReasmTimeout: 20 * time.Millisecond,
 		Tick:         tick,
 		GCEvery:      1024,
+		Telemetry:    n.Tel,
 	})
 	n.Host.SetHandler(n.onPacket)
 }

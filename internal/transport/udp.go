@@ -28,6 +28,7 @@ import (
 
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
+	"hovercraft/internal/obs"
 	"hovercraft/internal/r2p2"
 	"hovercraft/internal/raft"
 	"hovercraft/internal/runtime"
@@ -94,6 +95,14 @@ type ServerConfig struct {
 	// Kernel-default buffers (~212KB) silently drop bursts; the drop
 	// counter is surfaced as udp_rx_dropped in DebugVars.
 	SockBufBytes int
+	// DisableTelemetry turns off the always-on queue-delay telemetry
+	// (per-stage windowed histograms). On by default: the instruments
+	// are lock-free and allocation-free, costing only clock reads.
+	DisableTelemetry bool
+	// TelemetryEpoch / TelemetryEpochs shape the sliding window
+	// (0 = obs defaults: 1s epochs, 10-epoch ring).
+	TelemetryEpoch  time.Duration
+	TelemetryEpochs int
 }
 
 // Server is a running HovercRaft node on one or more UDP sockets.
@@ -128,6 +137,7 @@ type Server struct {
 
 	sendPool sync.Pool // *sender, one per concurrent flusher
 	ctr      *stats.CounterSet
+	tel      *obs.Telemetry // nil when cfg.DisableTelemetry
 
 	runq chan runJob
 
@@ -140,6 +150,7 @@ type runJob struct {
 	payload  []byte
 	readOnly bool
 	done     func([]byte)
+	enq      time.Duration // telemetry clock at enqueue (0 when off)
 }
 
 // egressItem is one queued datagram: a pooled wire buffer bound for a
@@ -210,6 +221,11 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		closed:  make(chan struct{}),
 	}
 	s.gc, _ = cfg.Storage.(raft.GroupCommitter)
+	if !cfg.DisableTelemetry {
+		s.tel = obs.NewTelemetry(
+			func() time.Duration { return time.Since(s.start) },
+			cfg.TelemetryEpoch, cfg.TelemetryEpochs)
+	}
 	sendBatch := cfg.SendBatch
 	if sendBatch <= 0 {
 		sendBatch = defaultSendBatch
@@ -254,6 +270,7 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		Storage:            cfg.Storage,
 		Snapshotter:        snapshotter,
 		CompactEvery:       cfg.CompactEvery,
+		Tel:                s.tel,
 		// Real networks have ms-scale timers; scale the unordered GC.
 		UnorderedTimeout: 10 * time.Second,
 	}, (*serverTransport)(s), (*serverRunner)(s))
@@ -270,6 +287,7 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		// The engine parks request bodies until commit; responses,
 		// feedback, and consensus payloads are consumed within the step.
 		RetainPayload: []r2p2.MessageType{r2p2.TypeRequest},
+		Telemetry:     s.tel,
 	})
 
 	s.wg.Add(len(conns) + 2)
@@ -344,6 +362,53 @@ func (s *Server) NetStats() map[string]uint64 {
 	return out
 }
 
+// Telemetry exposes the node's queue-delay instrument (nil when
+// disabled).
+func (s *Server) Telemetry() *obs.Telemetry { return s.tel }
+
+// RegisterMetrics publishes the node's live metrics into a scoped
+// registry view: raft role gauges, data-plane and engine counter sets,
+// socket/WAL health, and the per-stage queue-delay windows. Everything
+// registered here shows up uniformly in the expvar snapshot and the
+// Prometheus /metrics exposition.
+func (s *Server) RegisterMetrics(sc *obs.Scoped) {
+	if sc == nil {
+		return
+	}
+	sc.Gauge("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	sc.Gauge("known_clients", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.clients))
+	})
+	sc.Gauge("raft.is_leader", func() float64 {
+		if s.IsLeader() {
+			return 1
+		}
+		return 0
+	})
+	sc.Gauge("raft.term", func() float64 { return float64(s.Status().Term) })
+	sc.Gauge("raft.commit_index", func() float64 { return float64(s.Status().Commit) })
+	sc.Gauge("raft.applied_index", func() float64 { return float64(s.Status().Applied) })
+	sc.CounterSet("net", s.ctr)
+	sc.CounterSet("engine", s.engine.Counters())
+	sc.Gauge("net.sockets", func() float64 { return float64(len(s.conns)) })
+	sc.Gauge("net.batch_io", func() float64 {
+		if batchIOSupported {
+			return 1
+		}
+		return 0
+	})
+	// Kernel-side receive drops (SO_RCVBUF overflow): datagrams that
+	// never reached userspace, read from /proc at scrape time.
+	sc.Counter("net.udp_rx_dropped", func() uint64 { return kernelRxDrops(s.Addr().Port) })
+	if fs, ok := s.cfg.Storage.(*raft.FileStorage); ok {
+		sc.Counter("wal.fsyncs", fs.SyncCount)
+		sc.Gauge("wal.pending_records", func() float64 { return float64(fs.PendingRecords()) })
+	}
+	s.tel.Register(sc)
+}
+
 // Campaign triggers an immediate election (cluster bootstrap helper).
 func (s *Server) Campaign() {
 	s.mu.Lock()
@@ -385,7 +450,17 @@ func (s *Server) readLoop(r *batchReader) {
 		}
 		s.ctr.Get("ingress_datagrams").Add(uint64(n))
 		s.ctr.Get("ingress_syscalls").Inc()
+		// Ingress queue delay: how long this batch sat between leaving
+		// the kernel and winning the engine lock. Every datagram of the
+		// batch shares the wait, so one timed interval records n points.
+		var t0 time.Duration
+		if s.tel.Active() {
+			t0 = s.tel.Now()
+		}
 		s.mu.Lock()
+		if s.tel.Active() {
+			s.tel.RecordN(obs.QIngress, s.tel.Now()-t0, n)
+		}
 		for i := 0; i < n; i++ {
 			s.from = r.addr(i)
 			s.drv.IngestBorrowed(r.views[i], r.keys[i])
@@ -429,7 +504,16 @@ func (s *Server) appLoop() {
 		case <-s.closed:
 			return
 		case job := <-s.runq:
+			var t0 time.Duration
+			if s.tel.Active() {
+				t0 = s.tel.Now()
+				// Apply-queue delay: commit (enqueue) → execution start.
+				s.tel.Record(obs.QApplyQueue, t0-job.enq)
+			}
 			reply := s.service.Execute(job.payload, job.readOnly)
+			if s.tel.Active() {
+				s.tel.Record(obs.QService, s.tel.Now()-t0)
+			}
 			s.mu.Lock()
 			job.done(reply)
 			b := s.takeEgress()
@@ -456,7 +540,19 @@ func (s *Server) flushEgress(b *egBatch) {
 		return
 	}
 	if s.gc != nil {
-		s.gc.Flush()
+		if s.tel.Active() {
+			t0 := s.tel.Now()
+			s.gc.Flush()
+			// The group-commit barrier: WAL write+fsync latency covered
+			// by this egress batch.
+			s.tel.Record(obs.QWalSync, s.tel.Now()-t0)
+		} else {
+			s.gc.Flush()
+		}
+	}
+	var eg0 time.Duration
+	if s.tel.Active() {
+		eg0 = s.tel.Now()
 	}
 	sn := s.sendPool.Get().(*sender)
 	items := b.items
@@ -472,6 +568,9 @@ func (s *Server) flushEgress(b *egBatch) {
 		}
 		sn.sendTo(s.conn, s.rawConn, items[i].addr, pkts)
 		i = j
+	}
+	if s.tel.Active() && len(items) > 0 {
+		s.tel.RecordN(obs.QEgress, s.tel.Now()-eg0, len(items))
 	}
 	s.ctr.Get("egress_datagrams").Add(uint64(len(items)))
 	s.ctr.Get("egress_syscalls").Add(sn.syscalls)
@@ -540,8 +639,12 @@ func (t *serverTransport) SendFeedback(dgs []*wire.Buf) {
 type serverRunner Server
 
 func (r *serverRunner) Run(payload []byte, readOnly bool, done func([]byte)) {
+	var enq time.Duration
+	if r.tel.Active() {
+		enq = r.tel.Now()
+	}
 	select {
-	case r.runq <- runJob{payload: payload, readOnly: readOnly, done: done}:
+	case r.runq <- runJob{payload: payload, readOnly: readOnly, done: done, enq: enq}:
 	case <-r.closed:
 	}
 }
