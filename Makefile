@@ -25,7 +25,19 @@ DATAPLANE_NOTE := Data-plane baseline: sendmmsg amortization and WAL group-commi
 fsync ratios; regenerate with 'make bench'. CI gates dg/sendmmsg (floor) and \
 fsyncs/req (ceiling) against this file (cmd/benchcheck).
 
-.PHONY: all build test race bench bench-check bench-dataplane bench-dataplane-check
+# The gated overload-control benchmarks run in simulator virtual time,
+# so the gated units (goodput as a fraction of measured capacity, the
+# admitted-work p99, NACKs per request below capacity) are exact across
+# machines. -benchtime=1x: one deterministic run is the measurement.
+OVERLOAD_PATTERN := OverloadAdaptive2x|OverloadHalfLoad
+OVERLOAD_PKG := ./internal/harness
+OVERLOAD_NOTE := Overload-control baseline: adaptive admission goodput at 2x offered \
+load (floor, as a fraction of measured 1x capacity), admitted-work p99 (ceiling, vs \
+the 500us SLO), and NACKs/request at half load (ceiling). Deterministic virtual-time \
+runs; regenerate with 'make bench'. Gated by cmd/benchcheck.
+
+.PHONY: all build test race bench bench-check bench-dataplane bench-dataplane-check \
+	bench-overload bench-overload-check smoke-overload
 
 all: build test
 
@@ -38,12 +50,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-bench: bench-dataplane
+bench: bench-dataplane bench-overload
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json -update
 	@rm -f bench.out
 
-bench-check: bench-dataplane-check
+bench-check: bench-dataplane-check bench-overload-check
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=100x $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json
 	@rm -f bench.out
@@ -57,3 +69,16 @@ bench-dataplane-check:
 	$(GO) test -run '^$$' -bench '$(DATAPLANE_PATTERN)' -benchmem -benchtime=20000x $(DATAPLANE_PKG) | tee bench-dataplane.out
 	$(GO) run ./cmd/benchcheck -in bench-dataplane.out -baseline BENCH_dataplane.json
 	@rm -f bench-dataplane.out
+
+bench-overload:
+	$(GO) test -run '^$$' -bench '$(OVERLOAD_PATTERN)' -benchtime=1x $(OVERLOAD_PKG) | tee bench-overload.out
+	$(GO) run ./cmd/benchcheck -in bench-overload.out -baseline BENCH_overload.json -update -note "$(OVERLOAD_NOTE)"
+	@rm -f bench-overload.out
+
+bench-overload-check:
+	$(GO) test -run '^$$' -bench '$(OVERLOAD_PATTERN)' -benchtime=1x $(OVERLOAD_PKG) | tee bench-overload.out
+	$(GO) run ./cmd/benchcheck -in bench-overload.out -baseline BENCH_overload.json
+	@rm -f bench-overload.out
+
+smoke-overload:
+	bash scripts/overload_smoke.sh

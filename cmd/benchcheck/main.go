@@ -34,19 +34,33 @@ type Baseline struct {
 
 // maxUnits are metrics where exceeding the baseline fails (higher is
 // worse); minUnits are metrics where falling below it fails (lower is
-// worse — dg/sendmmsg collapsing to 1 means sends stopped batching).
-// ns/op and req/s vary with the machine and are never gated.
+// worse — dg/sendmmsg collapsing to 1 means sends stopped batching,
+// goodput/cap collapsing means the admission controller lost its
+// graceful degradation under overload). ns/op and req/s vary with the
+// machine and are never gated.
 var (
-	maxUnits = []string{"allocs/op", "allocs/req", "fsyncs/req", "syscalls/op"}
-	minUnits = []string{"dg/sendmmsg"}
+	maxUnits = []string{"allocs/op", "allocs/req", "fsyncs/req", "syscalls/op",
+		"admitted_p99_us", "nacked/req"}
+	minUnits = []string{"dg/sendmmsg", "goodput/cap", "goodput_krps"}
 )
 
 // unitSlack overrides the -slack flag for units whose natural scale is
 // nowhere near one allocation: a whole extra fsync per request would
 // sail under the default slack of 1.0, so fsyncs/req gets a headroom
 // sized to catch group commit degrading toward per-record syncing
-// while tolerating scheduler-dependent batch-size noise.
-var unitSlack = map[string]float64{"fsyncs/req": 0.25}
+// while tolerating scheduler-dependent batch-size noise. The overload
+// units come from deterministic virtual-time runs, so their slack only
+// leaves room for intentional retunes: goodput/cap must never slip
+// under the 0.70-of-capacity acceptance floor, admitted_p99_us must
+// stay inside the 500µs SLO, and nacked/req at half load must stay
+// near zero.
+var unitSlack = map[string]float64{
+	"fsyncs/req":      0.25,
+	"goodput/cap":     0.05,
+	"goodput_krps":    2,
+	"admitted_p99_us": 25,
+	"nacked/req":      0.02,
+}
 
 // parseBench extracts benchmark result lines. A result line looks like:
 //

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hovercraft"
@@ -127,8 +128,80 @@ func main() {
 			usage()
 		}
 		bench(cl, *n, *keys)
+	case "flood":
+		fs := flag.NewFlagSet("flood", flag.ExitOnError)
+		workers := fs.Int("c", 64, "concurrent closed-loop workers")
+		dur := fs.Duration("duration", 3*time.Second, "run length")
+		keys := fs.Int("keys", *benchKeys, "key range (distinct records)")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		flood(strings.Split(*peersFlag, ","), *shards, *workers, *dur, *keys)
 	default:
 		usage()
+	}
+}
+
+// flood hammers the cluster with many concurrent closed-loop writers —
+// an overload driver for exercising the admission middlebox on a real
+// deployment. It dials its own client with a single retry and a tight
+// timeout: a shed request fails fast (counted as rejected) instead of
+// sitting out long NACK-hinted backoffs inside Call, so the printed
+// p99 covers admitted work only — the SLO the adaptive window defends.
+// Exits non-zero when nothing at all completed.
+func flood(peers []string, shards, workers int, dur time.Duration, keys int) {
+	if keys < 1 {
+		log.Fatalf("hoverkv: -keys %d must be >= 1", keys)
+	}
+	cl, err := hovercraft.DialSharded(peers, shards,
+		hovercraft.ClientOptions{Timeout: 250 * time.Millisecond, Retries: 1})
+	if err != nil {
+		log.Fatalf("hoverkv: %v", err)
+	}
+	defer cl.Close()
+	type tally struct {
+		done, failed uint64
+		hist         *stats.Histogram
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			tl.hist = stats.NewHistogram()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			val := []byte(fmt.Sprintf("flood-worker-%d", w))
+			for time.Since(start) < dur {
+				key := fmt.Sprintf("f%06d", rng.Intn(keys))
+				t0 := time.Now()
+				_, err := cl.CallKey([]byte(key), kvstore.EncodeSet(key, val), false)
+				if err != nil {
+					tl.failed++
+					continue
+				}
+				tl.done++
+				tl.hist.RecordDuration(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := tally{hist: stats.NewHistogram()}
+	for w := range tallies {
+		total.done += tallies[w].done
+		total.failed += tallies[w].failed
+		total.hist.Merge(tallies[w].hist)
+	}
+	goodput := float64(total.done) / elapsed.Seconds()
+	fmt.Printf("flood: %d workers for %v: completed=%d rejected=%d goodput=%.0f ops/s\n",
+		workers, elapsed.Round(time.Millisecond), total.done, total.failed, goodput)
+	fmt.Printf("admitted latency: %v\n", total.hist.Summary())
+	fmt.Printf("admitted_p99_us=%.0f\n", float64(total.hist.P99())/1e3)
+	if total.done == 0 {
+		log.Fatal("hoverkv: flood completed zero operations")
 	}
 }
 
@@ -215,6 +288,9 @@ commands:
   insert <key> <field=value>...
   scan <startKey> <count>       (sees only the start key's shard)
   bench [-n ops] [-keys range]  (YCSB-E over 'range' distinct records)
+  flood [-c workers] [-duration d] [-keys range]
+                                (concurrent overload driver; prints goodput,
+                                 rejected count, and admitted-p99)
 
 -shards G routes each key to its group of a sharded cluster
 (hovernode -shards G); -peers lists the shard-0 addresses.

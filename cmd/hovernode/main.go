@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"hovercraft/internal/admission"
 	"hovercraft/internal/core"
 	"hovercraft/internal/kvstore"
 	"hovercraft/internal/obs"
@@ -140,6 +141,11 @@ func main() {
 		fsyncBatch = flag.Int("fsync-batch", 0, "WAL group commit: records staged per fsync (<=1 = sync every record)")
 		fsyncDelay = flag.Duration("fsync-delay", 0, "WAL group commit: max time a staged record may wait for its fsync")
 
+		admit       = flag.Bool("admission", false, "adaptive leader-side admission control: shed requests above an AIMD window driven by queue-delay telemetry")
+		admitLimit  = flag.Int("admission-limit", 0, "admission window ceiling (0 = 4096)")
+		admitTarget = flag.Duration("admission-target", 0, "queue-delay p99 the admission controller defends (0 = 500µs)")
+		telEpoch    = flag.Duration("telemetry-epoch", 0, "queue-delay telemetry epoch length (0 = 1s)")
+
 		aggDaemon = flag.Bool("aggregator-daemon", false, "run the in-network aggregator instead of a replica")
 		listen    = flag.String("listen", "", "listen address for -aggregator-daemon")
 		debugAddr = flag.String("debug-addr", "", "HTTP address for /debug/vars (expvar) and /debug/pprof (empty = off)")
@@ -205,6 +211,11 @@ func main() {
 			RecvBatch:    *recvBatch,
 			SendBatch:    *sendBatch,
 			SockBufBytes: *sockBuf,
+
+			TelemetryEpoch:    *telEpoch,
+			AdaptiveAdmission: *admit,
+			AdmissionLimit:    *admitLimit,
+			Admission:         admission.Config{Target: *admitTarget},
 		}
 		if *walDir != "" {
 			dir := *walDir

@@ -1,0 +1,264 @@
+// Package admission implements the adaptive overload controller that
+// drives the flow-control middlebox's admit window. Instead of a fixed
+// in-flight cap (which either under-admits at low load or lets queue
+// delay blow through the SLO before the window fills), an AIMD loop
+// watches the windowed queue-delay percentiles that the telemetry plane
+// measures at every pipeline stage and continuously resizes the window:
+// additive increase while the measured p99 sits comfortably under the
+// delay budget, multiplicative decrease the moment the tail crosses it
+// or the SLO burn rate exceeds 1. The controller also quantizes its
+// current overload severity into the retry-after hint byte that rides
+// on NACKs, so shed clients back off for roughly as long as the queue
+// needs to drain rather than hammering the middlebox in lockstep.
+//
+// The controller is deliberately decoupled from any runtime: it reads a
+// Signal closure (worst queue delay across the stages and replicas the
+// caller cares about) and exposes Window()/Hint() for the datapath to
+// consume. Both the simulated middlebox and the real-UDP server tick it
+// from their own clocks, which keeps fixed-seed simulator runs
+// deterministic.
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hovercraft/internal/obs"
+	"hovercraft/internal/r2p2"
+)
+
+// Config parameterizes one AIMD admission controller.
+type Config struct {
+	// Target is the queue-delay p99 budget the controller defends
+	// (defaults to 500µs, the repo-wide SLO).
+	Target time.Duration
+	// Headroom is the fraction of Target below which the controller
+	// grows the window; between Headroom·Target and Target it holds.
+	// Defaults to 0.5.
+	Headroom float64
+	// Min and Max clamp the admit window. Defaults: 16 and 65536.
+	Min, Max int
+	// Initial is the starting window; defaults to Max (start permissive,
+	// shrink on evidence — the fixed-limit behavior until the first
+	// overload signal).
+	Initial int
+	// Increase is the additive step per calm tick. Defaults to 8.
+	Increase int
+	// Decrease is the multiplicative factor on an overloaded tick.
+	// Defaults to 0.8.
+	Decrease float64
+	// HintBase is the retry-after hint handed to shed clients at the
+	// first sign of overload; successive overloaded ticks double it (up
+	// to the encodable maximum). Defaults to 256µs.
+	HintBase time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Target <= 0 {
+		c.Target = 500 * time.Microsecond
+	}
+	if c.Headroom <= 0 || c.Headroom >= 1 {
+		c.Headroom = 0.5
+	}
+	if c.Min <= 0 {
+		c.Min = 16
+	}
+	if c.Max <= 0 {
+		c.Max = 65536
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Initial <= 0 {
+		c.Initial = c.Max
+	}
+	if c.Initial < c.Min {
+		c.Initial = c.Min
+	}
+	if c.Initial > c.Max {
+		c.Initial = c.Max
+	}
+	if c.Increase <= 0 {
+		c.Increase = 8
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		c.Decrease = 0.8
+	}
+	if c.HintBase <= 0 {
+		c.HintBase = 256 * time.Microsecond
+	}
+}
+
+// Signal reports the controller's input for one tick: the worst
+// windowed queue-delay p99 across whatever stages/replicas the caller
+// watches, the worst SLO burn rate, and the total sample count (zero
+// means "no evidence this window" and the controller holds steady).
+type Signal func() (p99 time.Duration, burn float64, samples uint64)
+
+// WorstOf builds a Signal folding the watched stages of every telemetry
+// instrument returned by tels (a closure, so membership can change as
+// nodes crash and restart). Nil instruments are skipped. With no stages
+// given it watches the four stages a request queues behind on the
+// consensus path: engine, raft_step, wal_sync, apply_queue.
+func WorstOf(tels func() []*obs.Telemetry, stages ...obs.QStage) Signal {
+	if len(stages) == 0 {
+		stages = []obs.QStage{obs.QEngine, obs.QRaftStep, obs.QWalSync, obs.QApplyQueue}
+	}
+	return func() (time.Duration, float64, uint64) {
+		var (
+			p99     time.Duration
+			burn    float64
+			samples uint64
+		)
+		for _, t := range tels() {
+			if !t.Active() {
+				continue
+			}
+			for _, s := range stages {
+				w := t.Window(s)
+				samples += w.Count
+				if d := time.Duration(w.P99); d > p99 {
+					p99 = d
+				}
+				if w.Burn > burn {
+					burn = w.Burn
+				}
+			}
+		}
+		return p99, burn, samples
+	}
+}
+
+// StaticSignal returns a Signal with a fixed reading (tests).
+func StaticSignal(p99 time.Duration, burn float64, samples uint64) Signal {
+	return func() (time.Duration, float64, uint64) { return p99, burn, samples }
+}
+
+// Controller is one AIMD admission loop. Tick must be called from a
+// single goroutine (the middlebox host's timer, or the UDP server's
+// tick loop); Window and Hint are safe to read from any goroutine.
+type Controller struct {
+	cfg    Config
+	signal Signal
+
+	window atomic.Int64
+	hint   atomic.Uint32 // encoded retry-after byte
+
+	streak int // consecutive overloaded ticks
+
+	// Counters (single-writer: the ticking goroutine).
+	Increases uint64
+	Decreases uint64
+	Holds     uint64
+
+	lastP99  atomic.Int64 // last observed worst p99, ns (gauge export)
+	lastBurn atomic.Int64 // last observed worst burn ×1000
+}
+
+// New builds a controller; cfg zero-values select the defaults above.
+func New(cfg Config, sig Signal) *Controller {
+	cfg.fill()
+	c := &Controller{cfg: cfg, signal: sig}
+	c.window.Store(int64(cfg.Initial))
+	c.hint.Store(uint32(r2p2.EncodeRetryAfter(cfg.HintBase)))
+	return c
+}
+
+// Window returns the current admit window (in-flight request cap).
+func (c *Controller) Window() int { return int(c.window.Load()) }
+
+// Hint returns the current retry-after hint byte for NACKs.
+func (c *Controller) Hint() byte { return byte(c.hint.Load()) }
+
+// Overloaded reports whether the last tick saw the tail over budget.
+func (c *Controller) Overloaded() bool { return c.streak > 0 }
+
+// Tick reads the signal and applies one AIMD step.
+func (c *Controller) Tick() {
+	p99, burn, samples := c.signal()
+	if samples == 0 {
+		// No evidence either way; hold the window (and keep the last
+		// real observation on display rather than a misleading zero).
+		c.Holds++
+		return
+	}
+	c.lastP99.Store(int64(p99))
+	c.lastBurn.Store(int64(burn * 1000))
+	w := int(c.window.Load())
+	switch {
+	case p99 > c.cfg.Target || burn > 1:
+		nw := int(float64(w) * c.cfg.Decrease)
+		if nw >= w {
+			nw = w - 1
+		}
+		if nw < c.cfg.Min {
+			nw = c.cfg.Min
+		}
+		c.window.Store(int64(nw))
+		c.streak++
+		c.Decreases++
+		// Severity-scaled hint: double per consecutive overloaded tick.
+		d := c.cfg.HintBase << uint(min(c.streak-1, 6))
+		c.hint.Store(uint32(r2p2.EncodeRetryAfter(d)))
+	case time.Duration(float64(c.cfg.Target)*c.cfg.Headroom) > p99:
+		nw := w + c.cfg.Increase
+		if nw > c.cfg.Max {
+			nw = c.cfg.Max
+		}
+		c.window.Store(int64(nw))
+		c.streak = 0
+		c.Increases++
+		c.hint.Store(uint32(r2p2.EncodeRetryAfter(c.cfg.HintBase)))
+	default:
+		// In the comfort band: hold, relax the hint toward base.
+		c.streak = 0
+		c.Holds++
+		c.hint.Store(uint32(r2p2.EncodeRetryAfter(c.cfg.HintBase)))
+	}
+}
+
+// LastSignal returns the most recent observation (for dashboards).
+func (c *Controller) LastSignal() (p99 time.Duration, burn float64) {
+	return time.Duration(c.lastP99.Load()), float64(c.lastBurn.Load()) / 1000
+}
+
+// Register publishes the controller's state under the given scope:
+// window/hint gauges plus step counters, alongside whatever occupancy
+// gauges the owning middlebox registers itself.
+func (c *Controller) Register(sc *obs.Scoped) {
+	if c == nil || sc == nil {
+		return
+	}
+	sc.Gauge("window", func() float64 { return float64(c.Window()) })
+	sc.Gauge("retry_after_ns", func() float64 {
+		return float64(r2p2.DecodeRetryAfter(c.Hint()))
+	})
+	sc.Gauge("signal_p99_ns", func() float64 { return float64(c.lastP99.Load()) })
+	sc.Gauge("signal_burn", func() float64 { return float64(c.lastBurn.Load()) / 1000 })
+	sc.Counter("increase", func() uint64 { return atomic.LoadUint64(&c.Increases) })
+	sc.Counter("decrease", func() uint64 { return atomic.LoadUint64(&c.Decreases) })
+	sc.Counter("hold", func() uint64 { return atomic.LoadUint64(&c.Holds) })
+}
+
+// Summary is a point-in-time view for reports and tests.
+type Summary struct {
+	Window    int
+	Hint      time.Duration
+	P99       time.Duration
+	Burn      float64
+	Increases uint64
+	Decreases uint64
+}
+
+// Snapshot returns the controller's current state.
+func (c *Controller) Snapshot() Summary {
+	p99, burn := c.LastSignal()
+	return Summary{
+		Window:    c.Window(),
+		Hint:      r2p2.DecodeRetryAfter(c.Hint()),
+		P99:       p99,
+		Burn:      burn,
+		Increases: c.Increases,
+		Decreases: c.Decreases,
+	}
+}

@@ -1,0 +1,192 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"hovercraft/internal/obs"
+	"hovercraft/internal/r2p2"
+)
+
+func TestDefaultsAndClamps(t *testing.T) {
+	c := New(Config{}, StaticSignal(0, 0, 0))
+	if got := c.Window(); got != 65536 {
+		t.Fatalf("default initial window = %d, want 65536", got)
+	}
+	c = New(Config{Min: 100, Max: 50}, StaticSignal(0, 0, 0))
+	if got := c.Window(); got != 100 {
+		t.Fatalf("Max<Min clamp: window = %d, want 100", got)
+	}
+	c = New(Config{Initial: 1 << 30, Max: 4096}, StaticSignal(0, 0, 0))
+	if got := c.Window(); got != 4096 {
+		t.Fatalf("Initial>Max clamp: window = %d, want 4096", got)
+	}
+}
+
+func TestAdditiveIncreaseMultiplicativeDecrease(t *testing.T) {
+	var p99 time.Duration
+	var samples uint64
+	sig := func() (time.Duration, float64, uint64) { return p99, 0, samples }
+	c := New(Config{Target: 500 * time.Microsecond, Initial: 1000, Max: 2000, Min: 16, Increase: 10}, sig)
+
+	// Calm: p99 well under the budget → additive growth.
+	p99, samples = 100*time.Microsecond, 50
+	c.Tick()
+	if got := c.Window(); got != 1010 {
+		t.Fatalf("calm tick: window = %d, want 1010", got)
+	}
+	if c.Increases != 1 {
+		t.Fatalf("Increases = %d, want 1", c.Increases)
+	}
+
+	// Comfort band: between Headroom·Target and Target → hold.
+	p99 = 400 * time.Microsecond
+	c.Tick()
+	if got := c.Window(); got != 1010 {
+		t.Fatalf("band tick: window = %d, want 1010 (hold)", got)
+	}
+
+	// Overload: tail over budget → multiplicative shrink.
+	p99 = 900 * time.Microsecond
+	c.Tick()
+	if got := c.Window(); got != 808 {
+		t.Fatalf("overload tick: window = %d, want 808 (1010*0.8)", got)
+	}
+	if !c.Overloaded() {
+		t.Fatal("Overloaded() = false after a decrease tick")
+	}
+	if c.Decreases != 1 {
+		t.Fatalf("Decreases = %d, want 1", c.Decreases)
+	}
+
+	// Repeated overload converges to Min, never below.
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if got := c.Window(); got != 16 {
+		t.Fatalf("sustained overload: window = %d, want Min=16", got)
+	}
+
+	// Recovery grows again and clears the streak.
+	p99 = 50 * time.Microsecond
+	c.Tick()
+	if got := c.Window(); got != 26 {
+		t.Fatalf("recovery tick: window = %d, want 26", got)
+	}
+	if c.Overloaded() {
+		t.Fatal("Overloaded() = true after a calm tick")
+	}
+}
+
+func TestBurnTriggersDecrease(t *testing.T) {
+	// p99 under target but burn > 1 (SLO budget burning) still shrinks.
+	c := New(Config{Target: 500 * time.Microsecond, Initial: 100, Min: 16}, StaticSignal(100*time.Microsecond, 1.5, 10))
+	c.Tick()
+	if got := c.Window(); got != 80 {
+		t.Fatalf("burn>1 tick: window = %d, want 80", got)
+	}
+}
+
+func TestNoSamplesHolds(t *testing.T) {
+	c := New(Config{Initial: 500, Min: 16}, StaticSignal(10*time.Millisecond, 5, 0))
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if got := c.Window(); got != 500 {
+		t.Fatalf("empty-window ticks moved the window: %d, want 500", got)
+	}
+	if c.Holds != 10 {
+		t.Fatalf("Holds = %d, want 10", c.Holds)
+	}
+}
+
+func TestHintEscalatesWithStreak(t *testing.T) {
+	c := New(Config{Initial: 1000, Min: 16, HintBase: 256 * time.Microsecond}, StaticSignal(5*time.Millisecond, 0, 100))
+	if got := r2p2.DecodeRetryAfter(c.Hint()); got != 256*time.Microsecond {
+		t.Fatalf("initial hint = %v, want 256µs", got)
+	}
+	c.Tick()
+	first := r2p2.DecodeRetryAfter(c.Hint())
+	if first != 256*time.Microsecond {
+		t.Fatalf("streak-1 hint = %v, want 256µs", first)
+	}
+	c.Tick()
+	c.Tick()
+	if got := r2p2.DecodeRetryAfter(c.Hint()); got != 1024*time.Microsecond {
+		t.Fatalf("streak-3 hint = %v, want 1.024ms", got)
+	}
+	// Very long streaks saturate at the encodable ceiling, not wrap.
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if got := r2p2.DecodeRetryAfter(c.Hint()); got != 255*r2p2.RetryAfterUnit {
+		t.Fatalf("saturated hint = %v, want %v", got, 255*r2p2.RetryAfterUnit)
+	}
+}
+
+func TestWorstOfFoldsStagesAndInstruments(t *testing.T) {
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	a := obs.NewTelemetry(clock, time.Millisecond, 4)
+	b := obs.NewTelemetry(clock, time.Millisecond, 4)
+	a.SetSLO(500*time.Microsecond, 0.99)
+	b.SetSLO(500*time.Microsecond, 0.99)
+
+	// a: calm engine; b: wal_sync tail blown.
+	for i := 0; i < 100; i++ {
+		a.Record(obs.QEngine, 50*time.Microsecond)
+		b.Record(obs.QWalSync, 2*time.Millisecond)
+	}
+	// Ingress is NOT watched by default; a huge value there must not leak.
+	a.Record(obs.QIngress, time.Hour)
+
+	sig := WorstOf(func() []*obs.Telemetry { return []*obs.Telemetry{a, b, nil} })
+	p99, burn, samples := sig()
+	if samples != 200 {
+		t.Fatalf("samples = %d, want 200", samples)
+	}
+	if p99 < 1900*time.Microsecond || p99 > 3*time.Millisecond {
+		t.Fatalf("worst p99 = %v, want ~2ms from b.wal_sync", p99)
+	}
+	if burn <= 1 {
+		t.Fatalf("burn = %v, want > 1 (every b sample violates)", burn)
+	}
+}
+
+func TestRetryAfterWire(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want time.Duration
+	}{
+		{0, 0},
+		{time.Microsecond, r2p2.RetryAfterUnit}, // rounds up
+		{r2p2.RetryAfterUnit, r2p2.RetryAfterUnit},       // exact
+		{time.Second, 255 * r2p2.RetryAfterUnit},         // saturates
+		{640 * time.Microsecond, 640 * time.Microsecond}, // 10 units
+	}
+	for _, tc := range cases {
+		if got := r2p2.DecodeRetryAfter(r2p2.EncodeRetryAfter(tc.d)); got != tc.want {
+			t.Errorf("roundtrip(%v) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+
+	id := r2p2.RequestID{SrcIP: 7, SrcPort: 9, ReqID: 42}
+	hinted := r2p2.MakeNackHint(id, r2p2.EncodeRetryAfter(512*time.Microsecond))
+	var h r2p2.Header
+	if err := h.Unmarshal(hinted); err != nil {
+		t.Fatalf("hinted NACK does not parse: %v", err)
+	}
+	if h.Type != r2p2.TypeNack || h.SrcPort != 9 || h.ReqID != 42 {
+		t.Fatalf("hinted NACK header mismatch: %+v", h)
+	}
+	if got := r2p2.NackRetryAfter(hinted[r2p2.HeaderSize:]); got != 512*time.Microsecond {
+		t.Fatalf("NackRetryAfter = %v, want 512µs", got)
+	}
+	// Zero hint degrades to the legacy empty NACK.
+	if plain := r2p2.MakeNackHint(id, 0); len(plain) != r2p2.HeaderSize {
+		t.Fatalf("zero-hint NACK has payload: %d bytes", len(plain))
+	}
+	if got := r2p2.NackRetryAfter(nil); got != 0 {
+		t.Fatalf("legacy empty NACK decodes hint %v, want 0", got)
+	}
+}

@@ -227,6 +227,13 @@ type Engine struct {
 
 	// Apply pipeline.
 	applyBusy bool
+	// Commit→execution-start timestamps (telemetry only): entries are
+	// stamped when the engine learns they committed and popped when
+	// their execution starts, measuring the QApplyQueue stage. FIFO in
+	// log order; commitHead keeps pops O(1) without reslicing.
+	commitSeen   uint64
+	commitStamps []commitStamp
+	commitHead   int
 
 	// Follower-side recovery of missing request bodies.
 	missing      map[uint64]r2p2.RequestID // log index → request id
@@ -1034,6 +1041,9 @@ func (e *Engine) becomeLeader() {
 // recovered.
 func (e *Engine) maybeApply() {
 	log := e.node.Log()
+	if e.tel.Active() {
+		e.stampCommits(log)
+	}
 	for !e.applyBusy {
 		next := log.Applied() + 1
 		if next > log.Commit() {
@@ -1085,6 +1095,11 @@ func (e *Engine) maybeApply() {
 			delete(e.inLog, le.ID)
 		}
 		e.applyBusy = true
+		if e.tel.Active() {
+			if wait, ok := e.applyWait(next); ok {
+				e.tel.Record(obs.QApplyQueue, wait)
+			}
+		}
 		entry := *le // capture: the log slot may be truncated meanwhile
 		// Only the replier's execution is part of the traced request
 		// path (read-write entries execute on every node).
@@ -1118,6 +1133,53 @@ func (e *Engine) maybeApply() {
 			e.flush()
 		})
 	}
+}
+
+// commitStamp records when one log entry became committed (and thus
+// eligible for execution) on this node.
+type commitStamp struct {
+	idx uint64
+	at  time.Duration
+}
+
+// stampCommits timestamps every entry newly committed since the last
+// call. Under overload the committed-but-unapplied backlog is where
+// requests queue, so these stamps are what make the apply-queue delay
+// visible to telemetry (and through it, the admission controller).
+func (e *Engine) stampCommits(log *raft.Log) {
+	if a := log.Applied(); e.commitSeen < a {
+		// Snapshot restore (or engine start) skipped ahead; entries at
+		// or below applied never execute here.
+		e.commitSeen = a
+	}
+	c := log.Commit()
+	if c <= e.commitSeen {
+		return
+	}
+	now := e.tel.Now()
+	for i := e.commitSeen + 1; i <= c; i++ {
+		e.commitStamps = append(e.commitStamps, commitStamp{idx: i, at: now})
+	}
+	e.commitSeen = c
+}
+
+// applyWait pops the commit stamp for idx, discarding stamps of entries
+// that were skipped (noops, dups, non-replier read-onlys, snapshot
+// restores), and returns how long idx waited for its execution slot.
+func (e *Engine) applyWait(idx uint64) (time.Duration, bool) {
+	for e.commitHead < len(e.commitStamps) && e.commitStamps[e.commitHead].idx < idx {
+		e.commitHead++
+	}
+	if e.commitHead >= len(e.commitStamps) || e.commitStamps[e.commitHead].idx != idx {
+		return 0, false
+	}
+	at := e.commitStamps[e.commitHead].at
+	e.commitHead++
+	if e.commitHead == len(e.commitStamps) {
+		e.commitStamps = e.commitStamps[:0]
+		e.commitHead = 0
+	}
+	return e.tel.Now() - at, true
 }
 
 func (e *Engine) markApplied(idx uint64) {

@@ -25,10 +25,18 @@ import (
 // assigned uniquely per client in both runtimes, so the key is unique
 // within the in-flight window.
 type FlowControl struct {
-	// Limit caps requests in flight through the cluster.
+	// Limit caps requests in flight through the cluster. Fixed by
+	// default; the adaptive admission controller resizes it via SetLimit
+	// each control tick.
 	Limit int
 	// Timeout reclaims the slot of a request whose feedback never came.
 	Timeout time.Duration
+	// NackHint, when nonzero, rides as the retry-after payload byte on
+	// every NACK this middlebox sheds (r2p2.EncodeRetryAfter units).
+	// Zero keeps the classic empty NACK. Written by the admission
+	// controller's tick, read by HandleDatagram — both run on the
+	// middlebox host's goroutine.
+	NackHint byte
 
 	inflight map[fcKey]time.Duration
 
@@ -54,6 +62,41 @@ func NewFlowControl(limit int, timeout time.Duration) *FlowControl {
 
 // InFlight returns the current number of admitted requests.
 func (f *FlowControl) InFlight() int { return len(f.inflight) }
+
+// SetLimit resizes the admit window. Shrinking below the current
+// occupancy does not evict admitted requests; it only stops admitting
+// new ones until feedback drains the excess.
+func (f *FlowControl) SetLimit(n int) {
+	if n > 0 {
+		f.Limit = n
+	}
+}
+
+// Admit is the message-level admission entry for runtimes without a
+// packet middlebox (the UDP leader admits at HandleMessage time). It
+// records the request in flight if the window allows and returns false
+// when it must be shed. A retransmit of an already-admitted request is
+// always admitted — its slot is already charged, and shedding it would
+// deadlock the client against its own window slot.
+func (f *FlowControl) Admit(port uint16, req uint32, now time.Duration) bool {
+	key := fcKey{port: port, req: req}
+	if _, ok := f.inflight[key]; ok {
+		return true
+	}
+	if len(f.inflight) >= f.Limit {
+		f.Nacked++
+		return false
+	}
+	f.inflight[key] = now + f.Timeout
+	f.Admitted++
+	return true
+}
+
+// Release frees one admitted slot — the message-level equivalent of a
+// FEEDBACK datagram.
+func (f *FlowControl) Release(port uint16, req uint32) {
+	delete(f.inflight, fcKey{port: port, req: req})
+}
 
 // Verdict is the middlebox's decision for one datagram.
 type Verdict uint8
@@ -93,9 +136,15 @@ func (f *FlowControl) HandleDatagram(dg []byte, srcIP uint32, now time.Duration)
 			// Continuation fragment of an admitted request.
 			return VerdictForward, nil
 		}
+		if _, ok := f.inflight[key]; ok {
+			// Retransmit of an admitted request: its slot is already
+			// charged, and shedding it would deadlock the client against
+			// its own window slot.
+			return VerdictForward, nil
+		}
 		if len(f.inflight) >= f.Limit {
 			f.Nacked++
-			return VerdictNack, r2p2.MakeNack(r2p2.IDOf(&h, srcIP))
+			return VerdictNack, r2p2.MakeNackHint(r2p2.IDOf(&h, srcIP), f.NackHint)
 		}
 		f.inflight[key] = now + f.Timeout
 		f.Admitted++

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"hovercraft/internal/loadgen"
+)
+
+// The overload gates run in simulator virtual time, so unlike the
+// allocation and syscall baselines they are bit-identical across
+// machines: goodput/cap is the fraction of measured 1x capacity that
+// survives 2x offered load, admitted_p99_us is the tail of admitted
+// work, and nacked/req at half load catches the controller shedding
+// traffic it has no reason to shed. CI gates all three against
+// BENCH_overload.json (cmd/benchcheck): goodput is a floor, the other
+// two are ceilings.
+
+func overloadBenchWL() SyntheticSpec {
+	return SyntheticSpec{Service: loadgen.Fixed(10 * time.Microsecond), ReqSize: 24, ReplySize: 8}
+}
+
+// BenchmarkOverloadAdaptive2x probes 1x capacity, then offers twice
+// that with the AIMD controller on. The paper-level claim under gate:
+// graceful degradation, not collapse.
+func BenchmarkOverloadAdaptive2x(b *testing.B) {
+	cfg := QuickScale().runCfg()
+	for i := 0; i < b.N; i++ {
+		probe := RunOverloadPoint(OverloadRun{
+			Adaptive: true, FlowLimit: 4096, WL: overloadBenchWL(),
+			Rate: 100_000, Retries: 2,
+		}, cfg)
+		capacity := probe.Point.AchievedKRPS
+		res := RunOverloadPoint(OverloadRun{
+			Adaptive: true, FlowLimit: 4096, WL: overloadBenchWL(),
+			Rate: 2 * capacity * 1000, Retries: 2,
+		}, cfg)
+		b.ReportMetric(res.Point.AchievedKRPS/capacity, "goodput/cap")
+		b.ReportMetric(float64(res.Point.P99.Nanoseconds())/1e3, "admitted_p99_us")
+	}
+}
+
+// BenchmarkOverloadHalfLoad offers half the nominal capacity: a healthy
+// controller admits essentially everything, so the NACK-per-completed
+// ratio gates against over-shedding regressions (a controller that
+// panics below capacity trades goodput for nothing).
+func BenchmarkOverloadHalfLoad(b *testing.B) {
+	cfg := QuickScale().runCfg()
+	for i := 0; i < b.N; i++ {
+		res := RunOverloadPoint(OverloadRun{
+			Adaptive: true, FlowLimit: 4096, WL: overloadBenchWL(),
+			Rate: 50_000, Retries: 2,
+		}, cfg)
+		b.ReportMetric(res.Res.NackRate/res.Res.Achieved, "nacked/req")
+		b.ReportMetric(res.Point.AchievedKRPS, "goodput_krps")
+	}
+}

@@ -32,6 +32,16 @@ const (
 	famWinMax    = "hovercraft_qdelay_window_max_ns"
 	famSLOBurn   = "hovercraft_qdelay_slo_burn"
 	famSLOThresh = "hovercraft_qdelay_slo_threshold_ns"
+
+	// Admission-control families (leader-side admission on hovernode,
+	// middlebox admission in the simulated clusters).
+	famAdmWindow   = "hovercraft_admission_window"
+	famAdmInflight = "hovercraft_admission_inflight"
+	famAdmHint     = "hovercraft_admission_retry_after_ns"
+	famAdmP99      = "hovercraft_admission_signal_p99_ns"
+	famAdmBurn     = "hovercraft_admission_signal_burn"
+	famAdmAdmitted = "hovercraft_admission_admitted_total"
+	famAdmNacked   = "hovercraft_admission_nacked_total"
 )
 
 // StageView is one pipeline stage of one raft group, merged across
@@ -48,17 +58,32 @@ type StageView struct {
 	Burn   float64 `json:"slo_burn"`
 }
 
+// AdmissionView is one group's admission-control state merged across
+// nodes: counters sum (total shed across the fleet), gauges take the
+// worst/most-loaded node — only the admitting node (leader or
+// middlebox) reports nonzero gauges anyway.
+type AdmissionView struct {
+	Window       int     `json:"window"`
+	Inflight     int     `json:"inflight"`
+	RetryAfterNs int64   `json:"retry_after_ns"`
+	SignalP99Ns  int64   `json:"signal_p99_ns"`
+	SignalBurn   float64 `json:"signal_burn"`
+	Admitted     uint64  `json:"admitted"`
+	Nacked       uint64  `json:"nacked"`
+}
+
 // GroupView is one raft group (shard) merged across nodes.
 type GroupView struct {
-	Shard       int         `json:"shard"`
-	Leader      string      `json:"leader"`         // scrape target of the leader, "" if none seen
-	LeaderNode  int         `json:"leader_node_id"` // -1 if unknown
-	Term        uint64      `json:"term"`
-	Commit      uint64      `json:"commit_index"`
-	Applied     uint64      `json:"applied_index"`
-	FsyncPerReq float64     `json:"fsync_per_req"` // cluster fsyncs / requests, 0 without a WAL
-	Drops       uint64      `json:"drops"`         // every *_drop*_total counter, summed
-	Stages      []StageView `json:"stages"`
+	Shard       int            `json:"shard"`
+	Leader      string         `json:"leader"`         // scrape target of the leader, "" if none seen
+	LeaderNode  int            `json:"leader_node_id"` // -1 if unknown
+	Term        uint64         `json:"term"`
+	Commit      uint64         `json:"commit_index"`
+	Applied     uint64         `json:"applied_index"`
+	FsyncPerReq float64        `json:"fsync_per_req"` // cluster fsyncs / requests, 0 without a WAL
+	Drops       uint64         `json:"drops"`         // every *_drop*_total counter, summed
+	Admission   *AdmissionView `json:"admission,omitempty"`
+	Stages      []StageView    `json:"stages"`
 }
 
 // NodeView is one scrape target's health.
@@ -179,7 +204,15 @@ type groupAcc struct {
 	fsyncs     float64
 	reqs       float64
 	drops      float64
+	adm        *AdmissionView
 	stages     map[string]*StageView
+}
+
+func (g *groupAcc) admission() *AdmissionView {
+	if g.adm == nil {
+		g.adm = &AdmissionView{}
+	}
+	return g.adm
 }
 
 // Merge folds per-node scrapes into the cluster view. The fold is
@@ -250,6 +283,25 @@ func Merge(scrapes []Scrape) *ClusterView {
 				g.fsyncs += sm.Value
 			case famRxReq:
 				g.reqs += sm.Value
+			case famAdmWindow:
+				a := g.admission()
+				a.Window = int(math.Max(float64(a.Window), sm.Value))
+			case famAdmInflight:
+				a := g.admission()
+				a.Inflight = int(math.Max(float64(a.Inflight), sm.Value))
+			case famAdmHint:
+				a := g.admission()
+				a.RetryAfterNs = maxI64(a.RetryAfterNs, int64(sm.Value))
+			case famAdmP99:
+				a := g.admission()
+				a.SignalP99Ns = maxI64(a.SignalP99Ns, int64(sm.Value))
+			case famAdmBurn:
+				a := g.admission()
+				a.SignalBurn = math.Max(a.SignalBurn, sm.Value)
+			case famAdmAdmitted:
+				g.admission().Admitted += uint64(sm.Value)
+			case famAdmNacked:
+				g.admission().Nacked += uint64(sm.Value)
 			case famWinCount, famWinP50, famWinP99, famWinP999, famWinMax, famSLOBurn:
 				stage := qdelayStage(sm)
 				if stage == "" {
@@ -291,6 +343,10 @@ func Merge(scrapes []Scrape) *ClusterView {
 		}
 		if g.reqs > 0 && g.fsyncs > 0 {
 			gv.FsyncPerReq = math.Round(g.fsyncs/g.reqs*1e4) / 1e4
+		}
+		if g.adm != nil {
+			g.adm.SignalBurn = math.Round(g.adm.SignalBurn*1e4) / 1e4
+			gv.Admission = g.adm
 		}
 		for _, stage := range sortedKeys(g.stages) {
 			st := g.stages[stage]
@@ -374,6 +430,11 @@ func (v *ClusterView) Render(w io.Writer) {
 		}
 		fmt.Fprintf(w, "\ngroup %d  leader=%s  term=%d  commit=%d  applied=%d  fsync/req=%.4f  drops=%d\n",
 			g.Shard, leader, g.Term, g.Commit, g.Applied, g.FsyncPerReq, g.Drops)
+		if a := g.Admission; a != nil {
+			fmt.Fprintf(w, "  admission  window=%d inflight=%d admitted=%d nacked=%d hint=%s signal_p99=%s burn=%.2f\n",
+				a.Window, a.Inflight, a.Admitted, a.Nacked,
+				fmtNs(a.RetryAfterNs), fmtNs(a.SignalP99Ns), a.SignalBurn)
+		}
 		if len(g.Stages) == 0 {
 			continue
 		}

@@ -81,6 +81,11 @@ func fakeScrape(target string, nodeID int, leaderShards map[int]bool, p99 int64,
 			Sample{Name: famFsyncs, Labels: lbl, Value: 10},
 			Sample{Name: famRxReq, Labels: lbl, Value: 400},
 			Sample{Name: "hovercraft_net_udp_rx_dropped_total", Labels: lbl, Value: 2},
+			Sample{Name: famAdmWindow, Labels: lbl, Value: float64(512 * nodeID)},
+			Sample{Name: famAdmInflight, Labels: lbl, Value: float64(10 * nodeID)},
+			Sample{Name: famAdmNacked, Labels: lbl, Value: 100},
+			Sample{Name: famAdmAdmitted, Labels: lbl, Value: 1000},
+			Sample{Name: famAdmBurn, Labels: lbl, Value: burn},
 		)
 		for _, stage := range []string{"ingress", "wal_sync"} {
 			slbl := map[string]string{"shard": fmt.Sprint(shard), "stage": stage}
@@ -137,6 +142,17 @@ func TestMergeSemantics(t *testing.T) {
 	st := g0.Stages[0]
 	if st.Count != 100 || st.P99Ns != 12_000 || st.Burn != 1.25 {
 		t.Errorf("merged stage = %+v", st)
+	}
+	// Admission: counters sum across nodes, gauges take the worst node.
+	a := g0.Admission
+	if a == nil {
+		t.Fatal("no admission view merged")
+	}
+	if a.Nacked != 200 || a.Admitted != 2000 {
+		t.Errorf("admission counters = %+v", a)
+	}
+	if a.Window != 1024 || a.Inflight != 20 || a.SignalBurn != 1.25 {
+		t.Errorf("admission gauges = %+v", a)
 	}
 }
 

@@ -239,18 +239,37 @@ func (c *Client) transmit(req pendingReq, dgs [][]byte) {
 	}
 }
 
-// backoff returns attempt's expiry delay (attempt is 1-based): a flat
-// Timeout when retries are disabled, else RetryBackoff doubling per
-// transmission (exponential backoff).
-func (c *Client) backoff(attempt int) time.Duration {
-	if c.cfg.Retries == 0 {
-		return c.cfg.Timeout
-	}
+// backoffBase returns attempt's exponential backoff window (1-based):
+// RetryBackoff doubling per transmission.
+func (c *Client) backoffBase(attempt int) time.Duration {
 	d := c.cfg.RetryBackoff
 	for i := 1; i < attempt; i++ {
 		d *= 2
 	}
 	return d
+}
+
+// backoff returns attempt's expiry delay: a flat Timeout when retries
+// are disabled, else the exponential window with full jitter over its
+// upper half — drawn uniformly from [d/2, d] by the seeded rng, so the
+// retry herd a shared fault creates desynchronizes (fixed seeds stay
+// deterministic under virtual time), while the d/2 floor keeps an
+// attempt from expiring before the cluster could plausibly answer.
+func (c *Client) backoff(attempt int) time.Duration {
+	if c.cfg.Retries == 0 {
+		return c.cfg.Timeout
+	}
+	d := c.backoffBase(attempt)
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// retryDelay is the wait before re-offering a NACKed request: at least
+// the admission middlebox's retry-after hint, plus full jitter drawn
+// from the attempt's backoff window ([0, d]) so the cohort one NACK
+// burst shed does not storm back in lockstep.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	d := c.backoffBase(attempt)
+	return hint + time.Duration(c.rng.Int63n(int64(d)+1))
 }
 
 // tickEvery is the expiry-scan period: half the shortest deadline in use.
@@ -317,15 +336,16 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 			}
 			return
 		}
-		c.done.add(m.ID.ReqID)
 		if m.Group == r2p2.GroupInvalid && c.cfg.Router != nil && !req.redirected {
 			// The receiver does not serve the group we routed to: our
 			// shard map is stale. Refresh it and re-route the op once,
 			// keeping its original send time (the redirect round trip is
-			// honest latency).
+			// honest latency). The re-send gets a fresh request ID, so
+			// the old one is terminal.
 			if c.cfg.Router.OnRedirect() {
 				// Counted for the whole run, not just the window: redirects
 				// cluster at startup (first stale routes), before warmup ends.
+				c.done.add(m.ID.ReqID)
 				c.Redirected++
 				if req.group >= 0 {
 					c.shardStat(req.group).Redirected++
@@ -336,13 +356,31 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 				return
 			}
 		}
-		c.cfg.Obs.Abandon(req.id)
+		// Flow-control rejection: the admission middlebox shed the request
+		// before it reached the cluster. Always counted (NackRate is the
+		// rejection rate, not the op-failure rate).
 		if req.inMeas {
 			c.Nacked++
 			if req.group >= 0 {
 				c.shardStat(req.group).Nacked++
 			}
 		}
+		if req.attempt <= c.cfg.Retries {
+			// Re-offer after the NACK's retry-after hint (zero for a
+			// legacy empty NACK) plus jitter, reusing the request ID so
+			// the server-side dedup cache keeps the op exactly-once even
+			// if an earlier copy was admitted after all.
+			hint := r2p2.NackRetryAfter(m.Payload)
+			req := req
+			c.sim.After(c.retryDelay(req.attempt, hint), func() {
+				c.retransmit(req)
+			})
+			return
+		}
+		// Terminal: budget exhausted (or retries disabled). Already counted
+		// in Nacked above; LossRate stays post-admission loss only.
+		c.done.add(m.ID.ReqID)
+		c.cfg.Obs.Abandon(req.id)
 	}
 }
 

@@ -5,6 +5,7 @@
 package loadgen
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -64,4 +65,33 @@ func (b Bimodal) Mean() time.Duration {
 func PaperBimodal(mean time.Duration) Bimodal {
 	short := time.Duration(float64(mean) / 1.9)
 	return Bimodal{Short: short, Long: 10 * short, PLong: 0.1}
+}
+
+// Pareto is a heavy-tailed service time: P(X > x) = (Scale/x)^Alpha for
+// x ≥ Scale, sampled by inverse CDF. Alpha must exceed 1 for the mean
+// to exist; Alpha near 1 gives the extreme dispersion that stresses an
+// admission controller with rare but enormous requests.
+type Pareto struct {
+	// Scale is the minimum (and mode) service time.
+	Scale time.Duration
+	// Alpha is the tail exponent (> 1; smaller = heavier tail).
+	Alpha float64
+	// Cap, when nonzero, truncates samples (keeps a fixed-seed sim from
+	// hinging on one astronomically long draw).
+	Cap time.Duration
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(rng *rand.Rand) time.Duration {
+	// 1-Float64() is in (0, 1]: no division by zero.
+	x := time.Duration(float64(p.Scale) / math.Pow(1-rng.Float64(), 1/p.Alpha))
+	if p.Cap > 0 && x > p.Cap {
+		return p.Cap
+	}
+	return x
+}
+
+// Mean implements Dist (of the untruncated law).
+func (p Pareto) Mean() time.Duration {
+	return time.Duration(float64(p.Scale) * p.Alpha / (p.Alpha - 1))
 }

@@ -1,0 +1,236 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hovercraft/internal/r2p2"
+	"hovercraft/internal/simnet"
+)
+
+func TestParetoDist(t *testing.T) {
+	d := Pareto{Scale: 10 * time.Microsecond, Alpha: 2.5}
+	rng := rand.New(rand.NewSource(6))
+	var sum float64
+	const n = 500000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < d.Scale {
+			t.Fatalf("sample %v below scale", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-float64(d.Mean()))/float64(d.Mean()) > 0.05 {
+		t.Fatalf("empirical mean %.0f vs analytic %.0f", mean, float64(d.Mean()))
+	}
+	// Cap truncates the tail.
+	capped := Pareto{Scale: 10 * time.Microsecond, Alpha: 1.1, Cap: time.Millisecond}
+	for i := 0; i < 100000; i++ {
+		if v := capped.Sample(rng); v > time.Millisecond {
+			t.Fatalf("capped sample %v", v)
+		}
+	}
+}
+
+func TestZipfKeyedSkew(t *testing.T) {
+	w := &ZipfKeyed{
+		Inner: &Synthetic{ServiceTime: Fixed(0), ReqSize: 24, ReplySize: 8},
+		Theta: 1.2,
+		Keys:  1 << 16,
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key, payload, _ := w.NextKeyed(rng)
+		if len(payload) != 24 {
+			t.Fatalf("payload = %d", len(payload))
+		}
+		counts[string(key)]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	// Zipf head: the hottest key alone draws a large share of all load
+	// (uniform over 64k keys would give < 1 expected hit per key).
+	if top < n/10 {
+		t.Fatalf("hottest key drew %d/%d — not skewed", top, n)
+	}
+}
+
+func TestRateFns(t *testing.T) {
+	d := DiurnalRate(1000, 3000, 100*time.Millisecond)
+	if r := d(0); math.Abs(r-1000) > 1 {
+		t.Fatalf("trough = %.0f", r)
+	}
+	if r := d(50 * time.Millisecond); math.Abs(r-3000) > 1 {
+		t.Fatalf("peak = %.0f", r)
+	}
+	s := StepRate(1000, 5000, 20*time.Millisecond)
+	if s(0) != 1000 || s(25*time.Millisecond) != 5000 {
+		t.Fatal("step rate wrong")
+	}
+}
+
+func TestSwarmOpenLoopMeasurement(t *testing.T) {
+	sim := simnet.New(11)
+	net := simnet.NewNetwork(sim)
+	target := echoServer(net)
+	s := NewSwarm(net, "swarm", simnet.DefaultHostConfig(), SwarmConfig{
+		Clients: 40_000, // 3 hosts: exercises the sharded state tables
+		Rate:    50_000,
+		Warmup:  5 * time.Millisecond, Duration: 50 * time.Millisecond,
+		Timeout: 10 * time.Millisecond,
+		Workload: &Synthetic{ServiceTime: Fixed(0), ReqSize: 24, ReplySize: 8,
+			Unreplicated: true},
+		Target: target,
+	})
+	if len(s.Hosts()) != 3 {
+		t.Fatalf("hosts = %d", len(s.Hosts()))
+	}
+	s.Start()
+	sim.Run(80 * time.Millisecond)
+	res := s.Result()
+	if res.Offered < 45_000 || res.Offered > 55_000 {
+		t.Fatalf("offered = %.0f", res.Offered)
+	}
+	if res.Achieved < 0.99*res.Offered {
+		t.Fatalf("achieved %.0f of %.0f", res.Achieved, res.Offered)
+	}
+	if res.LossRate != 0 || res.NackRate != 0 || res.DupsSuppressed != 0 {
+		t.Fatalf("loss/nack/dups: %+v", res)
+	}
+}
+
+// nackThenEchoServer NACKs the first copy of every request with a
+// retry-after hint and answers retransmits, recording arrival times
+// per request identity.
+func nackThenEchoServer(net *simnet.Network, hint time.Duration) (simnet.Addr, map[r2p2.RequestID][]time.Duration) {
+	h := net.NewHost("nackserver", simnet.DefaultHostConfig())
+	reasm := r2p2.NewReassembler(time.Second)
+	seen := map[r2p2.RequestID][]time.Duration{}
+	h.SetHandler(func(pkt *simnet.Packet) {
+		m, err := reasm.Ingest(pkt.Payload, uint32(pkt.Src), net.Sim().Now())
+		if err != nil || m == nil || m.Type != r2p2.TypeRequest {
+			return
+		}
+		seen[m.ID] = append(seen[m.ID], net.Sim().Now())
+		if len(seen[m.ID]) == 1 {
+			h.Send(&simnet.Packet{Dst: simnet.Addr(m.ID.SrcIP),
+				Payload: r2p2.MakeNackHint(m.ID, r2p2.EncodeRetryAfter(hint))})
+			return
+		}
+		for _, dg := range r2p2.MakeResponse(m.ID, []byte("ok"), 0) {
+			h.Send(&simnet.Packet{Dst: simnet.Addr(m.ID.SrcIP), Payload: dg})
+		}
+	})
+	return h.Addr(), seen
+}
+
+func TestClientNackRetryHonorsHint(t *testing.T) {
+	const hint = time.Millisecond
+	sim := simnet.New(12)
+	net := simnet.NewNetwork(sim)
+	target, seen := nackThenEchoServer(net, hint)
+	c := NewClient(net, "client", simnet.DefaultHostConfig(), ClientConfig{
+		Rate: 5_000, Warmup: 0, Duration: 20 * time.Millisecond,
+		Timeout: 10 * time.Millisecond, Retries: 2, RetryBackoff: 2 * time.Millisecond,
+		Workload: &Synthetic{ServiceTime: Fixed(0), ReqSize: 24, ReplySize: 8,
+			Unreplicated: true},
+		Target: target, Port: 99,
+	})
+	c.Start()
+	sim.Run(60 * time.Millisecond)
+	res := c.Result()
+	// Every request is NACKed once, then completes on the hinted retry.
+	if res.Achieved < 0.95*res.Offered {
+		t.Fatalf("achieved %.0f of %.0f", res.Achieved, res.Offered)
+	}
+	if res.NackRate < 0.95*res.Offered {
+		t.Fatalf("nack rate %.0f of %.0f offered", res.NackRate, res.Offered)
+	}
+	if res.Retries == 0 {
+		t.Fatal("no retransmissions recorded")
+	}
+	// The retransmit respects the retry-after floor and is jittered.
+	gaps := map[time.Duration]int{}
+	for id, times := range seen {
+		if len(times) < 2 {
+			continue
+		}
+		gap := times[1] - times[0]
+		if gap < hint {
+			t.Fatalf("request %v retried after %v < hint %v", id, gap, hint)
+		}
+		gaps[gap]++
+	}
+	if len(gaps) < 2 {
+		t.Fatalf("retry gaps not jittered: %d distinct values", len(gaps))
+	}
+}
+
+func TestSwarmNackRetryHonorsHint(t *testing.T) {
+	const hint = time.Millisecond
+	sim := simnet.New(13)
+	net := simnet.NewNetwork(sim)
+	target, seen := nackThenEchoServer(net, hint)
+	s := NewSwarm(net, "swarm", simnet.DefaultHostConfig(), SwarmConfig{
+		Clients: 1000, Rate: 5_000,
+		Warmup: 0, Duration: 20 * time.Millisecond,
+		Timeout: 10 * time.Millisecond, Retries: 2, RetryBackoff: 2 * time.Millisecond,
+		Workload: &Synthetic{ServiceTime: Fixed(0), ReqSize: 24, ReplySize: 8,
+			Unreplicated: true},
+		Target: target,
+	})
+	s.Start()
+	sim.Run(60 * time.Millisecond)
+	res := s.Result()
+	if res.Achieved < 0.95*res.Offered {
+		t.Fatalf("achieved %.0f of %.0f", res.Achieved, res.Offered)
+	}
+	if res.NackRate < 0.95*res.Offered {
+		t.Fatalf("nack rate %.0f of %.0f offered", res.NackRate, res.Offered)
+	}
+	for id, times := range seen {
+		if len(times) >= 2 && times[1]-times[0] < hint {
+			t.Fatalf("request %v retried after %v < hint", id, times[1]-times[0])
+		}
+	}
+}
+
+// swarmRun is one fixed-seed swarm run against a NACK-then-echo server,
+// exercising arrivals, jittered backoff, and hinted retries.
+func swarmRun(seed int64) Result {
+	sim := simnet.New(seed)
+	net := simnet.NewNetwork(sim)
+	target, _ := nackThenEchoServer(net, 500*time.Microsecond)
+	s := NewSwarm(net, "swarm", simnet.DefaultHostConfig(), SwarmConfig{
+		Clients: 5000, Rate: 20_000,
+		Warmup: 2 * time.Millisecond, Duration: 20 * time.Millisecond,
+		Timeout: 5 * time.Millisecond, Retries: 3, RetryBackoff: time.Millisecond,
+		Workload: &Synthetic{ServiceTime: Fixed(0), ReqSize: 24, ReplySize: 8,
+			Unreplicated: true},
+		Target: target,
+	})
+	s.Start()
+	sim.Run(60 * time.Millisecond)
+	return s.Result()
+}
+
+func TestSwarmJitterDeterministic(t *testing.T) {
+	a, b := swarmRun(42), swarmRun(42)
+	if a.Offered != b.Offered || a.Achieved != b.Achieved ||
+		a.Retries != b.Retries || a.Latency.P99 != b.Latency.P99 {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := swarmRun(43)
+	if a.Offered == c.Offered && a.Latency.P99 == c.Latency.P99 && a.Retries == c.Retries {
+		t.Fatal("different seeds produced identical runs — jitter not seeded?")
+	}
+}

@@ -65,6 +65,49 @@ func (s *Synthetic) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
 	return key, payload, policy
 }
 
+// ZipfKeyed wraps a Workload with a Zipfian routing-key distribution:
+// rank 0 is the hottest key, so almost all load lands on the handful of
+// shards owning the head of the distribution — the hot-key storm that
+// makes per-group (rather than global) backpressure matter.
+type ZipfKeyed struct {
+	// Inner generates payloads and policies (keys are overridden).
+	Inner Workload
+	// Theta is the skew exponent (must be > 1; default 1.2 — higher is
+	// more skewed).
+	Theta float64
+	// Keys is the keyspace size (default 1<<20).
+	Keys int
+
+	zipf *rand.Zipf
+	rng  *rand.Rand
+}
+
+// Next implements Workload.
+func (z *ZipfKeyed) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
+	return z.Inner.Next(rng)
+}
+
+// NextKeyed implements KeyedWorkload: the key is the sampled Zipf rank.
+func (z *ZipfKeyed) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
+	if z.zipf == nil || z.rng != rng {
+		theta := z.Theta
+		if theta <= 1 {
+			theta = 1.2
+		}
+		keys := z.Keys
+		if keys <= 0 {
+			keys = 1 << 20
+		}
+		// Zipf state is seeded by the caller's rng, so fixed-seed runs
+		// stay deterministic; rebuilt if a different rng shows up.
+		z.rng = rng
+		z.zipf = rand.NewZipf(rng, theta, 1, uint64(keys-1))
+	}
+	key := []byte(ycsb.Key(z.zipf.Uint64()))
+	payload, policy := z.Inner.Next(rng)
+	return key, payload, policy
+}
+
 // YCSBE adapts the YCSB workload-E generator: SCANs are read-only,
 // INSERTs are read-write.
 type YCSBE struct {

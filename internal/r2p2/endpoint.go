@@ -110,6 +110,68 @@ func MakeNackBuf(id RequestID) *wire.Buf {
 	return b
 }
 
+// RetryAfterUnit is the quantum of the NACK retry-after hint: the hint
+// byte counts these units, so one byte spans 64µs .. ~16.3ms — the
+// useful backoff range between "one service time" and "wait out a
+// leader election".
+const RetryAfterUnit = 64 * time.Microsecond
+
+// EncodeRetryAfter quantizes a backoff hint into the NACK payload byte
+// (rounding up, saturating at 255). Zero means "no hint".
+func EncodeRetryAfter(d time.Duration) byte {
+	if d <= 0 {
+		return 0
+	}
+	u := (d + RetryAfterUnit - 1) / RetryAfterUnit
+	if u > 255 {
+		u = 255
+	}
+	return byte(u)
+}
+
+// DecodeRetryAfter expands a hint byte back into a duration; 0 → 0.
+func DecodeRetryAfter(b byte) time.Duration {
+	return time.Duration(b) * RetryAfterUnit
+}
+
+// MakeNackHint builds a NACK carrying a one-byte retry-after hint as
+// payload. A zero hint degrades to the classic empty NACK, and old
+// receivers that ignore the payload parse a hinted NACK unchanged — the
+// header layout is identical, so the extension is wire-compatible in
+// both directions.
+func MakeNackHint(id RequestID, hint byte) []byte {
+	if hint == 0 {
+		return MakeNack(id)
+	}
+	h := Header{Type: TypeNack, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
+	return append(h.Marshal(nil), hint)
+}
+
+// MakeNackHintBuf is MakeNackHint into a pooled wire buffer.
+func MakeNackHintBuf(id RequestID, hint byte) *wire.Buf {
+	h := Header{Type: TypeNack, SrcPort: id.SrcPort, ReqID: id.ReqID, PktCount: 1, Flags: FlagFirst | FlagLast}
+	n := HeaderSize
+	if hint != 0 {
+		n++
+	}
+	b := wire.Get(n)
+	b.B = h.Marshal(b.B)
+	if hint != 0 {
+		b.B = append(b.B, hint)
+	}
+	return b
+}
+
+// NackRetryAfter extracts the retry-after hint from a NACK datagram's
+// payload (the bytes after the header). Empty payload — the pre-hint
+// wire format — yields zero, "no hint".
+func NackRetryAfter(payload []byte) time.Duration {
+	if len(payload) == 0 {
+		return 0
+	}
+	return DecodeRetryAfter(payload[0])
+}
+
 // Client allocates request identifiers and builds request datagrams for
 // one (ip, port) client endpoint. Not safe for concurrent use.
 type Client struct {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"hovercraft/internal/admission"
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
 	"hovercraft/internal/obs"
@@ -75,6 +76,20 @@ type Options struct {
 	// FlowLimit caps in-flight requests at the middlebox (0 = 4096).
 	FlowLimit int
 
+	// AdaptiveAdmission replaces the fixed FlowLimit window with the
+	// AIMD controller of internal/admission: the middlebox admit window
+	// tracks the worst queue-delay p99 across the nodes' consensus-path
+	// stages, shrinking under overload and recovering toward FlowLimit
+	// when the tail is healthy. Shed requests carry a retry-after hint.
+	// Requires per-node telemetry; when NewTelemetry is unset a
+	// fine-grained default (1ms epochs) is installed automatically.
+	AdaptiveAdmission bool
+	// Admission tunes the controller; zero values take the admission
+	// package defaults, with Max/Initial defaulting to FlowLimit.
+	Admission admission.Config
+	// AdmitTick is the controller's cadence (default 250µs virtual).
+	AdmitTick time.Duration
+
 	// CompactEvery enables raft log compaction every N applied entries
 	// when the service implements core.Snapshotter (0 = off).
 	CompactEvery uint64
@@ -135,6 +150,9 @@ type Cluster struct {
 	Nodes []*Node
 	Agg   *core.Aggregator
 	Flow  *core.FlowControl
+	// Admission is the adaptive controller driving Flow's window (nil
+	// unless Options.AdaptiveAdmission in a middlebox setup).
+	Admission *admission.Controller
 
 	// ServiceAddr is where clients send requests: the middlebox in
 	// HovercRaft modes, the (initial) leader in Vanilla, the server in
@@ -171,6 +189,14 @@ func New(opts Options) *Cluster {
 			s := &app.SynthService{}
 			return s, s
 		}
+	}
+	if opts.AdaptiveAdmission && opts.NewTelemetry == nil {
+		// The controller needs the queue-delay signal; default to
+		// instruments fine-grained enough for µs-scale simulated runs.
+		opts.NewTelemetry = defaultAdmissionTelemetry(opts.Admission.Target)
+	}
+	if opts.AdmitTick <= 0 {
+		opts.AdmitTick = 250 * time.Microsecond
 	}
 
 	c := &Cluster{
@@ -245,6 +271,11 @@ func New(opts Options) *Cluster {
 		c.Flow = core.NewFlowControl(opts.FlowLimit, 20*time.Millisecond)
 		c.flowHost.SetHandler(c.onFlowPacket)
 		c.ServiceAddr = c.flowHost.Addr()
+		if opts.AdaptiveAdmission {
+			c.Admission = newFlowController(opts.Admission, opts.FlowLimit,
+				admission.WorstOf(c.liveTels))
+			c.Flow.NackHint = c.Admission.Hint()
+		}
 	}
 
 	if opts.Setup == SetupHovercraftPP {
@@ -275,7 +306,7 @@ func (c *Cluster) buildEngine(n *Node) {
 		svc.Execute(payload, false)
 	}
 	n.Service = svc
-	runner := &simRunner{host: n.Host, svc: svc, cost: cost}
+	runner := &simRunner{host: n.Host, svc: svc, cost: cost, tel: n.Tel}
 	if opts.Setup == SetupUnreplicated {
 		n.Unrep = core.NewUnreplicatedEngine(&nodeTransport{c: c, host: n.Host}, runner)
 		n.Unrep.SetObs(opts.Obs)
@@ -343,6 +374,84 @@ func (c *Cluster) Start() {
 	}
 	if c.Flow != nil {
 		c.flowGC()
+	}
+	if c.Admission != nil {
+		c.admitTick()
+	}
+}
+
+// defaultAdmissionTelemetry builds the per-node instrument installed
+// when adaptive admission is requested without explicit telemetry:
+// 1ms epochs over an 8-slot ring, SLO'd at the controller's target.
+func defaultAdmissionTelemetry(target time.Duration) func(raft.NodeID) *obs.Telemetry {
+	if target <= 0 {
+		target = 500 * time.Microsecond
+	}
+	return func(raft.NodeID) *obs.Telemetry {
+		t := obs.NewTelemetry(nil, time.Millisecond, 8)
+		t.SetSLO(target, 0.99)
+		return t
+	}
+}
+
+// newFlowController builds the AIMD controller for one middlebox
+// window, defaulting its ceiling to the static flow limit so the
+// adaptive window only ever shrinks below the configured cap.
+func newFlowController(cfg admission.Config, flowLimit int, sig admission.Signal) *admission.Controller {
+	if cfg.Max <= 0 {
+		cfg.Max = flowLimit
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = cfg.Max
+	}
+	return admission.New(cfg, sig)
+}
+
+// liveTels is the admission signal's view: telemetry of every node
+// still running (a crashed node's stale window must not hold the
+// cluster's admit window down through a failover).
+func (c *Cluster) liveTels() []*obs.Telemetry {
+	tels := make([]*obs.Telemetry, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if !n.crashed {
+			tels = append(tels, n.Tel)
+		}
+	}
+	return tels
+}
+
+// admitTick is the control loop: read the signal, resize the window,
+// refresh the NACK retry-after hint.
+func (c *Cluster) admitTick() {
+	c.Admission.Tick()
+	c.Flow.SetLimit(c.Admission.Window())
+	c.Flow.NackHint = c.Admission.Hint()
+	c.Sim.After(c.Opts.AdmitTick, c.admitTick)
+}
+
+// RegisterMetrics exposes the middlebox admission state on the
+// registry: flow window counters/occupancy plus, when the adaptive
+// controller runs, its window/hint/step state under "admission", and
+// every node's queue-delay telemetry under node<N>.qdelay.*.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	if c.Flow != nil {
+		fv := reg.Sub("flow")
+		fv.Counter("admitted", func() uint64 { return c.Flow.Admitted })
+		fv.Counter("nacked", func() uint64 { return c.Flow.Nacked })
+		fv.Counter("leaked", func() uint64 { return c.Flow.Leaked })
+		fv.Gauge("inflight", func() float64 { return float64(c.Flow.InFlight()) })
+		fv.Gauge("limit", func() float64 { return float64(c.Flow.Limit) })
+	}
+	if c.Admission != nil {
+		c.Admission.Register(reg.Sub("admission"))
+	}
+	for _, n := range c.Nodes {
+		if n.Tel.Active() {
+			n.Tel.Register(reg.Sub(fmt.Sprintf("node%d", n.ID)))
+		}
 	}
 }
 
@@ -551,12 +660,23 @@ type simRunner struct {
 	host *simnet.Host
 	svc  app.Service
 	cost app.CostModel
+	tel  *obs.Telemetry
 }
 
 func (r *simRunner) Run(payload []byte, readOnly bool, done func([]byte)) {
 	var c time.Duration
 	if r.cost != nil {
 		c = r.cost.Cost(payload, readOnly)
+	}
+	if r.tel.Active() {
+		// Sojourn on the simulated app thread: execution cost plus any
+		// contention with other submitted work (e.g. fsync stalls).
+		t0 := r.tel.Now()
+		r.host.App().Submit(c, func() {
+			r.tel.Record(obs.QService, r.tel.Now()-t0)
+			done(r.svc.Execute(payload, readOnly))
+		})
+		return
 	}
 	r.host.App().Submit(c, func() {
 		done(r.svc.Execute(payload, readOnly))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hovercraft/internal/admission"
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
 	"hovercraft/internal/obs"
@@ -41,6 +42,25 @@ type MultiOptions struct {
 	// FlowLimit caps in-flight requests per group (0 = 4096).
 	FlowLimit int
 
+	// AdaptiveAdmission gives every group its own AIMD admission
+	// controller: each group's admit window tracks the worst queue-delay
+	// p99 across that group's member replicas, so backpressure is
+	// per-shard — a hot group sheds load while cold groups keep their
+	// full windows. Shed requests carry a retry-after hint.
+	AdaptiveAdmission bool
+	// Admission tunes the controllers; zero values take the admission
+	// package defaults, with Max/Initial defaulting to FlowLimit.
+	Admission admission.Config
+	// AdmitTick is the controllers' cadence (default 250µs virtual).
+	AdmitTick time.Duration
+
+	// NewTelemetry, when non-nil, builds each pool node's queue-delay
+	// instrument (shared by every group replica the node hosts — it
+	// models the process, not the group). Required by the admission
+	// signal; a fine-grained default is installed when
+	// AdaptiveAdmission is set without it.
+	NewTelemetry func(id raft.NodeID) *obs.Telemetry
+
 	// NewService builds one group's application instance on one node.
 	// Every member of a group must build equivalent state machines; the
 	// group argument lets a keyed service know which slice of the keyspace
@@ -57,6 +77,9 @@ type ShardGroup struct {
 	ID      shard.GroupID
 	Members []raft.NodeID
 	Flow    *core.FlowControl
+	// Ctrl is the group's adaptive admission controller (nil unless
+	// MultiOptions.AdaptiveAdmission).
+	Ctrl *admission.Controller
 
 	addr simnet.Addr // multicast address of the member set
 }
@@ -71,6 +94,9 @@ type MultiNode struct {
 	Engines []*core.Engine
 	// Services is indexed like Engines.
 	Services []app.Service
+	// Tel is the node's queue-delay instrument, shared by its engines
+	// (nil unless MultiOptions.NewTelemetry).
+	Tel *obs.Telemetry
 
 	cluster *MultiCluster
 	drv     *runtime.Driver
@@ -138,6 +164,12 @@ func NewMulti(opts MultiOptions) *MultiCluster {
 			return s, s
 		}
 	}
+	if opts.AdaptiveAdmission && opts.NewTelemetry == nil {
+		opts.NewTelemetry = defaultAdmissionTelemetry(opts.Admission.Target)
+	}
+	if opts.AdmitTick <= 0 {
+		opts.AdmitTick = 250 * time.Microsecond
+	}
 
 	c := &MultiCluster{
 		Sim:    simnet.New(opts.Seed),
@@ -168,11 +200,16 @@ func NewMulti(opts MultiOptions) *MultiCluster {
 			Engines:  make([]*core.Engine, opts.Groups),
 			Services: make([]app.Service, opts.Groups),
 		}
+		if opts.NewTelemetry != nil {
+			n.Tel = opts.NewTelemetry(id)
+			n.Tel.SetClock(c.Sim.Now)
+		}
 		n.drv = runtime.New(runtime.HandlerFunc(n.dispatch), runtime.Options{
 			Now:          c.Sim.Now,
 			ReasmTimeout: 20 * time.Millisecond,
 			Tick:         n.tickEngines,
 			GCEvery:      1024,
+			Telemetry:    n.Tel,
 		})
 		h.SetHandler(n.onPacket)
 		c.Nodes = append(c.Nodes, n)
@@ -191,6 +228,11 @@ func NewMulti(opts MultiOptions) *MultiCluster {
 			Flow:    core.NewFlowControl(opts.FlowLimit, 20*time.Millisecond),
 			addr:    c.Net.NewGroup(addrs...),
 		}
+		if opts.AdaptiveAdmission {
+			sg.Ctrl = newFlowController(opts.Admission, opts.FlowLimit,
+				admission.WorstOf(c.groupTels(members)))
+			sg.Flow.NackHint = sg.Ctrl.Hint()
+		}
 		c.Groups = append(c.Groups, sg)
 
 		for _, id := range members {
@@ -207,8 +249,9 @@ func NewMulti(opts MultiOptions) *MultiCluster {
 				DisableReplyLB: opts.DisableReplyLB,
 				Rand:           c.Sim.Rand(),
 				Obs:            opts.Obs,
+				Tel:            n.Tel,
 			}, &groupTransport{c: c, host: n.Host, group: uint8(g)},
-				&simRunner{host: n.Host, svc: svc, cost: cost})
+				&simRunner{host: n.Host, svc: svc, cost: cost, tel: n.Tel})
 		}
 	}
 
@@ -238,6 +281,35 @@ func (c *MultiCluster) Start() {
 		c.Nodes[int(leader)-1].Engines[g].Campaign()
 	}
 	c.flowGC()
+	if c.Opts.AdaptiveAdmission {
+		c.admitTick()
+	}
+}
+
+// groupTels is one group's admission signal: telemetry of its live
+// member nodes.
+func (c *MultiCluster) groupTels(members []raft.NodeID) func() []*obs.Telemetry {
+	return func() []*obs.Telemetry {
+		tels := make([]*obs.Telemetry, 0, len(members))
+		for _, id := range members {
+			if n := c.Nodes[int(id)-1]; !n.crashed {
+				tels = append(tels, n.Tel)
+			}
+		}
+		return tels
+	}
+}
+
+// admitTick runs every group's admission controller on one shared
+// cadence: per-group signals, per-group windows — a hot shard's
+// backpressure never throttles its neighbors.
+func (c *MultiCluster) admitTick() {
+	for _, sg := range c.Groups {
+		sg.Ctrl.Tick()
+		sg.Flow.SetLimit(sg.Ctrl.Window())
+		sg.Flow.NackHint = sg.Ctrl.Hint()
+	}
+	c.Sim.After(c.Opts.AdmitTick, c.admitTick)
 }
 
 func (c *MultiCluster) flowGC() {
@@ -290,9 +362,18 @@ func (c *MultiCluster) RegisterMetrics(reg *obs.Registry) {
 		gv.Counter("flow.nacked", func() uint64 { return sg.Flow.Nacked })
 		gv.Counter("flow.leaked", func() uint64 { return sg.Flow.Leaked })
 		gv.Gauge("flow.inflight", func() float64 { return float64(sg.Flow.InFlight()) })
+		gv.Gauge("flow.limit", func() float64 { return float64(sg.Flow.Limit) })
+		if sg.Ctrl != nil {
+			sg.Ctrl.Register(gv.Sub("admission"))
+		}
 		for _, id := range sg.Members {
 			n := c.Nodes[int(id)-1]
 			gv.CounterSet(fmt.Sprintf("node%d", id), n.Engines[sg.ID].Counters())
+		}
+	}
+	for _, n := range c.Nodes {
+		if n.Tel.Active() {
+			n.Tel.Register(root.Sub(fmt.Sprintf("node%d", n.ID)))
 		}
 	}
 }

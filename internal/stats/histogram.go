@@ -172,6 +172,25 @@ func (h *Histogram) Quantile(q float64) int64 {
 // P99 returns the 99th-percentile value.
 func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
 
+// FractionAbove returns the fraction of observations above v (bucket
+// resolution: values sharing v's bucket count as not-above). Dividing
+// by an SLO's error budget turns it into a burn rate — e.g. for a p99
+// objective, FractionAbove(slo)/0.01.
+func (h *Histogram) FractionAbove(v int64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	var above uint64
+	for i := idx + 1; i < len(h.counts); i++ {
+		above += h.counts[i]
+	}
+	return float64(above) / float64(h.count)
+}
+
 // P50 returns the median value.
 func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
 

@@ -47,6 +47,9 @@ type Client struct {
 type clientResult struct {
 	payload []byte
 	nack    bool
+	// retryAfter is the strongest retry-after hint carried by the NACK
+	// round (zero when every NACK was the legacy empty kind).
+	retryAfter time.Duration
 }
 
 // callState tracks one in-flight request. Because requests fan out to
@@ -55,6 +58,7 @@ type clientResult struct {
 type callState struct {
 	ch    chan clientResult
 	nacks int
+	hint  time.Duration
 }
 
 // ErrTimeout reports that all attempts of a Call expired.
@@ -166,10 +170,21 @@ func (h *clientHandler) HandleMessage(m *r2p2.Msg) {
 		delete(h.waiting, m.ID.ReqID)
 		st.ch <- clientResult{payload: m.Payload}
 	case r2p2.TypeNack:
+		if d := r2p2.NackRetryAfter(m.Payload); d > 0 {
+			// Hinted NACK: an authoritative overload rejection from the
+			// admission point (leader or middlebox). Nobody else will
+			// answer this attempt — waiting for a full redirect round
+			// would stretch every shed request to the attempt timeout.
+			delete(h.waiting, m.ID.ReqID)
+			st.ch <- clientResult{nack: true, retryAfter: d}
+			return
+		}
+		// Legacy empty NACK: a follower redirect; the leader may still
+		// answer, so the attempt only fails once every peer rejected it.
 		st.nacks++
 		if st.nacks >= len(h.peers) {
 			delete(h.waiting, m.ID.ReqID)
-			st.ch <- clientResult{nack: true}
+			st.ch <- clientResult{nack: true, retryAfter: st.hint}
 		}
 	}
 }
@@ -201,6 +216,7 @@ func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 
 	var lastErr error = ErrTimeout
 	backoff := 2 * time.Millisecond
+	var hinted time.Duration // retry-after carried by the last NACK round
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
 			// NACK fan-in restarts per attempt (a full round of
@@ -208,16 +224,26 @@ func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 			// leader), and a nacked attempt was deregistered by the
 			// read loop, so re-register under the same request ID.
 			c.mu.Lock()
-			st.nacks = 0
+			st.nacks, st.hint = 0, 0
 			c.waiting[id.ReqID] = st
 			c.mu.Unlock()
+			// An overloaded cluster's retry-after hint overrides the
+			// local schedule; either way the wait is jittered (half
+			// deterministic, half random) so the cohort a NACK burst
+			// rejected does not retry in lockstep.
+			d := backoff
+			if hinted > 0 {
+				d = hinted
+			}
+			d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 			select {
 			case <-c.closed:
 				return nil, errors.New("transport: client closed")
-			case <-time.After(backoff):
+			case <-time.After(d):
 			}
 			backoff *= 2
 		}
+		hinted = 0
 		// Fan the request out to every node, one vectored send per peer
 		// (multi-fragment requests ride a single sendmmsg).
 		sn := c.sendPool.Get().(*sender)
@@ -228,6 +254,7 @@ func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 		select {
 		case res := <-st.ch:
 			if res.nack {
+				hinted = res.retryAfter
 				lastErr = errors.New("transport: request rejected (redirect/overload)")
 				continue
 			}

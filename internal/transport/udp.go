@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"hovercraft/internal/admission"
 	"hovercraft/internal/app"
 	"hovercraft/internal/core"
 	"hovercraft/internal/obs"
@@ -103,6 +104,20 @@ type ServerConfig struct {
 	// (0 = obs defaults: 1s epochs, 10-epoch ring).
 	TelemetryEpoch  time.Duration
 	TelemetryEpochs int
+	// AdaptiveAdmission enables leader-side admission control: with no
+	// middlebox over plain UDP, the leader itself tracks the in-flight
+	// request window (consuming the FEEDBACK messages that previously
+	// dropped), sheds new requests above the AIMD window driven by its
+	// own queue-delay telemetry, and hands shed clients a retry-after
+	// hint. Needs telemetry; with DisableTelemetry the window stays
+	// fixed at AdmissionLimit.
+	AdaptiveAdmission bool
+	// Admission tunes the AIMD controller (zero values take the
+	// admission package defaults, Max/Initial default to
+	// AdmissionLimit).
+	Admission admission.Config
+	// AdmissionLimit is the admit-window ceiling (0 = 4096).
+	AdmissionLimit int
 }
 
 // Server is a running HovercRaft node on one or more UDP sockets.
@@ -138,6 +153,13 @@ type Server struct {
 	sendPool sync.Pool // *sender, one per concurrent flusher
 	ctr      *stats.CounterSet
 	tel      *obs.Telemetry // nil when cfg.DisableTelemetry
+
+	// Leader-side admission (nil unless cfg.AdaptiveAdmission). admit
+	// is guarded by mu like the engine it gates; admCtrl's outputs are
+	// atomics, ticked from tickLoop.
+	admit   *core.FlowControl
+	admCtrl *admission.Controller
+	admGC   time.Duration // next slot-leak sweep (telemetry clock)
 
 	runq chan runJob
 
@@ -225,6 +247,34 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		s.tel = obs.NewTelemetry(
 			func() time.Duration { return time.Since(s.start) },
 			cfg.TelemetryEpoch, cfg.TelemetryEpochs)
+	}
+	if cfg.AdaptiveAdmission {
+		limit := cfg.AdmissionLimit
+		if limit <= 0 {
+			limit = 4096
+		}
+		// The slot timeout reclaims windows leaked by lost replies or
+		// vanished clients; generous, since the AIMD loop (not slot
+		// exhaustion) is the real overload brake.
+		s.admit = core.NewFlowControl(limit, 2*time.Second)
+		acfg := cfg.Admission
+		if acfg.Max <= 0 {
+			acfg.Max = limit
+		}
+		if acfg.Initial <= 0 {
+			acfg.Initial = acfg.Max
+		}
+		s.admCtrl = admission.New(acfg, admission.WorstOf(func() []*obs.Telemetry {
+			return []*obs.Telemetry{s.tel}
+		}))
+		s.admit.NackHint = s.admCtrl.Hint()
+		if s.tel != nil {
+			target := acfg.Target
+			if target <= 0 {
+				target = 500 * time.Microsecond
+			}
+			s.tel.SetSLO(target, 0.99)
+		}
 	}
 	sendBatch := cfg.SendBatch
 	if sendBatch <= 0 {
@@ -342,6 +392,15 @@ func (s *Server) DebugVars() map[string]interface{} {
 		vars["wal_fsyncs"] = fs.SyncCount()
 		vars["wal_pending_records"] = fs.PendingRecords()
 	}
+	if s.admit != nil {
+		vars["admission"] = map[string]interface{}{
+			"window":   s.admCtrl.Window(),
+			"inflight": s.admit.InFlight(),
+			"admitted": s.admit.Admitted,
+			"nacked":   s.admit.Nacked,
+			"leaked":   s.admit.Leaked,
+		}
+	}
 	return vars
 }
 
@@ -405,6 +464,30 @@ func (s *Server) RegisterMetrics(sc *obs.Scoped) {
 	if fs, ok := s.cfg.Storage.(*raft.FileStorage); ok {
 		sc.Counter("wal.fsyncs", fs.SyncCount)
 		sc.Gauge("wal.pending_records", func() float64 { return float64(fs.PendingRecords()) })
+	}
+	if s.admit != nil {
+		av := sc.Sub("admission")
+		s.admCtrl.Register(av)
+		av.Counter("admitted", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.admit.Admitted
+		})
+		av.Counter("nacked", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.admit.Nacked
+		})
+		av.Counter("leaked", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.admit.Leaked
+		})
+		av.Gauge("inflight", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.admit.InFlight())
+		})
 	}
 	s.tel.Register(sc)
 }
@@ -480,7 +563,21 @@ func (s *Server) tickLoop() {
 		case <-s.closed:
 			return
 		case <-t.C:
+			if s.admCtrl != nil {
+				// Read the telemetry signal and resize the window before
+				// taking the lock; only the middlebox-state writes (limit,
+				// hint, slot GC) happen under it.
+				s.admCtrl.Tick()
+			}
 			s.mu.Lock()
+			if s.admCtrl != nil {
+				s.admit.SetLimit(s.admCtrl.Window())
+				s.admit.NackHint = s.admCtrl.Hint()
+				if now := time.Since(s.start); now >= s.admGC {
+					s.admit.GC(now)
+					s.admGC = now + 250*time.Millisecond
+				}
+			}
 			s.drv.Tick()
 			b := s.takeEgress()
 			s.mu.Unlock()
@@ -589,7 +686,8 @@ func (s *Server) flushEgress(b *egBatch) {
 type serverHandler Server
 
 func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
-	if m.Type == r2p2.TypeRequest {
+	switch m.Type {
+	case r2p2.TypeRequest:
 		// Remember where to send this client's replies. The r2p2
 		// SrcPort disambiguates clients sharing an IP. h.from points
 		// into the batch reader's reused address slots, so the table
@@ -598,6 +696,29 @@ func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
 		if known := h.clients[k]; !sameUDPAddr(known, h.from) {
 			h.clients[k] = cloneUDPAddr(h.from)
 		}
+		// Leader-side admission: over plain UDP no middlebox fronts the
+		// cluster, so the leader itself sheds requests above the
+		// adaptive window, answering with a hinted NACK. Followers stay
+		// permissive — requests fan out to every node, and only the
+		// leader's verdict is authoritative (a follower NACK would race
+		// an admitted request's response in the client's fan-in count).
+		if h.admit != nil && h.engine.IsLeader() &&
+			!h.admit.Admit(m.ID.SrcPort, m.ID.ReqID, time.Since(h.start)) {
+			(*serverTransport)(h).enqueue(h.clients[k],
+				[]*wire.Buf{r2p2.MakeNackHintBuf(m.ID, h.admit.NackHint)})
+			return
+		}
+	case r2p2.TypeFeedback:
+		// Feedback addressed to this node (it is, or recently was, the
+		// leader): every record frees one admission slot. The engine
+		// never consumes FEEDBACK — it is a middlebox/admission message.
+		if h.admit != nil {
+			h.admit.Release(m.ID.SrcPort, m.ID.ReqID)
+			for i := 0; i < r2p2.FeedbackRecordCount(m.Payload); i++ {
+				h.admit.Release(r2p2.FeedbackRecordAt(m.Payload, i))
+			}
+		}
+		return
 	}
 	h.engine.HandleMessage(m)
 }
@@ -631,8 +752,32 @@ func (t *serverTransport) SendToClient(id r2p2.RequestID, dgs []*wire.Buf) {
 }
 
 func (t *serverTransport) SendFeedback(dgs []*wire.Buf) {
-	// No middlebox over plain UDP: flow control is a switch service.
-	wire.ReleaseAll(dgs)
+	if t.admit == nil {
+		// No middlebox over plain UDP: flow control is a switch service.
+		wire.ReleaseAll(dgs)
+		return
+	}
+	// Receiver-driven credit without a middlebox: the replier's feedback
+	// must reach whoever admits — the leader. When this node leads it
+	// consumes its own feedback in place; otherwise the datagrams go to
+	// the leader it knows of (reply load balancing makes followers emit
+	// feedback for requests the leader admitted).
+	if t.engine.IsLeader() {
+		for _, b := range dgs {
+			var h r2p2.Header
+			if h.Unmarshal(b.B) == nil && h.Type == r2p2.TypeFeedback {
+				t.admit.Release(h.SrcPort, h.ReqID)
+				payload := b.B[r2p2.HeaderSize:]
+				for i := 0; i < r2p2.FeedbackRecordCount(payload); i++ {
+					t.admit.Release(r2p2.FeedbackRecordAt(payload, i))
+				}
+			}
+		}
+		wire.ReleaseAll(dgs)
+		return
+	}
+	lead := t.engine.Node().Status().Lead
+	t.enqueue(t.peers[lead], dgs)
 }
 
 // serverRunner adapts Server to core.AppRunner.
