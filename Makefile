@@ -16,13 +16,17 @@ BENCH_PATTERN := Hotpath|HeaderMarshal|Fragment|PooledFrag|IngestSingle|Reassemb
 BENCH_PKGS := . ./internal/r2p2 ./internal/wire ./internal/obs
 
 # The gated data-plane benchmarks: the batch-size × socket-count matrix
-# (dg/sendmmsg amortization) and the group-commit durable-throughput run
-# (fsyncs/req). These need loopback sockets; the gated units are syscall
-# and fsync ratios, which hold across machines even though dg/s does not.
-DATAPLANE_PATTERN := Dataplane|LoopbackDurableThroughput
+# (dg/sendmmsg amortization), the group-commit durable-throughput run
+# (fsyncs/req), and the per-core engine-shard scaling matrix
+# (dgps_x4_over_x1: 4-core over 1-core aggregate throughput). The gated
+# units are ratios, which hold across machines even though dg/s does
+# not — but the scaling ratio saturates at the host's core count, so
+# regenerate the baseline on a >=4-CPU machine to arm the scaling gate.
+DATAPLANE_PATTERN := Dataplane|LoopbackDurableThroughput|LoopCores
 DATAPLANE_PKG := ./internal/transport
-DATAPLANE_NOTE := Data-plane baseline: sendmmsg amortization and WAL group-commit \
-fsync ratios; regenerate with 'make bench'. CI gates dg/sendmmsg (floor) and \
+DATAPLANE_NOTE := Data-plane baseline: sendmmsg amortization, WAL group-commit \
+fsync ratios, and engine-shard core scaling; regenerate with 'make bench' on a \
+machine with >=4 CPUs. CI gates dg/sendmmsg and dgps_x4_over_x1 (floors) and \
 fsyncs/req (ceiling) against this file (cmd/benchcheck).
 
 # The gated overload-control benchmarks run in simulator virtual time,

@@ -41,7 +41,8 @@ type Baseline struct {
 var (
 	maxUnits = []string{"allocs/op", "allocs/req", "fsyncs/req", "syscalls/op",
 		"admitted_p99_us", "nacked/req"}
-	minUnits = []string{"dg/sendmmsg", "goodput/cap", "goodput_krps"}
+	minUnits = []string{"dg/sendmmsg", "goodput/cap", "goodput_krps",
+		"dgps_x4_over_x1"}
 )
 
 // unitSlack overrides the -slack flag for units whose natural scale is
@@ -54,37 +55,54 @@ var (
 // under the 0.70-of-capacity acceptance floor, admitted_p99_us must
 // stay inside the 500µs SLO, and nacked/req at half load must stay
 // near zero.
+// dgps_x4_over_x1 is the engine-shard scaling ratio (4-core over
+// 1-core aggregate dg/s). It is a pure ratio, so the default absolute
+// slack of 1.0 would swallow a total scaling collapse; 0.3 tolerates
+// scheduler noise while catching the shards starting to contend.
 var unitSlack = map[string]float64{
 	"fsyncs/req":      0.25,
 	"goodput/cap":     0.05,
 	"goodput_krps":    2,
 	"admitted_p99_us": 25,
 	"nacked/req":      0.02,
+	"dgps_x4_over_x1": 0.3,
 }
 
 // parseBench extracts benchmark result lines. A result line looks like:
 //
 //	BenchmarkName-8   30   4473308 ns/op   29.16 allocs/req   5806 allocs/op
 //
-// i.e. name, iteration count, then value/unit pairs. The -N GOMAXPROCS
-// suffix is stripped so baselines transfer across machines.
+// i.e. name, iteration count, then value/unit pairs.
+//
+// The -N GOMAXPROCS suffix is normalized so baselines transfer across
+// machines: when a benchmark appears with a single suffix (the common
+// case — one run at the machine's core count) the suffix is stripped.
+// When the same benchmark appears with several distinct suffixes (a
+// `go test -cpu 1,2,4` run, where the suffix is the -cpu value and IS
+// the experiment), each line keeps its identity as "Name/cpu=N" —
+// silently collapsing them would let the last line shadow the rest.
 func parseBench(path string) (map[string]map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := make(map[string]map[string]float64)
+	type line struct {
+		base, suffix string
+		metrics      map[string]float64
+	}
+	var lines []line
+	suffixes := make(map[string]map[string]bool)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
+		base, suffix := fields[0], ""
+		if i := strings.LastIndex(base, "-"); i > 0 {
+			if _, err := strconv.Atoi(base[i+1:]); err == nil {
+				base, suffix = base[:i], base[i+1:]
 			}
 		}
 		metrics := make(map[string]float64)
@@ -95,9 +113,22 @@ func parseBench(path string) (map[string]map[string]float64, error) {
 			}
 			metrics[fields[i+1]] = v
 		}
-		if len(metrics) > 0 {
-			out[name] = metrics
+		if len(metrics) == 0 {
+			continue
 		}
+		lines = append(lines, line{base: base, suffix: suffix, metrics: metrics})
+		if suffixes[base] == nil {
+			suffixes[base] = make(map[string]bool)
+		}
+		suffixes[base][suffix] = true
+	}
+	out := make(map[string]map[string]float64, len(lines))
+	for _, l := range lines {
+		name := l.base
+		if l.suffix != "" && len(suffixes[l.base]) > 1 {
+			name = l.base + "/cpu=" + l.suffix
+		}
+		out[name] = l.metrics
 	}
 	return out, sc.Err()
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) map[string]map[string]float64 {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.out")
+	if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// A plain run — one GOMAXPROCS suffix per benchmark — strips the
+// suffix so the baseline transfers between machines with different
+// core counts.
+func TestParseBenchStripsSingleSuffix(t *testing.T) {
+	got := parseString(t, `
+goos: linux
+BenchmarkHotpath-8    30    4473308 ns/op    29.16 allocs/req    5806 allocs/op
+BenchmarkDataplane/batch=32/sockets=4-8    20000    1200 ns/op    31.5 dg/sendmmsg
+PASS
+`)
+	m, ok := got["BenchmarkHotpath"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %v", keys(got))
+	}
+	if m["allocs/op"] != 5806 || m["allocs/req"] != 29.16 {
+		t.Fatalf("metrics wrong: %v", m)
+	}
+	if _, ok := got["BenchmarkDataplane/batch=32/sockets=4"]; !ok {
+		t.Fatalf("sub-benchmark suffix not stripped: %v", keys(got))
+	}
+}
+
+// A -cpu 1,2,4 run emits the same benchmark under several suffixes;
+// each must keep its identity instead of the last line shadowing the
+// others.
+func TestParseBenchKeepsDistinctCPUSuffixes(t *testing.T) {
+	got := parseString(t, `
+BenchmarkLoopback-1    100    9000 ns/op    3 allocs/op
+BenchmarkLoopback-2    100    5000 ns/op    3 allocs/op
+BenchmarkLoopback-4    100    3000 ns/op    4 allocs/op
+BenchmarkOther-4       100    1000 ns/op    7 allocs/op
+`)
+	for _, name := range []string{
+		"BenchmarkLoopback/cpu=1", "BenchmarkLoopback/cpu=2", "BenchmarkLoopback/cpu=4",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Fatalf("missing %s: %v", name, keys(got))
+		}
+	}
+	if got["BenchmarkLoopback/cpu=4"]["allocs/op"] != 4 {
+		t.Fatalf("cpu=4 metrics wrong: %v", got["BenchmarkLoopback/cpu=4"])
+	}
+	// The single-suffix benchmark in the same file still strips.
+	if _, ok := got["BenchmarkOther"]; !ok {
+		t.Fatalf("single-suffix name not stripped alongside multi: %v", keys(got))
+	}
+}
+
+// Repeated identical lines (-count=N) stay last-wins under one key,
+// exactly as before.
+func TestParseBenchRepeatedRunsLastWins(t *testing.T) {
+	got := parseString(t, `
+BenchmarkX-8    100    900 ns/op    1 allocs/op
+BenchmarkX-8    100    800 ns/op    2 allocs/op
+`)
+	if len(got) != 1 || got["BenchmarkX"]["allocs/op"] != 2 {
+		t.Fatalf("want last-wins single key, got %v", got)
+	}
+}
+
+func keys(m map[string]map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

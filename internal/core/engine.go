@@ -200,6 +200,15 @@ func (c *Config) defaults() {
 // Engine is one HovercRaft node: Raft embedded in the R2P2 layer plus the
 // protocol extensions. Like raft.Node it is a deterministic step machine
 // driven by HandleMessage and Tick; it is not safe for concurrent use.
+//
+// Single-owner contract: exactly one execution context may ever call
+// into an Engine — the simulator's event loop, or the owning core's
+// runtime.Loop in the UDP transport. There is no engine lock to take;
+// work originating elsewhere (datagrams read on another core, app
+// completions, a bootstrap Campaign) must be handed to the owner
+// through its mailbox or command queue and delivered from there.
+// Anything the owner wants to expose to other goroutines (status,
+// admission gauges) is published into atomics, never read directly.
 type Engine struct {
 	cfg       Config
 	node      *raft.Node

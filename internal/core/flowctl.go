@@ -34,8 +34,12 @@ type FlowControl struct {
 	// NackHint, when nonzero, rides as the retry-after payload byte on
 	// every NACK this middlebox sheds (r2p2.EncodeRetryAfter units).
 	// Zero keeps the classic empty NACK. Written by the admission
-	// controller's tick, read by HandleDatagram — both run on the
-	// middlebox host's goroutine.
+	// controller's tick, read by HandleDatagram — both run in the one
+	// execution context that owns this FlowControl (the middlebox
+	// host's goroutine in the simulator; the owning core's loop for
+	// leader-side admission over UDP). Like every other field here,
+	// it is single-owner state: only the controller's *outputs*
+	// (window size, hint) are atomics, read by the owner each tick.
 	NackHint byte
 
 	inflight map[fcKey]time.Duration

@@ -4,6 +4,12 @@
 // the real UDP transport feed their engines exclusively through a
 // Driver, so the protocol hot path runs identically in both worlds and
 // the reassembly buffer-ownership rules live in exactly one place.
+//
+// The package also owns the per-core execution model around the
+// Driver: a Loop is the single execution context allowed to touch one
+// engine (run-to-completion, no locks), and a Mailbox is the bounded
+// SPSC ring through which every other core hands datagrams to the
+// owner. The simulator models the same handoff in virtual time.
 package runtime
 
 import (
@@ -52,9 +58,10 @@ type Options struct {
 }
 
 // Driver feeds one Handler from raw datagrams. It is not safe for
-// concurrent use: callers serialize ingest and ticks themselves (the
-// simulator by its single event loop, the UDP transports by their
-// engine mutex).
+// concurrent use and is never locked: exactly one execution context
+// owns it — the simulator's single event loop, or the owning core's
+// Loop in the UDP transport — and everyone else hands datagrams to
+// that owner through a Mailbox.
 type Driver struct {
 	h       Handler
 	reasm   *r2p2.Reassembler

@@ -95,6 +95,51 @@ func TestDriverBorrowedReassemblesAcrossBufferReuse(t *testing.T) {
 	}
 }
 
+// TestDriverIngestBorrowedBatchRetainCopy feeds a whole recvmmsg-style
+// vector through one call, then scribbles the slab the way the next
+// read syscall would: retained types must survive, and everything must
+// have carried its own source identity.
+func TestDriverIngestBorrowedBatchRetainCopy(t *testing.T) {
+	rec := &recorder{}
+	d := New(rec, Options{
+		Now:           fixedNow(0),
+		RetainPayload: []r2p2.MessageType{r2p2.TypeRequest},
+	})
+
+	// A slab of reused views, like batchReader exposes.
+	slab := make([][]byte, 3)
+	views := make([][]byte, 3)
+	srcs := []uint32{11, 22, 33}
+	mk := func(i int, typ r2p2.MessageType, payload []byte) {
+		dgs := r2p2.MakeMsg(typ, r2p2.PolicyUnrestricted, 7, uint32(i), payload, 0)
+		if len(dgs) != 1 {
+			t.Fatalf("want single-fragment message, got %d", len(dgs))
+		}
+		slab[i] = make([]byte, 2048)
+		n := copy(slab[i], dgs[0])
+		views[i] = slab[i][:n]
+	}
+	mk(0, r2p2.TypeRequest, []byte("retain A"))
+	mk(1, r2p2.TypeRaftReq, []byte("transient"))
+	mk(2, r2p2.TypeRequest, []byte("retain B"))
+
+	d.IngestBorrowedBatch(views, srcs)
+
+	// The next read overwrites every slot.
+	for i := range slab {
+		for j := range slab[i] {
+			slab[i][j] = 0xEE
+		}
+	}
+	if len(rec.types) != 3 {
+		t.Fatalf("dispatched %d messages, want 3", len(rec.types))
+	}
+	if string(rec.payloads[0]) != "retain A" || string(rec.payloads[2]) != "retain B" {
+		t.Fatalf("retained payloads scribbled by slab reuse: %q / %q",
+			rec.payloads[0], rec.payloads[2])
+	}
+}
+
 func TestDriverTickCadence(t *testing.T) {
 	now := time.Duration(0)
 	ticks := 0

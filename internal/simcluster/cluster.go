@@ -94,6 +94,20 @@ type Options struct {
 	// when the service implements core.Snapshotter (0 = off).
 	CompactEvery uint64
 
+	// Cores models the transport's per-core run-to-completion shards in
+	// virtual time: ingress packets hash by source across Cores virtual
+	// cores, the engine is owned by core 0, and packets landing on any
+	// other core cross into the owner through the same bounded SPSC
+	// mailboxes the UDP transport uses, drained at the owner's next
+	// tick boundary. 0 or 1 keeps the single-core path bit-identical to
+	// the pre-sharding behavior. Runs remain fully deterministic for a
+	// fixed seed: the hash, the drain order, and the tick cadence are
+	// all functions of simulated state.
+	Cores int
+	// HandoffDepth bounds each virtual core's mailbox in packets
+	// (0 = 1024); a full mailbox drops the packet, like the transport.
+	HandoffDepth int
+
 	// WAL, when true, gives every node an in-memory framed write-ahead
 	// log (raft.BufferStorage) so a crashed node can come back through
 	// Node.RestartFromWAL — a real post-crash recovery (volatile state
@@ -135,6 +149,7 @@ type Node struct {
 
 	cluster    *Cluster
 	drv        *runtime.Driver
+	inboxes    []*runtime.Mailbox // cross-core handoff rings (Options.Cores > 1)
 	crashed    bool
 	storage    *raft.BufferStorage
 	fsyncDelay time.Duration
@@ -360,7 +375,23 @@ func (c *Cluster) buildEngine(n *Node) {
 		GCEvery:      1024,
 		Telemetry:    n.Tel,
 	})
+	n.resetCores()
 	n.Host.SetHandler(n.onPacket)
+}
+
+// resetCores rebuilds the node's cross-core mailboxes empty: the rings
+// model per-core NIC queues, so a crash (or an engine rebuild) loses
+// whatever was parked in them, exactly like the real transport.
+func (n *Node) resetCores() {
+	opts := n.cluster.Opts
+	if opts.Cores <= 1 {
+		n.inboxes = nil
+		return
+	}
+	n.inboxes = make([]*runtime.Mailbox, opts.Cores-1)
+	for i := range n.inboxes {
+		n.inboxes[i] = runtime.NewMailbox(opts.HandoffDepth)
+	}
 }
 
 // Start launches tick loops and elects node 1 (deterministic bootstrap,
@@ -449,8 +480,30 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 		c.Admission.Register(reg.Sub("admission"))
 	}
 	for _, n := range c.Nodes {
+		nv := reg.Sub(fmt.Sprintf("node%d", n.ID))
 		if n.Tel.Active() {
-			n.Tel.Register(reg.Sub(fmt.Sprintf("node%d", n.ID)))
+			n.Tel.Register(nv)
+		}
+		// Virtual-core handoff health (Options.Cores > 1): pushes and
+		// drops per forwarding core, mirroring the transport's coreN
+		// counter families. The mailboxes are rebuilt on crash, so the
+		// closures re-read them at scrape time.
+		n := n
+		for ci := range n.inboxes {
+			ci := ci
+			cv := nv.Sub(fmt.Sprintf("core%d", ci+1))
+			cv.Counter("handoff_in", func() uint64 {
+				if ci < len(n.inboxes) {
+					return n.inboxes[ci].Pushed()
+				}
+				return 0
+			})
+			cv.Counter("handoff_drops", func() uint64 {
+				if ci < len(n.inboxes) {
+					return n.inboxes[ci].Dropped()
+				}
+				return 0
+			})
 		}
 	}
 }
@@ -498,19 +551,66 @@ func (n *Node) startTicking() {
 		if n.crashed {
 			return
 		}
+		n.drainCores()
 		n.drv.Tick()
 		n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 	}
 	n.cluster.Sim.After(n.cluster.Opts.TickInterval, loop)
 }
 
+// onPacket is the node's virtual NIC. Single-core (the default) feeds
+// the engine directly. With Options.Cores > 1 the packet first lands on
+// the core its source hashes to — the simulated analogue of the
+// kernel's reuseport flow hash — and only core 0 (the engine owner)
+// ingests in place; the rest park the packet in their mailbox for the
+// owner's next tick boundary.
 func (n *Node) onPacket(pkt *simnet.Packet) {
-	n.drv.Ingest(pkt.Payload, uint32(pkt.Src))
+	cores := n.cluster.Opts.Cores
+	if cores <= 1 {
+		n.drv.Ingest(pkt.Payload, uint32(pkt.Src))
+		return
+	}
+	core := int(uint32(pkt.Src) % uint32(cores))
+	if core == 0 {
+		n.drv.Ingest(pkt.Payload, uint32(pkt.Src))
+		return
+	}
+	mb := n.inboxes[core-1]
+	now := n.cluster.Sim.Now()
+	if pkt.Buf != nil {
+		// The fabric reclaims pooled buffers when this handler returns:
+		// parking the payload across tick boundaries needs a copy.
+		mb.Push(pkt.Payload, uint32(pkt.Src), 0, now)
+	} else {
+		// Client request payloads are plain heap memory parked
+		// server-side anyway — alias them, exactly like Ingest would.
+		mb.PushOwned(pkt.Payload, uint32(pkt.Src), 0, now)
+	}
+}
+
+// drainCores empties every virtual core's mailbox into the engine, in
+// core order — the deterministic stand-in for the owner loop's
+// Advance. Copied packets follow the borrowed-buffer contract (their
+// slot is reused), owned ones may be retained by the engine.
+func (n *Node) drainCores() {
+	for _, mb := range n.inboxes {
+		mb.Drain(mb.Cap(), func(dg []byte, src uint32, _ uint16, owned bool, at time.Duration) {
+			if n.Tel.Active() {
+				n.Tel.Record(obs.QIngress, n.cluster.Sim.Now()-at)
+			}
+			if owned {
+				n.drv.Ingest(dg, src)
+			} else {
+				n.drv.IngestBorrowed(dg, src)
+			}
+		})
+	}
 }
 
 // Crash fail-stops the node.
 func (n *Node) Crash() {
 	n.crashed = true
+	n.resetCores() // per-core NIC queues die with the machine
 	n.Host.Crash()
 	if n.cluster.Opts.Obs.Active() {
 		n.cluster.Opts.Obs.Emitf("node", "crash", "node %d fail-stopped", n.ID)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,6 +51,12 @@ type clientKey struct {
 	ip   uint32
 	port uint16
 }
+
+// aLongTimeAgo is an expired deadline: arming it interrupts a core loop
+// parked in its blocking batch read (the netpoller fails the read with
+// a timeout immediately), which is how cross-core producers kick the
+// owning core awake.
+var aLongTimeAgo = time.Unix(1, 0)
 
 // ServerConfig configures one HovercRaft UDP node.
 type ServerConfig struct {
@@ -84,9 +91,22 @@ type ServerConfig struct {
 	// CompactEvery enables raft log compaction every N applied entries
 	// when the service implements core.Snapshotter.
 	CompactEvery uint64
-	// Sockets shards ingress across N SO_REUSEPORT sockets, each with
-	// its own batch-read goroutine (Linux; other platforms fall back to
-	// one socket). 0 or 1 binds a single socket.
+	// Cores shards ingress across N per-core run-to-completion loops,
+	// each owning one SO_REUSEPORT socket (Linux; other platforms fall
+	// back to one core). The core selected by Affinity owns this node's
+	// engine end-to-end; the others forward their datagrams to it
+	// through bounded SPSC mailboxes. 0 defaults to Sockets, then 1.
+	Cores int
+	// Affinity pins this node's engine to one of the cores (modulo
+	// Cores). Multi-Raft deployments spread their groups across cores
+	// by setting shard % cores, so each core runs one engine and
+	// forwards for the rest.
+	Affinity int
+	// HandoffDepth bounds each cross-core mailbox in datagrams
+	// (0 = 1024); a full mailbox drops, counted in handoff_drops.
+	HandoffDepth int
+	// Sockets is the legacy name for Cores (one reuseport socket per
+	// core); used only when Cores is 0.
 	Sockets int
 	// RecvBatch / SendBatch cap datagrams per recvmmsg/sendmmsg
 	// syscall (0 = 32). Ignored where batch I/O is unsupported.
@@ -122,50 +142,87 @@ type ServerConfig struct {
 
 // Server is a running HovercRaft node on one or more UDP sockets.
 //
-// Data-plane shape: N SO_REUSEPORT sockets each feed a dedicated read
-// goroutine that drains a recvmmsg batch, ingests it into the engine
-// under one lock acquisition, and carries the resulting egress away.
-// All sends funnel through a per-destination coalescer: datagrams
-// produced while the engine lock is held are queued, then flushed
-// outside the lock with sendmmsg — one flush drains a pipelined-AE
-// batch in a handful of syscalls. The flush is also the durability
-// barrier: when the storage group-commits (raft.GroupCommitter), the
-// staged WAL batch is written and fsynced once before any datagram
-// that could acknowledge it leaves the node.
+// Data-plane shape: one run-to-completion loop per core, no engine
+// lock. Each of N SO_REUSEPORT sockets belongs to exactly one core
+// loop. The core selected by Affinity owns the engine: its loop drains
+// a recvmmsg batch, ingests it straight into the engine, drains
+// whatever the other cores handed over, ticks the protocol timer when
+// due, and flushes the egress it produced — all in one goroutine, so
+// no datagram ever crosses a mutex. Every other core's loop forwards
+// its batches into the owner through a bounded SPSC mailbox and kicks
+// the owner's read deadline so handoffs are drained at the next loop
+// boundary rather than the next tick.
+//
+// All egress leaves through the owning core: datagrams produced while
+// the engine steps are queued on the owner's coalescer and flushed
+// with sendmmsg — one flush drains a pipelined-AE batch in a handful
+// of syscalls. The flush is also the durability barrier: when the
+// storage group-commits (raft.GroupCommitter), the staged WAL batch is
+// written and fsynced once before any datagram that could acknowledge
+// it leaves the node.
+//
+// The control plane (IsLeader, Status, DebugVars, metrics) never
+// touches the engine either: the owner publishes a snapshot into
+// atomics every tick, and readers see that.
 type Server struct {
 	cfg     ServerConfig
-	conn    *net.UDPConn // conns[0]; all egress goes out here
+	conn    *net.UDPConn // the owning core's socket; all egress goes out here
 	conns   []*net.UDPConn
 	rawConn syscall.RawConn // cached for vectored sends on conn
 	engine  *core.Engine
 	service app.Service
 	gc      raft.GroupCommitter // non-nil when Storage group-commits
 
-	mu      sync.Mutex
-	drv     *runtime.Driver
-	peers   map[raft.NodeID]*net.UDPAddr
-	agg     *net.UDPAddr
-	clients map[clientKey]*net.UDPAddr
-	start   time.Time
-	from    *net.UDPAddr // sender of the datagram being ingested
-	egq     *egBatch     // egress queued during the current lock scope
+	// Owner-core state: everything below is reachable only from the
+	// owning core's loop (engine steps, handoff drains, ticks, command
+	// execution all run there). No lock — the Loop is the owner.
+	drv      *runtime.Driver
+	peers    map[raft.NodeID]*net.UDPAddr
+	agg      *net.UDPAddr
+	clients  map[clientKey]*net.UDPAddr
+	from     *net.UDPAddr // sender of the datagram being ingested
+	fromIP   [4]byte      // backing for fromAddr.IP, rewritten per datagram
+	fromAddr net.UDPAddr
+	eg       []egressItem // egress queued during the current loop pass
+	snd      *sender
+	admit    *core.FlowControl
+	admCtrl  *admission.Controller
+	admGC    time.Duration // next slot-leak sweep (telemetry clock)
 
-	sendPool sync.Pool // *sender, one per concurrent flusher
-	ctr      *stats.CounterSet
-	tel      *obs.Telemetry // nil when cfg.DisableTelemetry
+	start    time.Time
+	loops    []*runtime.Loop
+	owner    *runtime.Loop
+	affinity int
 
-	// Leader-side admission (nil unless cfg.AdaptiveAdmission). admit
-	// is guarded by mu like the engine it gates; admCtrl's outputs are
-	// atomics, ticked from tickLoop.
-	admit   *core.FlowControl
-	admCtrl *admission.Controller
-	admGC   time.Duration // next slot-leak sweep (telemetry clock)
+	pub pubState // owner-published control-plane snapshot
+
+	ctr *stats.CounterSet
+	tel *obs.Telemetry // nil when cfg.DisableTelemetry
 
 	runq chan runJob
 
 	closed  chan struct{}
 	closeMu sync.Once
 	wg      sync.WaitGroup
+}
+
+// pubState is the owner loop's published snapshot of engine-adjacent
+// state, refreshed once per tick (and after Campaign), so the control
+// plane reads atomics instead of stopping the data plane.
+type pubState struct {
+	state   atomic.Uint32 // raft.StateType
+	term    atomic.Uint64
+	lead    atomic.Uint64
+	commit  atomic.Uint64
+	applied atomic.Uint64
+	last    atomic.Uint64
+	clients atomic.Uint64
+
+	admWindow   atomic.Uint64
+	admInflight atomic.Uint64
+	admAdmitted atomic.Uint64
+	admNacked   atomic.Uint64
+	admLeaked   atomic.Uint64
 }
 
 type runJob struct {
@@ -182,14 +239,6 @@ type egressItem struct {
 	addr *net.UDPAddr
 	buf  *wire.Buf
 }
-
-// egBatch is a swappable egress queue. Takers swap the whole batch out
-// under the engine lock and flush it outside, so concurrent readers,
-// the ticker, and the app thread each drain only what their own lock
-// scope produced.
-type egBatch struct{ items []egressItem }
-
-var egBatchPool = sync.Pool{New: func() interface{} { return new(egBatch) }}
 
 // NewServer binds the node to its configured address and starts serving.
 func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
@@ -210,13 +259,23 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolve self: %w", err)
 	}
-	sockets := cfg.Sockets
-	if sockets <= 0 {
-		sockets = 1
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = cfg.Sockets
 	}
-	conns, err := listenBatch(addr, sockets)
+	if cores <= 0 {
+		cores = 1
+	}
+	conns, err := listenBatch(addr, cores)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	// The fallback build collapses to one socket regardless of the ask;
+	// the core count follows the sockets we actually have.
+	cores = len(conns)
+	aff := cfg.Affinity % cores
+	if aff < 0 {
+		aff += cores
 	}
 	setSockBufs(conns, cfg.SockBufBytes)
 	closeAll := func() {
@@ -224,24 +283,26 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 			c.Close()
 		}
 	}
-	rawConn, err := conns[0].SyscallConn()
+	rawConn, err := conns[aff].SyscallConn()
 	if err != nil {
 		closeAll()
 		return nil, fmt.Errorf("transport: raw conn: %w", err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		conn:    conns[0],
-		conns:   conns,
-		rawConn: rawConn,
-		service: svc,
-		peers:   make(map[raft.NodeID]*net.UDPAddr),
-		clients: make(map[clientKey]*net.UDPAddr),
-		start:   time.Now(),
-		ctr:     stats.NewCounterSet(),
-		runq:    make(chan runJob, 1024),
-		closed:  make(chan struct{}),
+		cfg:      cfg,
+		conn:     conns[aff],
+		conns:    conns,
+		rawConn:  rawConn,
+		service:  svc,
+		peers:    make(map[raft.NodeID]*net.UDPAddr),
+		clients:  make(map[clientKey]*net.UDPAddr),
+		start:    time.Now(),
+		affinity: aff,
+		ctr:      stats.NewCounterSet(),
+		runq:     make(chan runJob, 1024),
+		closed:   make(chan struct{}),
 	}
+	s.fromAddr.IP = s.fromIP[:]
 	s.gc, _ = cfg.Storage.(raft.GroupCommitter)
 	if !cfg.DisableTelemetry {
 		s.tel = obs.NewTelemetry(
@@ -276,11 +337,7 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 			s.tel.SetSLO(target, 0.99)
 		}
 	}
-	sendBatch := cfg.SendBatch
-	if sendBatch <= 0 {
-		sendBatch = defaultSendBatch
-	}
-	s.sendPool.New = func() interface{} { return newSender(sendBatch) }
+	s.snd = newSender(cfg.SendBatch)
 	ids := make([]raft.NodeID, 0, len(cfg.Peers))
 	for id, pa := range cfg.Peers {
 		ua, err := net.ResolveUDPAddr("udp4", pa)
@@ -340,16 +397,45 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 		Telemetry:     s.tel,
 	})
 
-	s.wg.Add(len(conns) + 2)
-	for _, c := range conns {
+	// One Loop per core; the affinity core owns the engine, the rest
+	// forward. Build the owner first so peers can register mailboxes.
+	s.loops = make([]*runtime.Loop, cores)
+	now := func() time.Duration { return time.Since(s.start) }
+	s.owner = runtime.NewLoop(runtime.LoopOptions{
+		Core:      aff,
+		Deliver:   s.deliver,
+		Tick:      s.ownerTick,
+		TickEvery: cfg.TickInterval,
+		Now:       now,
+		Kick:      func() { _ = s.conn.SetReadDeadline(aLongTimeAgo) },
+		Flush:     s.flushOwned,
+		Telemetry: s.tel,
+		Closed:    s.closed,
+	})
+	s.loops[aff] = s.owner
+	for i := range conns {
+		if i == aff {
+			continue
+		}
+		s.loops[i] = runtime.NewLoop(runtime.LoopOptions{
+			Core:       i,
+			Owner:      s.owner,
+			MailboxCap: cfg.HandoffDepth,
+			Now:        now,
+			Closed:     s.closed,
+		})
+	}
+	s.publish()
+
+	s.wg.Add(len(conns) + 1)
+	for i, c := range conns {
 		r, err := newBatchReader(c, cfg.RecvBatch)
 		if err != nil {
 			closeAll()
 			return nil, err
 		}
-		go s.readLoop(r)
+		go s.coreLoop(s.loops[i], r, c)
 	}
-	go s.tickLoop()
 	go s.appLoop()
 	return s, nil
 }
@@ -357,36 +443,47 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 // Addr returns the bound UDP address.
 func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
-// IsLeader reports whether this node currently leads (racy snapshot).
+// IsLeader reports whether this node currently leads, from the owner's
+// last published snapshot (racy by one tick at most).
 func (s *Server) IsLeader() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.engine.IsLeader()
+	return raft.StateType(s.pub.state.Load()) == raft.StateLeader
 }
 
-// Status returns the node's raft status (racy snapshot).
+// Status returns the node's raft status from the owner's last
+// published snapshot (racy by one tick at most).
 func (s *Server) Status() raft.Status {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.engine.Node().Status()
+	return raft.Status{
+		ID:      raft.NodeID(s.cfg.ID),
+		State:   raft.StateType(s.pub.state.Load()),
+		Term:    s.pub.term.Load(),
+		Lead:    raft.NodeID(s.pub.lead.Load()),
+		Commit:  s.pub.commit.Load(),
+		Applied: s.pub.applied.Load(),
+		Last:    s.pub.last.Load(),
+	}
 }
 
 // DebugVars snapshots the node's live state for the expvar endpoint:
-// engine message counters, raft status, and client-table size. Safe to
-// call concurrently with the serving loops.
+// engine message counters, raft status, client-table size, and the
+// per-core loop counters. Reads only published atomics and
+// concurrency-safe counter sets, so it never stalls the data plane.
 func (s *Server) DebugVars() map[string]interface{} {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.engine.Node().Status()
+	st := s.Status()
+	cores := make(map[string]interface{}, len(s.loops))
+	for i, lp := range s.loops {
+		cores[fmt.Sprintf("core%d", i)] = lp.Counters().Snapshot()
+	}
 	vars := map[string]interface{}{
 		"id":             s.cfg.ID,
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"is_leader":      s.engine.IsLeader(),
+		"is_leader":      st.State == raft.StateLeader,
 		"term":           st.Term,
 		"commit_index":   st.Commit,
-		"known_clients":  len(s.clients),
+		"known_clients":  s.pub.clients.Load(),
 		"counters":       s.engine.Counters().Snapshot(),
 		"net":            s.NetStats(),
+		"cores":          cores,
+		"affinity":       s.affinity,
 	}
 	if fs, ok := s.cfg.Storage.(*raft.FileStorage); ok {
 		vars["wal_fsyncs"] = fs.SyncCount()
@@ -394,11 +491,11 @@ func (s *Server) DebugVars() map[string]interface{} {
 	}
 	if s.admit != nil {
 		vars["admission"] = map[string]interface{}{
-			"window":   s.admCtrl.Window(),
-			"inflight": s.admit.InFlight(),
-			"admitted": s.admit.Admitted,
-			"nacked":   s.admit.Nacked,
-			"leaked":   s.admit.Leaked,
+			"window":   s.pub.admWindow.Load(),
+			"inflight": s.pub.admInflight.Load(),
+			"admitted": s.pub.admAdmitted.Load(),
+			"nacked":   s.pub.admNacked.Load(),
+			"leaked":   s.pub.admLeaked.Load(),
 		}
 	}
 	return vars
@@ -412,6 +509,7 @@ func (s *Server) DebugVars() map[string]interface{} {
 func (s *Server) NetStats() map[string]uint64 {
 	out := s.ctr.Snapshot()
 	out["sockets"] = uint64(len(s.conns))
+	out["cores"] = uint64(len(s.loops))
 	if batchIOSupported {
 		out["batch_io"] = 1
 	} else {
@@ -427,37 +525,39 @@ func (s *Server) Telemetry() *obs.Telemetry { return s.tel }
 
 // RegisterMetrics publishes the node's live metrics into a scoped
 // registry view: raft role gauges, data-plane and engine counter sets,
-// socket/WAL health, and the per-stage queue-delay windows. Everything
-// registered here shows up uniformly in the expvar snapshot and the
-// Prometheus /metrics exposition.
+// per-core loop counters (coreN.*), socket/WAL health, and the
+// per-stage queue-delay windows. Everything registered here shows up
+// uniformly in the expvar snapshot and the Prometheus /metrics
+// exposition.
 func (s *Server) RegisterMetrics(sc *obs.Scoped) {
 	if sc == nil {
 		return
 	}
 	sc.Gauge("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
-	sc.Gauge("known_clients", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.clients))
-	})
+	sc.Gauge("known_clients", func() float64 { return float64(s.pub.clients.Load()) })
 	sc.Gauge("raft.is_leader", func() float64 {
 		if s.IsLeader() {
 			return 1
 		}
 		return 0
 	})
-	sc.Gauge("raft.term", func() float64 { return float64(s.Status().Term) })
-	sc.Gauge("raft.commit_index", func() float64 { return float64(s.Status().Commit) })
-	sc.Gauge("raft.applied_index", func() float64 { return float64(s.Status().Applied) })
+	sc.Gauge("raft.term", func() float64 { return float64(s.pub.term.Load()) })
+	sc.Gauge("raft.commit_index", func() float64 { return float64(s.pub.commit.Load()) })
+	sc.Gauge("raft.applied_index", func() float64 { return float64(s.pub.applied.Load()) })
 	sc.CounterSet("net", s.ctr)
 	sc.CounterSet("engine", s.engine.Counters())
 	sc.Gauge("net.sockets", func() float64 { return float64(len(s.conns)) })
+	sc.Gauge("net.cores", func() float64 { return float64(len(s.loops)) })
+	sc.Gauge("net.affinity", func() float64 { return float64(s.affinity) })
 	sc.Gauge("net.batch_io", func() float64 {
 		if batchIOSupported {
 			return 1
 		}
 		return 0
 	})
+	for i, lp := range s.loops {
+		sc.CounterSet(fmt.Sprintf("core%d", i), lp.Counters())
+	}
 	// Kernel-side receive drops (SO_RCVBUF overflow): datagrams that
 	// never reached userspace, read from /proc at scrape time.
 	sc.Counter("net.udp_rx_dropped", func() uint64 { return kernelRxDrops(s.Addr().Port) })
@@ -468,37 +568,29 @@ func (s *Server) RegisterMetrics(sc *obs.Scoped) {
 	if s.admit != nil {
 		av := sc.Sub("admission")
 		s.admCtrl.Register(av)
-		av.Counter("admitted", func() uint64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return s.admit.Admitted
-		})
-		av.Counter("nacked", func() uint64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return s.admit.Nacked
-		})
-		av.Counter("leaked", func() uint64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return s.admit.Leaked
-		})
-		av.Gauge("inflight", func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.admit.InFlight())
-		})
+		av.Counter("admitted", s.pub.admAdmitted.Load)
+		av.Counter("nacked", s.pub.admNacked.Load)
+		av.Counter("leaked", s.pub.admLeaked.Load)
+		av.Gauge("inflight", func() float64 { return float64(s.pub.admInflight.Load()) })
 	}
 	s.tel.Register(sc)
 }
 
 // Campaign triggers an immediate election (cluster bootstrap helper).
+// It runs in the owner loop's context like every other engine step.
 func (s *Server) Campaign() {
-	s.mu.Lock()
-	s.engine.Campaign()
-	b := s.takeEgress()
-	s.mu.Unlock()
-	s.flushEgress(b)
+	done := make(chan struct{})
+	if !s.owner.Submit(func() {
+		s.engine.Campaign()
+		s.publish()
+		close(done)
+	}) {
+		return
+	}
+	select {
+	case <-done:
+	case <-s.closed:
+	}
 }
 
 // Close shuts the server down and waits for its goroutines.
@@ -516,84 +608,120 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// readLoop drains one ingress socket: each wakeup ingests a whole
-// recvmmsg batch under a single lock acquisition, then flushes the
-// egress that batch produced outside the lock.
-func (s *Server) readLoop(r *batchReader) {
+// coreLoop is one core's goroutine, pinned to one socket for its whole
+// life. The owning core alternates between a deadline-bounded batch
+// read and Advance (handoff drain, tick, egress flush), re-kicking its
+// own deadline when a producer's wakeup raced the arm. Forwarding
+// cores just block on their socket and push each batch into the
+// owner's mailbox.
+func (s *Server) coreLoop(lp *runtime.Loop, r *batchReader, c *net.UDPConn) {
 	defer s.wg.Done()
+	owner := lp.IsOwner()
 	for {
+		if owner {
+			// Park at most until the next tick. The pending re-check
+			// must come after the arm: a producer that kicked between
+			// Advance and SetReadDeadline would otherwise have its
+			// expired deadline overwritten and wait out a full tick.
+			setReadDeadline(c, lp.NextWake())
+			if !lp.ShouldPark() {
+				_ = c.SetReadDeadline(aLongTimeAgo)
+			}
+		}
 		n, err := r.read()
 		if err != nil {
 			select {
 			case <-s.closed:
 				return
 			default:
-				continue
 			}
+			if owner {
+				lp.Advance() // timeout or kick: tick and drain handoffs
+			}
+			continue
 		}
 		s.ctr.Get("ingress_datagrams").Add(uint64(n))
 		s.ctr.Get("ingress_syscalls").Inc()
-		// Ingress queue delay: how long this batch sat between leaving
-		// the kernel and winning the engine lock. Every datagram of the
-		// batch shares the wait, so one timed interval records n points.
-		var t0 time.Duration
-		if s.tel.Active() {
-			t0 = s.tel.Now()
-		}
-		s.mu.Lock()
-		if s.tel.Active() {
+		if owner && s.tel.Active() {
+			// Ingress queue delay: how long this batch waits between
+			// leaving the kernel and entering the engine. Run to
+			// completion makes this a clock-pair apart on the owning
+			// core — the stage exists to prove exactly that (handoffs
+			// from other cores record their real mailbox sojourn).
+			t0 := s.tel.Now()
 			s.tel.RecordN(obs.QIngress, s.tel.Now()-t0, n)
 		}
 		for i := 0; i < n; i++ {
-			s.from = r.addr(i)
-			s.drv.IngestBorrowed(r.views[i], r.keys[i])
+			lp.Ingest(r.views[i], r.keys[i], uint16(r.addrs[i].Port))
 		}
-		b := s.takeEgress()
-		s.mu.Unlock()
-		s.flushEgress(b)
+		if owner {
+			lp.Advance()
+		}
 	}
 }
 
-func (s *Server) tickLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.TickInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.closed:
-			return
-		case <-t.C:
-			if s.admCtrl != nil {
-				// Read the telemetry signal and resize the window before
-				// taking the lock; only the middlebox-state writes (limit,
-				// hint, slot GC) happen under it.
-				s.admCtrl.Tick()
-			}
-			s.mu.Lock()
-			if s.admCtrl != nil {
-				s.admit.SetLimit(s.admCtrl.Window())
-				s.admit.NackHint = s.admCtrl.Hint()
-				if now := time.Since(s.start); now >= s.admGC {
-					s.admit.GC(now)
-					s.admGC = now + 250*time.Millisecond
-				}
-			}
-			s.drv.Tick()
-			b := s.takeEgress()
-			s.mu.Unlock()
-			s.flushEgress(b)
-			if s.gc != nil {
-				// Latency bound for staged WAL records that no egress
-				// barrier has covered yet (honors FsyncDelay).
-				s.gc.MaybeFlush()
-			}
+// deliver is the owner loop's ingest: rebuild the sender address from
+// the (ip, port) identity — uniform for direct and mailboxed datagrams
+// — and feed the driver. owned datagrams (none over UDP today; the
+// mailbox copies) may be retained by the handler.
+func (s *Server) deliver(dg []byte, src uint32, port uint16, owned bool) {
+	binary.BigEndian.PutUint32(s.fromIP[:], src)
+	s.fromAddr.Port = int(port)
+	s.from = &s.fromAddr
+	if owned {
+		s.drv.Ingest(dg, src)
+	} else {
+		s.drv.IngestBorrowed(dg, src)
+	}
+}
+
+// ownerTick is the owner loop's timer body: admission window update,
+// protocol tick, control-plane publish, WAL latency bound.
+func (s *Server) ownerTick() {
+	if s.admCtrl != nil {
+		// The controller reads the telemetry signal and resizes the
+		// window; its outputs are atomics, so only the middlebox-state
+		// writes (limit, hint, slot GC) touch owner-core state.
+		s.admCtrl.Tick()
+		s.admit.SetLimit(s.admCtrl.Window())
+		s.admit.NackHint = s.admCtrl.Hint()
+		if now := time.Since(s.start); now >= s.admGC {
+			s.admit.GC(now)
+			s.admGC = now + 250*time.Millisecond
 		}
+	}
+	s.drv.Tick()
+	s.publish()
+	if s.gc != nil {
+		// Latency bound for staged WAL records that no egress barrier
+		// has covered yet (honors FsyncDelay).
+		s.gc.MaybeFlush()
+	}
+}
+
+// publish refreshes the control-plane snapshot from the engine. Owner
+// loop only.
+func (s *Server) publish() {
+	st := s.engine.Node().Status()
+	s.pub.state.Store(uint32(st.State))
+	s.pub.term.Store(st.Term)
+	s.pub.lead.Store(uint64(st.Lead))
+	s.pub.commit.Store(st.Commit)
+	s.pub.applied.Store(st.Applied)
+	s.pub.last.Store(st.Last)
+	s.pub.clients.Store(uint64(len(s.clients)))
+	if s.admit != nil {
+		s.pub.admWindow.Store(uint64(s.admCtrl.Window()))
+		s.pub.admInflight.Store(uint64(s.admit.InFlight()))
+		s.pub.admAdmitted.Store(s.admit.Admitted)
+		s.pub.admNacked.Store(s.admit.Nacked)
+		s.pub.admLeaked.Store(s.admit.Leaked)
 	}
 }
 
 // appLoop is the application thread: it executes state-machine operations
-// one at a time (outside the engine lock), then re-enters the engine
-// under the lock to deliver the completion.
+// one at a time (off the owner core), then submits the completion back
+// into the owner loop, which delivers it at its next boundary.
 func (s *Server) appLoop() {
 	defer s.wg.Done()
 	for {
@@ -611,29 +739,19 @@ func (s *Server) appLoop() {
 			if s.tel.Active() {
 				s.tel.Record(obs.QService, s.tel.Now()-t0)
 			}
-			s.mu.Lock()
-			job.done(reply)
-			b := s.takeEgress()
-			s.mu.Unlock()
-			s.flushEgress(b)
+			s.owner.Submit(func() { job.done(reply) })
 		}
 	}
 }
 
-// takeEgress swaps the queued egress out from under the engine lock.
-// Returns nil when the lock scope produced nothing to send.
-func (s *Server) takeEgress() *egBatch {
-	b := s.egq
-	s.egq = nil
-	return b
-}
-
-// flushEgress is the coalesced send path and the durability barrier:
-// first the group-committing storage (if any) makes every staged WAL
-// record durable — no ack may leave before its covering fsync — then
-// consecutive same-destination runs go out via sendmmsg.
-func (s *Server) flushEgress(b *egBatch) {
-	if b == nil {
+// flushOwned is the owner loop's coalesced send path and the
+// durability barrier: first the group-committing storage (if any)
+// makes every staged WAL record durable — no ack may leave before its
+// covering fsync — then consecutive same-destination runs go out via
+// sendmmsg on the owner's socket.
+func (s *Server) flushOwned() {
+	items := s.eg
+	if len(items) == 0 {
 		return
 	}
 	if s.gc != nil {
@@ -651,8 +769,6 @@ func (s *Server) flushEgress(b *egBatch) {
 	if s.tel.Active() {
 		eg0 = s.tel.Now()
 	}
-	sn := s.sendPool.Get().(*sender)
-	items := b.items
 	var pkts [][]byte
 	for i := 0; i < len(items); {
 		j := i
@@ -663,35 +779,34 @@ func (s *Server) flushEgress(b *egBatch) {
 		for _, it := range items[i:j] {
 			pkts = append(pkts, it.buf.B)
 		}
-		sn.sendTo(s.conn, s.rawConn, items[i].addr, pkts)
+		s.snd.sendTo(s.conn, s.rawConn, items[i].addr, pkts)
 		i = j
 	}
-	if s.tel.Active() && len(items) > 0 {
+	if s.tel.Active() {
 		s.tel.RecordN(obs.QEgress, s.tel.Now()-eg0, len(items))
 	}
 	s.ctr.Get("egress_datagrams").Add(uint64(len(items)))
-	s.ctr.Get("egress_syscalls").Add(sn.syscalls)
-	sn.syscalls, sn.datagrams = 0, 0
-	s.sendPool.Put(sn)
+	s.ctr.Get("egress_syscalls").Add(s.snd.syscalls)
+	s.snd.syscalls, s.snd.datagrams = 0, 0
 	for i := range items {
 		items[i].buf.Release()
 		items[i] = egressItem{}
 	}
-	b.items = items[:0]
-	egBatchPool.Put(b)
+	s.eg = items[:0]
 }
 
 // serverHandler adapts Server to runtime.Handler: it learns client
-// reply addresses from requests, then feeds the engine.
+// reply addresses from requests, then feeds the engine. It only ever
+// runs on the owning core.
 type serverHandler Server
 
 func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
 	switch m.Type {
 	case r2p2.TypeRequest:
 		// Remember where to send this client's replies. The r2p2
-		// SrcPort disambiguates clients sharing an IP. h.from points
-		// into the batch reader's reused address slots, so the table
-		// keeps a stable clone (refreshed if the client re-binds).
+		// SrcPort disambiguates clients sharing an IP. h.from points at
+		// the owner's reused scratch address, so the table keeps a
+		// stable clone (refreshed if the client re-binds).
 		k := clientKey{ip: m.ID.SrcIP, port: m.ID.SrcPort}
 		if known := h.clients[k]; !sameUDPAddr(known, h.from) {
 			h.clients[k] = cloneUDPAddr(h.from)
@@ -724,8 +839,8 @@ func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
 }
 
 // serverTransport adapts Server to core.Transport. Sends are queued on
-// the egress coalescer (the caller holds the engine lock) and flushed
-// by whichever loop drove the engine, outside the lock.
+// the owner's egress coalescer (the engine only ever steps in the
+// owner loop) and flushed at the end of the same loop pass.
 type serverTransport Server
 
 func (t *serverTransport) enqueue(addr *net.UDPAddr, dgs []*wire.Buf) {
@@ -733,11 +848,8 @@ func (t *serverTransport) enqueue(addr *net.UDPAddr, dgs []*wire.Buf) {
 		wire.ReleaseAll(dgs)
 		return
 	}
-	if t.egq == nil {
-		t.egq = egBatchPool.Get().(*egBatch)
-	}
 	for _, b := range dgs {
-		t.egq.items = append(t.egq.items, egressItem{addr: addr, buf: b})
+		t.eg = append(t.eg, egressItem{addr: addr, buf: b})
 	}
 }
 
