@@ -40,8 +40,22 @@ load (floor, as a fraction of measured 1x capacity), admitted-work p99 (ceiling,
 the 500us SLO), and NACKs/request at half load (ceiling). Deterministic virtual-time \
 runs; regenerate with 'make bench'. Gated by cmd/benchcheck.
 
+# The gated read-scale benchmarks also run in simulator virtual time:
+# leased-read capacity under the SLO on YCSB-C at N=3 (floor), its
+# ratio over log-ordered reads (floor), the write-class p99 with
+# lin-reads flowing around the log (ceiling), and the stale-read
+# counter (ceiling, zero slack — linearizability invariant).
+READSCALE_PATTERN := ReadscaleYCSBC|ReadscaleMixedB
+READSCALE_PKG := ./internal/harness
+READSCALE_NOTE := Read-scale baseline: leased read-index capacity under the 500us \
+SLO on YCSB-C at N=3 (floor), its ratio over log-ordered reads (floor), write-class \
+p99 alongside lin-reads (ceiling), and the stale-read invariant (ceiling, zero \
+slack). Deterministic virtual-time runs; regenerate with 'make bench'. Gated by \
+cmd/benchcheck.
+
 .PHONY: all build test race bench bench-check bench-dataplane bench-dataplane-check \
-	bench-overload bench-overload-check smoke-overload
+	bench-overload bench-overload-check bench-readscale bench-readscale-check \
+	smoke-overload smoke-readscale
 
 all: build test
 
@@ -54,12 +68,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-bench: bench-dataplane bench-overload
+bench: bench-dataplane bench-overload bench-readscale
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json -update
 	@rm -f bench.out
 
-bench-check: bench-dataplane-check bench-overload-check
+bench-check: bench-dataplane-check bench-overload-check bench-readscale-check
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=100x $(BENCH_PKGS) | tee bench.out
 	$(GO) run ./cmd/benchcheck -in bench.out -baseline BENCH_hotpath.json
 	@rm -f bench.out
@@ -84,5 +98,18 @@ bench-overload-check:
 	$(GO) run ./cmd/benchcheck -in bench-overload.out -baseline BENCH_overload.json
 	@rm -f bench-overload.out
 
+bench-readscale:
+	$(GO) test -run '^$$' -bench '$(READSCALE_PATTERN)' -benchtime=1x $(READSCALE_PKG) | tee bench-readscale.out
+	$(GO) run ./cmd/benchcheck -in bench-readscale.out -baseline BENCH_readscale.json -update -note "$(READSCALE_NOTE)"
+	@rm -f bench-readscale.out
+
+bench-readscale-check:
+	$(GO) test -run '^$$' -bench '$(READSCALE_PATTERN)' -benchtime=1x $(READSCALE_PKG) | tee bench-readscale.out
+	$(GO) run ./cmd/benchcheck -in bench-readscale.out -baseline BENCH_readscale.json
+	@rm -f bench-readscale.out
+
 smoke-overload:
 	bash scripts/overload_smoke.sh
+
+smoke-readscale:
+	bash scripts/readscale_smoke.sh

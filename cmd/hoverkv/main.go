@@ -137,6 +137,17 @@ func main() {
 			usage()
 		}
 		flood(strings.Split(*peersFlag, ","), *shards, *workers, *dur, *keys)
+	case "readmix":
+		fs := flag.NewFlagSet("readmix", flag.ExitOnError)
+		workers := fs.Int("c", 16, "concurrent closed-loop workers")
+		dur := fs.Duration("duration", 3*time.Second, "run length")
+		records := fs.Int("records", 500, "preloaded records")
+		mix := fs.String("mix", "B", "YCSB mix: B (95/5 r/u), C (100 r), D (95/5 r/i)")
+		lin := fs.Bool("lin", true, "reads as LIN_READ via the leased fast path (false = log-ordered reads)")
+		if err := fs.Parse(args[1:]); err != nil {
+			usage()
+		}
+		readmix(strings.Split(*peersFlag, ","), *shards, *workers, *dur, *records, *mix, *lin)
 	default:
 		usage()
 	}
@@ -202,6 +213,107 @@ func flood(peers []string, shards, workers int, dur time.Duration, keys int) {
 	fmt.Printf("admitted_p99_us=%.0f\n", float64(total.hist.P99())/1e3)
 	if total.done == 0 {
 		log.Fatal("hoverkv: flood completed zero operations")
+	}
+}
+
+// readmix drives a read-heavy YCSB mix against the cluster — the
+// smoke driver for the leased read fast path. With -lin (the default)
+// reads go out as LIN_READ through ShardedClient.CallKeyRead: each read
+// lands point-to-point on one rotating replica, which serves it from
+// local state under the leader lease; writes keep the ordinary
+// replicated path. Prints class-split counts and tails in a
+// parse-friendly key=value line; server-side serve counters (leader vs
+// follower, stale-read invariant) come from the nodes' /metrics.
+// Exits non-zero when no read completed.
+func readmix(peers []string, shards, workers int, dur time.Duration, records int, mixName string, lin bool) {
+	if records < 1 {
+		log.Fatalf("hoverkv: -records %d must be >= 1", records)
+	}
+	cl, err := hovercraft.DialSharded(peers, shards,
+		hovercraft.ClientOptions{Timeout: 250 * time.Millisecond, Retries: 5})
+	if err != nil {
+		log.Fatalf("hoverkv: %v", err)
+	}
+	defer cl.Close()
+	newMix := func() *ycsb.Mix {
+		switch strings.ToUpper(mixName) {
+		case "B":
+			return ycsb.NewWorkloadB(uint64(records))
+		case "C":
+			return ycsb.NewWorkloadC(uint64(records))
+		case "D":
+			return ycsb.NewWorkloadD(uint64(records))
+		default:
+			log.Fatalf("hoverkv: unknown mix %q (want B, C, or D)", mixName)
+			return nil
+		}
+	}
+	for _, op := range newMix().LoadOps() {
+		if _, err := cl.CallKey([]byte(op.Key), op.Payload, false); err != nil {
+			log.Fatalf("hoverkv: load: %v", err)
+		}
+	}
+	type tally struct {
+		reads, writes, failed uint64
+		readHist, writeHist   *stats.Histogram
+	}
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			tl.readHist, tl.writeHist = stats.NewHistogram(), stats.NewHistogram()
+			rng := rand.New(rand.NewSource(int64(w)*6151 + 3))
+			mix := newMix() // Mix mutates on inserts; one per worker
+			for time.Since(start) < dur {
+				op := mix.Next(rng)
+				t0 := time.Now()
+				var err error
+				if op.ReadOnly && lin {
+					_, err = cl.CallKeyRead([]byte(op.Key), op.Payload)
+				} else {
+					_, err = cl.CallKey([]byte(op.Key), op.Payload, op.ReadOnly)
+				}
+				if err != nil {
+					tl.failed++
+					continue
+				}
+				d := time.Since(t0)
+				if op.ReadOnly {
+					tl.reads++
+					tl.readHist.RecordDuration(d)
+				} else {
+					tl.writes++
+					tl.writeHist.RecordDuration(d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := tally{readHist: stats.NewHistogram(), writeHist: stats.NewHistogram()}
+	for w := range tallies {
+		total.reads += tallies[w].reads
+		total.writes += tallies[w].writes
+		total.failed += tallies[w].failed
+		total.readHist.Merge(tallies[w].readHist)
+		total.writeHist.Merge(tallies[w].writeHist)
+	}
+	mode := "lin"
+	if !lin {
+		mode = "ordered"
+	}
+	fmt.Printf("readmix: YCSB-%s %s reads, %d workers for %v\n",
+		strings.ToUpper(mixName), mode, workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("reads=%d writes=%d failed=%d read_ops_s=%.0f read_p99_us=%.0f write_p99_us=%.0f\n",
+		total.reads, total.writes, total.failed,
+		float64(total.reads)/elapsed.Seconds(),
+		float64(total.readHist.P99())/1e3, float64(total.writeHist.P99())/1e3)
+	if total.reads == 0 {
+		log.Fatal("hoverkv: readmix completed zero reads")
 	}
 }
 
@@ -291,6 +403,10 @@ commands:
   flood [-c workers] [-duration d] [-keys range]
                                 (concurrent overload driver; prints goodput,
                                  rejected count, and admitted-p99)
+  readmix [-c workers] [-duration d] [-records n] [-mix B|C|D] [-lin]
+                                (read-heavy YCSB driver; -lin sends reads as
+                                 LIN_READ through the leased fast path,
+                                 spread across replicas)
 
 -shards G routes each key to its group of a sharded cluster
 (hovernode -shards G); -peers lists the shard-0 addresses.

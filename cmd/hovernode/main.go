@@ -142,6 +142,9 @@ func main() {
 		fsyncBatch = flag.Int("fsync-batch", 0, "WAL group commit: records staged per fsync (<=1 = sync every record)")
 		fsyncDelay = flag.Duration("fsync-delay", 0, "WAL group commit: max time a staged record may wait for its fsync")
 
+		readLease  = flag.Bool("read-lease", false, "linearizable read fast path: serve LIN_READ requests from any replica's local state under a heartbeat-ratified leader lease, bypassing log, WAL, and replication")
+		readBudget = flag.Duration("read-staleness-budget", 0, "throttle each follower to one read-index fetch per window, amortizing the leader round across reads arriving within it (0 = fetch per batch; bounds queueing, never staleness)")
+
 		admit       = flag.Bool("admission", false, "adaptive leader-side admission control: shed requests above an AIMD window driven by queue-delay telemetry")
 		admitLimit  = flag.Int("admission-limit", 0, "admission window ceiling (0 = 4096)")
 		admitTarget = flag.Duration("admission-target", 0, "queue-delay p99 the admission controller defends (0 = 500µs)")
@@ -222,6 +225,9 @@ func main() {
 			AdaptiveAdmission: *admit,
 			AdmissionLimit:    *admitLimit,
 			Admission:         admission.Config{Target: *admitTarget},
+
+			ReadLease:           *readLease,
+			ReadStalenessBudget: *readBudget,
 		}
 		if *walDir != "" {
 			dir := *walDir

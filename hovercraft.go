@@ -108,6 +108,18 @@ type Config struct {
 	// sockets with independent batch read loops (default 1). Only Linux
 	// binds more than one; elsewhere the value is ignored.
 	Sockets int
+
+	// ReadLease enables the linearizable read fast path: Client.CallRead
+	// requests are served from any replica's local state under a
+	// heartbeat-ratified leader lease, without entering the log. Off by
+	// default (replicas NACK lin-reads; use Call(cmd, true) for ordered
+	// reads).
+	ReadLease bool
+	// ReadStalenessBudget throttles each follower to one read-index
+	// fetch per window, amortizing the leader round across every read
+	// arriving within it (0 = fetch as fast as batching allows). Bounds
+	// added queueing only — reads stay strictly linearizable.
+	ReadStalenessBudget time.Duration
 }
 
 // Node is a running replica: one server per shard group (a single
@@ -192,6 +204,9 @@ func StartSharded(cfg Config, f ShardFactory) (*Node, error) {
 			Bound:          cfg.Bound,
 			DisableReplyLB: cfg.DisableReplyLB,
 			Sockets:        cfg.Sockets,
+
+			ReadLease:           cfg.ReadLease,
+			ReadStalenessBudget: cfg.ReadStalenessBudget,
 		}, smService{sm: f.NewShard(s)})
 		if err != nil {
 			n.Close()
@@ -342,6 +357,14 @@ func DialSharded(peers []string, shards int, opts ...ClientOptions) (*ShardedCli
 // confined to one shard by the application.
 func (c *ShardedClient) CallKey(key []byte, cmd []byte, readOnly bool) ([]byte, error) {
 	return c.clients[c.m.GroupFor(key)].Call(cmd, readOnly)
+}
+
+// CallKeyRead issues a linearizable read against the shard group owning
+// key through the leased read-index fast path: served by one rotating
+// replica of that group from local state, never entering the log.
+// Requires the cluster to run with Config.ReadLease.
+func (c *ShardedClient) CallKeyRead(key []byte, cmd []byte) ([]byte, error) {
+	return c.clients[c.m.GroupFor(key)].CallRead(cmd)
 }
 
 // ShardFor reports which shard group owns key.

@@ -146,6 +146,30 @@ type Config struct {
 	// rotation from its tick. Nil disables at one pointer test per hook.
 	Tel *obs.Telemetry
 
+	// ReadLease enables the linearizable read fast path: leader leases
+	// ratified by AppendEntries probe echoes plus the ReadIndex protocol,
+	// so LIN_READ requests execute locally — at the leader without a
+	// network round while the lease holds, at followers once their
+	// applied index passes a leader-ratified read index — and never
+	// touch the log, the WAL, or replication. Off by default: replicas
+	// NACK LIN_READ requests so clients fall back to ordered reads.
+	ReadLease bool
+	// ReadStalenessBudget, when positive, throttles a follower to one
+	// read-index fetch per budget window: every read arriving within the
+	// window shares that one leader round instead of paying its own.
+	// Reads are still strictly linearizable — each is served against an
+	// index captured after it arrived — the budget only bounds the extra
+	// queueing a read may absorb waiting for the next refresh. Zero
+	// fetches as fast as one-in-flight batching allows.
+	ReadStalenessBudget time.Duration
+	// ReadNackAfter bounds how long a linearizable read may queue before
+	// the replica NACKs it so the client redirects — the read SLO guard
+	// against lagging followers and dead leaders. 0 selects 500µs.
+	ReadNackAfter time.Duration
+	// DriftTicks is the clock-drift margin subtracted from the election
+	// timeout to size the leader lease (see raft.Config.DriftTicks).
+	DriftTicks int
+
 	// DedupWindow bounds the exactly-once RPC-ID cache: every replica
 	// remembers the last DedupWindow applied read-write request IDs with
 	// their replies, suppresses re-execution of retransmitted
@@ -194,6 +218,9 @@ func (c *Config) defaults() {
 	}
 	if c.DedupWindow == 0 {
 		c.DedupWindow = 65536
+	}
+	if c.ReadNackAfter <= 0 {
+		c.ReadNackAfter = 500 * time.Microsecond
 	}
 }
 
@@ -289,6 +316,23 @@ type Engine struct {
 	// already restored (InstallSnapshot receiver side).
 	lastRestored uint64
 
+	// Linearizable read fast path (leader lease + ReadIndex). Reads
+	// ready to serve once ratified+applied queue FIFO in pendingReads
+	// (head index keeps pops O(1)); follower reads awaiting a leader
+	// read index queue in fetchWait with one batched fetch in flight;
+	// riPending parks follower fetches the leader cannot answer until
+	// its next quorum round ratifies the captured index.
+	pendingReads    []pendingRead
+	pendingHead     int
+	fetchWait       []fetchRead
+	riPending       []riPend
+	riSeq           uint64
+	riInflight      bool
+	riSentTick      uint64
+	riSentNow       time.Duration
+	readNackTicks   uint64
+	fetchRetryTicks uint64
+
 	msgSeq uint32
 
 	// Hot-path scratch, reused across sends: encScratch holds one encoded
@@ -326,9 +370,28 @@ func NewEngine(cfg Config, transport Transport, runner AppRunner) *Engine {
 		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
 		MaxInflightEntries:  cfg.MaxInflightEntries,
 		MaxBatchBytes:       cfg.MaxBatchBytes,
+		DriftTicks:          cfg.DriftTicks,
 		Rand:                cfg.Rand,
 		Storage:             cfg.Storage,
 	})
+	if cfg.ReadLease {
+		e.readNackTicks = uint64(cfg.ReadNackAfter / cfg.TickInterval)
+		if e.readNackTicks < 1 {
+			e.readNackTicks = 1
+		}
+		e.fetchRetryTicks = uint64(2 * cfg.HeartbeatTicks)
+		if e.fetchRetryTicks < 1 {
+			e.fetchRetryTicks = 1
+		}
+		// Pre-register the read-path counters so /metrics exposes them
+		// (zero included — the stale counter's whole job is to be zero).
+		for _, c := range []string{
+			"rx_read", "read_leader_served", "read_follower_served",
+			"read_amortized", "read_nacked", "read_stale_served",
+		} {
+			e.counters.Get(c)
+		}
+	}
 	return e
 }
 
@@ -411,6 +474,7 @@ func (e *Engine) Tick() {
 		e.unordered.GC(e.now)
 	}
 	e.retryRecovery()
+	e.readTick()
 	e.finish()
 }
 
@@ -438,6 +502,12 @@ func (e *Engine) HandleMessage(m *r2p2.Msg) {
 // --- client requests ---------------------------------------------------
 
 func (e *Engine) handleClientRequest(m *r2p2.Msg) {
+	if m.IsLinRead() {
+		// Linearizable reads ride the lease fast path: no log, no WAL,
+		// no replication (readpath.go).
+		e.handleLinRead(m)
+		return
+	}
 	e.counters.Get("rx_req").Inc()
 	kind := raft.KindReadWrite
 	if m.IsReadOnly() {
@@ -553,6 +623,10 @@ func (e *Engine) handleConsensus(m *r2p2.Msg, viaAgg bool) {
 		e.handleAggCommit(env.AggCommit)
 	case env.AggPongTerm != nil:
 		e.handleAggPong(*env.AggPongTerm)
+	case env.ReadIndexReq != nil:
+		e.handleReadIndexReq(env.ReadIndexReq)
+	case env.ReadIndexResp != nil:
+		e.handleReadIndexResp(env.ReadIndexResp)
 	case env.AggPing != nil:
 		// Pings are for the aggregator, not nodes.
 		e.counters.Get("rx_unexpected").Inc()
@@ -1139,6 +1213,7 @@ func (e *Engine) maybeApply() {
 				e.reply(entry.ID, reply)
 			}
 			e.maybeApply()
+			e.serveReads()
 			e.flush()
 		})
 	}
@@ -1229,6 +1304,8 @@ func (e *Engine) finish() {
 	e.maybeSnapshot()
 	e.noteCommits()
 	e.maybeApply()
+	e.pumpReadIndex()
+	e.serveReads()
 	e.maybeCompact()
 	e.flush()
 }

@@ -28,6 +28,8 @@ const (
 	envAggCommit
 	envAggPing
 	envAggPong
+	envReadIndexReq
+	envReadIndexResp
 
 	numEnvKinds
 )
@@ -222,14 +224,57 @@ func EncodeAggPong(term uint64) []byte {
 	return buf
 }
 
+// ReadIndexReq asks the leader for a read index: the commit index a
+// follower must apply past before locally serving the linearizable
+// reads batched behind Seq. One request amortizes a whole batch.
+type ReadIndexReq struct {
+	From raft.NodeID
+	Seq  uint64
+}
+
+// EncodeReadIndexReq serializes r.
+func EncodeReadIndexReq(r *ReadIndexReq) []byte {
+	buf := make([]byte, 13)
+	buf[0] = envReadIndexReq
+	binary.BigEndian.PutUint32(buf[1:5], uint32(r.From))
+	binary.BigEndian.PutUint64(buf[5:13], r.Seq)
+	return buf
+}
+
+// ReadIndexResp answers a ReadIndexReq. OK=false means the queried node
+// could not ratify an index (not the leader, term noop uncommitted, or
+// it stepped down while the request was pending) — the follower NACKs
+// its queued reads so clients redirect.
+type ReadIndexResp struct {
+	Seq   uint64
+	Index uint64
+	Term  uint64
+	OK    bool
+}
+
+// EncodeReadIndexResp serializes r.
+func EncodeReadIndexResp(r *ReadIndexResp) []byte {
+	buf := make([]byte, 26)
+	buf[0] = envReadIndexResp
+	binary.BigEndian.PutUint64(buf[1:9], r.Seq)
+	binary.BigEndian.PutUint64(buf[9:17], r.Index)
+	binary.BigEndian.PutUint64(buf[17:25], r.Term)
+	if r.OK {
+		buf[25] = 1
+	}
+	return buf
+}
+
 // Envelope is a decoded consensus payload; exactly one field is set.
 type Envelope struct {
-	Raft         *raft.Message
-	RecoveryReq  *RecoveryReq
-	RecoveryResp *RecoveryResp
-	AggCommit    *AggCommit
-	AggPing      *AggPing
-	AggPongTerm  *uint64
+	Raft          *raft.Message
+	RecoveryReq   *RecoveryReq
+	RecoveryResp  *RecoveryResp
+	AggCommit     *AggCommit
+	AggPing       *AggPing
+	AggPongTerm   *uint64
+	ReadIndexReq  *ReadIndexReq
+	ReadIndexResp *ReadIndexResp
 }
 
 // DecodeEnvelope parses a consensus payload.
@@ -277,6 +322,24 @@ func DecodeEnvelope(b []byte) (*Envelope, error) {
 		}
 		t := binary.BigEndian.Uint64(body)
 		return &Envelope{AggPongTerm: &t}, nil
+	case envReadIndexReq:
+		if len(body) != 12 {
+			return nil, ErrBadEnvelope
+		}
+		return &Envelope{ReadIndexReq: &ReadIndexReq{
+			From: raft.NodeID(binary.BigEndian.Uint32(body[0:4])),
+			Seq:  binary.BigEndian.Uint64(body[4:12]),
+		}}, nil
+	case envReadIndexResp:
+		if len(body) != 25 {
+			return nil, ErrBadEnvelope
+		}
+		return &Envelope{ReadIndexResp: &ReadIndexResp{
+			Seq:   binary.BigEndian.Uint64(body[0:8]),
+			Index: binary.BigEndian.Uint64(body[8:16]),
+			Term:  binary.BigEndian.Uint64(body[16:24]),
+			OK:    body[24] == 1,
+		}}, nil
 	default:
 		return nil, ErrBadEnvelope
 	}

@@ -48,7 +48,7 @@ func baselineWorkload() SyntheticSpec {
 
 // Experiments lists every reproduction in paper order.
 func Experiments() []string {
-	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shardscale", "failover", "overload"}
+	return []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "shardscale", "failover", "overload", "readscale"}
 }
 
 // Run dispatches an experiment by ID.
@@ -76,6 +76,8 @@ func Run(id string, sc Scale) (*Report, error) {
 		return Failover(sc), nil
 	case "overload":
 		return Overload(sc), nil
+	case "readscale":
+		return Readscale(sc), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"testing"
+)
+
+// The readscale gates run in simulator virtual time, so they are
+// bit-identical across machines: read_goodput_krps is the leased-read
+// capacity under the 500µs SLO at N=3/G=1 on YCSB-C (floor),
+// readscale_x is that capacity over the log-ordered-read baseline
+// (floor — the whole point of the fast path), write_p99_us is the
+// write-class tail while lin-reads flow around the log (ceiling, vs
+// the overload baseline's admitted p99), and stale_reads gates the
+// linearizability invariant at exactly zero. CI checks all four
+// against BENCH_readscale.json (cmd/benchcheck).
+
+// BenchmarkReadscaleYCSBC sweeps YCSB-C (100% point reads) on N=3:
+// log-ordered reads, then the leased read-index path spread over all
+// replicas. The gated claim: follower-served reads multiply capacity.
+func BenchmarkReadscaleYCSBC(b *testing.B) {
+	sc := QuickScale()
+	cfg := sc.runCfg()
+	for i := 0; i < b.N; i++ {
+		base := readscaleCurve(Hovercraft(3), SweepRates(400_000, sc.Points), cfg, false)
+		baseCap := base.MaxUnderSLO(SLO)
+		lease := readscaleCurve(HovercraftLease(3), SweepRates(4.5*baseCap*1000, sc.Points), cfg, true)
+		leaseCap := lease.MaxUnderSLO(SLO)
+		b.ReportMetric(leaseCap, "read_goodput_krps")
+		if baseCap > 0 {
+			b.ReportMetric(leaseCap/baseCap, "readscale_x")
+		}
+	}
+}
+
+// BenchmarkReadscaleMixedB runs YCSB-B (95% lin-read / 5% update) on
+// the leased N=3 cluster at a fixed rate: the write tail must hold
+// while reads bypass the log, and no read may ever be served stale.
+func BenchmarkReadscaleMixedB(b *testing.B) {
+	cfg := QuickScale().runCfg()
+	for i := 0; i < b.N; i++ {
+		p := RunReadscalePoint(HovercraftLease(3),
+			&YCSBMixSpec{Mix: "B", Records: readscaleRecords, LinReads: true}, 250_000, cfg)
+		b.ReportMetric(float64(p.StaleServed), "stale_reads")
+		b.ReportMetric(float64(p.WriteP99.Nanoseconds())/1e3, "write_p99_us")
+		b.ReportMetric(p.ReadKRPS, "read_krps")
+	}
+}

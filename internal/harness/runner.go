@@ -40,6 +40,15 @@ type SystemSpec struct {
 	Policy         core.SelectPolicy
 	Bound          int
 	FlowLimit      int
+	// ReadLease enables the leader-lease/read-index lin-read fast path
+	// and points every client's LIN_READ traffic round-robin across the
+	// cluster (followers serve reads locally once their applied index
+	// passes a leader-confirmed read index).
+	ReadLease bool
+	// ReadStalenessBudget lets followers reuse a fetched read index for
+	// this long before another leader round (amortizes one round across
+	// many reads). Zero means every follower read fetches.
+	ReadStalenessBudget time.Duration
 }
 
 // Unrep returns the unreplicated baseline spec.
@@ -140,6 +149,56 @@ func (y *YCSBESpec) Describe() string {
 	return fmt.Sprintf("YCSB-E 95%%SCAN/5%%INSERT %d records", y.Records)
 }
 
+// YCSBMixSpec is one of the YCSB read-heavy core mixes (§ readscale):
+// B (95% read / 5% update), C (100% read), D (95% read / 5% insert,
+// latest-skewed).
+type YCSBMixSpec struct {
+	Mix     string // "B", "C", or "D"
+	Records uint64
+	// LinReads tags reads LIN_READ so they take the leader-lease fast
+	// path; otherwise reads are REPLICATED_REQ_R and order through the
+	// log like every other request.
+	LinReads bool
+}
+
+func (y *YCSBMixSpec) gen() *ycsb.Mix {
+	switch y.Mix {
+	case "B":
+		return ycsb.NewWorkloadB(y.Records)
+	case "D":
+		return ycsb.NewWorkloadD(y.Records)
+	default:
+		return ycsb.NewWorkloadC(y.Records)
+	}
+}
+
+// NewWorkload implements WorkloadSpec. As with YCSB-E, all clients
+// share one generator so INSERT keys stay unique across clients.
+func (y *YCSBMixSpec) NewWorkload(unrep bool) loadgen.Workload {
+	return &loadgen.YCSBMix{Gen: y.gen(), LinReads: y.LinReads && !unrep}
+}
+
+// NewService implements WorkloadSpec.
+func (y *YCSBMixSpec) NewService() (app.Service, app.CostModel) {
+	s := kvstore.New()
+	return s, s
+}
+
+// Preload implements WorkloadSpec.
+func (y *YCSBMixSpec) Preload() [][]byte {
+	ops := y.gen().LoadOps()
+	payloads := make([][]byte, len(ops))
+	for i, op := range ops {
+		payloads[i] = op.Payload
+	}
+	return payloads
+}
+
+// Describe implements WorkloadSpec.
+func (y *YCSBMixSpec) Describe() string {
+	return fmt.Sprintf("YCSB-%s %d records (lin-reads=%v)", y.Mix, y.Records, y.LinReads)
+}
+
 // RunConfig sets measurement parameters.
 type RunConfig struct {
 	Seed     int64
@@ -237,11 +296,13 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 	cl := simcluster.New(simcluster.Options{
 		Setup: sys.Setup, Nodes: sys.Nodes, Seed: rc.Seed, Host: serverHost,
 		Bound: sys.Bound, Policy: sys.Policy,
-		DisableReplyLB: sys.DisableReplyLB,
-		FlowLimit:      sys.FlowLimit,
-		NewService:     wl.NewService,
-		Preload:        wl.Preload(),
-		Obs:            rc.Obs,
+		DisableReplyLB:      sys.DisableReplyLB,
+		FlowLimit:           sys.FlowLimit,
+		ReadLease:           sys.ReadLease,
+		ReadStalenessBudget: sys.ReadStalenessBudget,
+		NewService:          wl.NewService,
+		Preload:             wl.Preload(),
+		Obs:                 rc.Obs,
 	})
 	unrep := sys.Setup == simcluster.SetupUnreplicated
 	workload := wl.NewWorkload(unrep)
@@ -250,6 +311,10 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 		clientCfg.LinkBps = rc.ClientLinkBps
 		clientCfg.EgressQueue *= 4
 		clientCfg.IngressQueue *= 4
+	}
+	var readTargets []simnet.Addr
+	if sys.ReadLease {
+		readTargets = cl.NodeAddrs()
 	}
 	var clients []*loadgen.Client
 	for i := 0; i < rc.Clients; i++ {
@@ -262,6 +327,7 @@ func RunPoint(sys SystemSpec, wl WorkloadSpec, rate float64, rc RunConfig) RunRe
 			OnComplete:   rc.OnComplete,
 			Workload:     workload,
 			Target:       cl.ServiceAddr,
+			ReadTargets:  readTargets,
 			Port:         uint16(1000 + i),
 			SampleEvery: func() time.Duration {
 				return rc.SampleEvery

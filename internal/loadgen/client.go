@@ -50,6 +50,14 @@ type ClientConfig struct {
 	// final replicated state: every acked op must be applied, exactly
 	// once.
 	OnComplete func(payload []byte)
+	// ReadTargets, when non-empty, routes PolicyLinRead requests
+	// point-to-point to these replica addresses round-robin instead of
+	// Target — the read scale-out path: reads bypass the middlebox and
+	// its request multicast and land on one replica that serves them
+	// locally. A NACKed lin-read retries against the next replica
+	// immediately, with no backoff sleep: a read NACK is a redirect
+	// ("I can't serve this read"), not an overload signal.
+	ReadTargets []simnet.Addr
 	// Router, when non-nil, makes the client shard-aware: the Workload
 	// must implement KeyedWorkload, requests are stamped with the group
 	// owning their key, results are broken down per shard, and a
@@ -77,6 +85,10 @@ type pendingReq struct {
 	// attempt counts transmissions so far (1 after the first send);
 	// retransmissions reuse id and back off exponentially.
 	attempt int
+
+	// readTgt indexes ReadTargets (mod len) for lin-reads; each
+	// retransmission rotates to the next replica.
+	readTgt int
 }
 
 // Client is an open-loop Poisson load generator attached to a simulated
@@ -94,12 +106,22 @@ type Client struct {
 	pending *r2p2.Pending[pendingReq]
 
 	// Measurement.
-	Latency    *stats.Histogram
-	Sent       uint64 // requests sent in the measurement window
-	Completed  uint64 // responses for measurement-window requests
-	Nacked     uint64 // flow-control rejections (window)
-	Expired    uint64 // requests abandoned after exhausting retries (window)
-	Redirected uint64 // stale-shard-map redirects retried (whole run)
+	Latency *stats.Histogram
+	// ReadLatency/WriteLatency split Latency by request class (read-only
+	// vs replicated write), so read-scale experiments can gate the write
+	// tail separately from the read fast path.
+	ReadLatency     *stats.Histogram
+	WriteLatency    *stats.Histogram
+	CompletedReads  uint64 // read-class completions in the window
+	CompletedWrites uint64 // write-class completions in the window
+	Sent            uint64 // requests sent in the measurement window
+	Completed       uint64 // responses for measurement-window requests
+	Nacked          uint64 // flow-control rejections (window)
+	Expired         uint64 // requests abandoned after exhausting retries (window)
+	Redirected      uint64 // stale-shard-map redirects retried (whole run)
+	// ReadRedirects counts NACKed lin-reads retried immediately against
+	// another replica (whole run).
+	ReadRedirects uint64
 
 	// Retry accounting (whole run — retries cluster around failures,
 	// which rarely align with the measurement window).
@@ -113,6 +135,9 @@ type Client struct {
 	done *ringSet
 
 	shards []*ShardStat // per-group breakdown (sharded mode only)
+
+	// nextRead spreads lin-reads round-robin across ReadTargets.
+	nextRead int
 
 	// Optional time series (all samples, including warmup).
 	Throughput stats.Series // completed/s per interval
@@ -132,6 +157,8 @@ func NewClient(net *simnet.Network, name string, hostCfg simnet.HostConfig, cfg 
 		reasm:        r2p2.NewReassembler(cfg.Timeout),
 		pending:      r2p2.NewPending[pendingReq](),
 		Latency:      stats.NewHistogram(),
+		ReadLatency:  stats.NewHistogram(),
+		WriteLatency: stats.NewHistogram(),
 		intervalHist: stats.NewHistogram(),
 		done:         newRingSet(1 << 16),
 	}
@@ -193,6 +220,16 @@ func (c *Client) sendOne() {
 	} else {
 		req.raw, req.policy = c.cfg.Workload.Next(c.rng)
 	}
+	if req.policy == r2p2.PolicyLinRead && len(c.cfg.ReadTargets) > 0 {
+		if c.cfg.Router != nil {
+			// Shard-aware swarms share the router's rotation so reads
+			// from every client interleave across the replica set.
+			req.readTgt = c.cfg.Router.ReadReplica(len(c.cfg.ReadTargets))
+		} else {
+			req.readTgt = c.nextRead
+			c.nextRead++
+		}
+	}
 	req.payload = len(req.raw)
 	req.inMeas = req.sentAt >= c.cfg.Warmup
 	if req.inMeas {
@@ -220,6 +257,9 @@ func (c *Client) send(req pendingReq) {
 func (c *Client) retransmit(req pendingReq) {
 	req.attempt++
 	c.Retries++
+	if req.policy == r2p2.PolicyLinRead && len(c.cfg.ReadTargets) > 0 {
+		req.readTgt++ // rotate: the replica that failed us is skipped
+	}
 	if c.cfg.Obs.Active() {
 		c.cfg.Obs.Emitf("client", "retransmit", "id=%v attempt=%d", req.id, req.attempt)
 	}
@@ -233,9 +273,13 @@ func (c *Client) transmit(req pendingReq, dgs [][]byte) {
 	if req.group >= 0 {
 		r2p2.StampGroup(dgs, uint8(req.group))
 	}
+	dst := c.cfg.Target
+	if req.policy == r2p2.PolicyLinRead && len(c.cfg.ReadTargets) > 0 {
+		dst = c.cfg.ReadTargets[req.readTgt%len(c.cfg.ReadTargets)]
+	}
 	c.pending.Add(req.id.ReqID, req, c.sim.Now()+c.backoff(req.attempt))
 	for _, dg := range dgs {
-		c.host.Send(&simnet.Packet{Dst: c.cfg.Target, Payload: dg})
+		c.host.Send(&simnet.Packet{Dst: dst, Payload: dg})
 	}
 }
 
@@ -322,6 +366,13 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 		if req.inMeas {
 			c.Completed++
 			c.Latency.RecordDuration(lat)
+			if readClass(req.policy) {
+				c.CompletedReads++
+				c.ReadLatency.RecordDuration(lat)
+			} else {
+				c.CompletedWrites++
+				c.WriteLatency.RecordDuration(lat)
+			}
 			if req.group >= 0 {
 				st := c.shardStat(req.group)
 				st.Completed++
@@ -334,6 +385,23 @@ func (c *Client) onPacket(pkt *simnet.Packet) {
 			if c.done.has(m.ID.ReqID) {
 				c.DupsSuppressed++
 			}
+			return
+		}
+		if req.policy == r2p2.PolicyLinRead && len(c.cfg.ReadTargets) > 0 {
+			// A lin-read NACK is a redirect, not an overload shed: the
+			// replica cannot serve this read (no lease machinery, lagging
+			// applied index, mid-election). Retry against the next
+			// replica immediately — no retry-after hint, no jitter sleep.
+			if req.attempt <= c.cfg.Retries {
+				c.ReadRedirects++
+				c.retransmit(req)
+				return
+			}
+			if req.inMeas {
+				c.Nacked++
+			}
+			c.done.add(m.ID.ReqID)
+			c.cfg.Obs.Abandon(req.id)
 			return
 		}
 		if m.Group == r2p2.GroupInvalid && c.cfg.Router != nil && !req.redirected {
@@ -432,6 +500,7 @@ type Result struct {
 	// around fault events rather than spreading over the window).
 	Retries        uint64
 	DupsSuppressed uint64
+	ReadRedirects  uint64 // NACKed lin-reads retried on another replica
 	Latency        stats.LatencySummary
 	Throughput     *stats.Series
 	TailP99        *stats.Series
@@ -447,6 +516,7 @@ func (c *Client) Result() Result {
 		LossRate:       float64(c.Expired) / d,
 		Retries:        c.Retries,
 		DupsSuppressed: c.DupsSuppressed,
+		ReadRedirects:  c.ReadRedirects,
 		Latency:        c.Latency.Summary(),
 		Throughput:     &c.Throughput,
 		TailP99:        &c.TailP99,
@@ -467,6 +537,7 @@ func Merge(results ...Result) Result {
 		out.LossRate += r.LossRate
 		out.Retries += r.Retries
 		out.DupsSuppressed += r.DupsSuppressed
+		out.ReadRedirects += r.ReadRedirects
 		if r.Latency.P99 > worstP99 {
 			worstP99 = r.Latency.P99
 		}
@@ -509,6 +580,30 @@ func MergeHistograms(clients []*Client) *stats.Histogram {
 	h := stats.NewHistogram()
 	for _, c := range clients {
 		h.Merge(c.Latency)
+	}
+	return h
+}
+
+// readClass reports whether a policy is read-only traffic (lin-read
+// fast path or replicated read-only).
+func readClass(p r2p2.Policy) bool {
+	return p == r2p2.PolicyLinRead || p == r2p2.PolicyReplicatedRO
+}
+
+// MergeReadHistograms merges clients' read-class latency histograms.
+func MergeReadHistograms(clients []*Client) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, c := range clients {
+		h.Merge(c.ReadLatency)
+	}
+	return h
+}
+
+// MergeWriteHistograms merges clients' write-class latency histograms.
+func MergeWriteHistograms(clients []*Client) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, c := range clients {
+		h.Merge(c.WriteLatency)
 	}
 	return h
 }

@@ -108,6 +108,37 @@ func (z *ZipfKeyed) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
 	return key, payload, policy
 }
 
+// YCSBMix adapts the YCSB B/C/D read-heavy mixes: point reads are
+// read-only, updates and inserts replicate. With LinReads set, reads
+// are tagged LIN_READ so the client routes them point-to-point at a
+// single (rotating) replica's lease/read-index fast path instead of
+// ordering them through the log.
+type YCSBMix struct {
+	Gen *ycsb.Mix
+	// LinReads routes reads over the leader-lease fast path.
+	LinReads bool
+}
+
+// Next implements Workload.
+func (y *YCSBMix) Next(rng *rand.Rand) ([]byte, r2p2.Policy) {
+	_, payload, policy := y.NextKeyed(rng)
+	return payload, policy
+}
+
+// NextKeyed implements KeyedWorkload: operations route by record key.
+func (y *YCSBMix) NextKeyed(rng *rand.Rand) ([]byte, []byte, r2p2.Policy) {
+	op := y.Gen.Next(rng)
+	policy := r2p2.PolicyReplicated
+	if op.ReadOnly {
+		if y.LinReads {
+			policy = r2p2.PolicyLinRead
+		} else {
+			policy = r2p2.PolicyReplicatedRO
+		}
+	}
+	return []byte(op.Key), op.Payload, policy
+}
+
 // YCSBE adapts the YCSB workload-E generator: SCANs are read-only,
 // INSERTs are read-write.
 type YCSBE struct {

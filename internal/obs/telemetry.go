@@ -28,6 +28,10 @@ const (
 	QService
 	// QEgress is the reply send (sendmmsg) duration.
 	QEgress
+	// QReadIndex is the lin-read fast-path sojourn: arrival of a
+	// LIN_READ request to the start of its local execution (lease check
+	// or read-index fetch plus the applied-index wait).
+	QReadIndex
 
 	// NumQStages counts the stages above.
 	NumQStages
@@ -35,7 +39,7 @@ const (
 
 var qstageNames = [NumQStages]string{
 	"ingress", "engine", "raft_step", "wal_sync",
-	"apply_queue", "service", "egress",
+	"apply_queue", "service", "egress", "read_index",
 }
 
 func (s QStage) String() string {

@@ -80,7 +80,7 @@ func TestTelemetryMaybeRotate(t *testing.T) {
 
 func TestTelemetryStageNames(t *testing.T) {
 	names := QStageNames()
-	want := []string{"ingress", "engine", "raft_step", "wal_sync", "apply_queue", "service", "egress"}
+	want := []string{"ingress", "engine", "raft_step", "wal_sync", "apply_queue", "service", "egress", "read_index"}
 	if len(names) != len(want) {
 		t.Fatalf("got %d stages", len(names))
 	}

@@ -87,6 +87,13 @@ const (
 	// ordered for linearizability but only the designated replier
 	// executes them.
 	PolicyReplicatedRO
+	// PolicyLinRead requests are linearizable reads served through the
+	// leader-lease read-index fast path: never appended to the log,
+	// executed locally by whichever replica received them once its
+	// applied index passes a leader-ratified read index. Replicas that
+	// cannot honor the guarantee (lease machinery disabled, follower
+	// lagging past the read SLO) NACK so the client redirects.
+	PolicyLinRead
 
 	numPolicies
 )
@@ -99,6 +106,8 @@ func (p Policy) String() string {
 		return "REPLICATED_REQ"
 	case PolicyReplicatedRO:
 		return "REPLICATED_REQ_R"
+	case PolicyLinRead:
+		return "LIN_READ"
 	default:
 		return fmt.Sprintf("POLICY(%d)", uint8(p))
 	}
@@ -214,6 +223,10 @@ type Msg struct {
 
 // IsReadOnly reports whether the message was tagged REPLICATED_REQ_R.
 func (m *Msg) IsReadOnly() bool { return m.Policy == PolicyReplicatedRO }
+
+// IsLinRead reports whether the message rides the leader-lease
+// read-index fast path (LIN_READ).
+func (m *Msg) IsLinRead() bool { return m.Policy == PolicyLinRead }
 
 // GroupInvalid on a NACK marks a shard-routing redirect (the receiver
 // does not serve the request's group under its current shard map), as

@@ -33,6 +33,14 @@ type Config struct {
 	// MTU payload size keeps every metadata append in a single datagram
 	// and lets the pipeline (see MaxInflightEntries) provide throughput.
 	MaxBatchBytes int
+	// DriftTicks is the clock-drift safety margin of the leader lease:
+	// the lease extends ElectionTicks-DriftTicks ticks past the
+	// quorum-ack watermark (see LeaseValid). A follower that echoed a
+	// probe will not grant a vote for at least ElectionTicks of its own
+	// clock; DriftTicks covers its clock running fast relative to the
+	// leader's. Defaults to ElectionTicks/10 (minimum 1) and is clamped
+	// so the lease never reaches the full election timeout.
+	DriftTicks int
 	// Rand supplies election jitter. Required for determinism under the
 	// simulator; nil uses a fixed-seed source.
 	Rand *rand.Rand
@@ -69,6 +77,15 @@ func (c *Config) validate() error {
 	if c.MaxInflightEntries <= 0 {
 		c.MaxInflightEntries = 4096
 	}
+	if c.DriftTicks <= 0 {
+		c.DriftTicks = c.ElectionTicks / 10
+		if c.DriftTicks < 1 {
+			c.DriftTicks = 1
+		}
+	}
+	if c.DriftTicks >= c.ElectionTicks {
+		c.DriftTicks = c.ElectionTicks - 1
+	}
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(int64(c.ID)))
 	}
@@ -87,6 +104,10 @@ type Progress struct {
 	// Applied is the follower's applied index, piggybacked on
 	// AppendEntries replies (HovercRaft §3.4).
 	Applied uint64
+	// ackedProbe is the largest lease-probe stamp the follower has
+	// echoed this term — the latest leader tick at which the follower
+	// provably received an append (and reset its election timer).
+	ackedProbe uint64
 	// pendingSnap is set while a snapshot transfer is outstanding.
 	pendingSnap bool
 }
@@ -123,6 +144,12 @@ type Node struct {
 	// immutable once an entry has been sent to any follower).
 	repLimit uint64
 
+	// ticks counts every Tick since construction — the lease clock.
+	// It is monotonic across role changes (probe stamps from different
+	// terms stay comparable at the stamping leader) and deliberately
+	// volatile: a restarted node starts a fresh clock and holds no lease.
+	ticks uint64
+
 	msgs []Message
 	// spare is the outbox double buffer: ReadMessages hands out one
 	// array while new sends fill the other, so steady-state draining
@@ -130,6 +157,8 @@ type Node struct {
 	spare []Message
 	// matchScratch is reused by maybeCommit's quorum count.
 	matchScratch []uint64
+	// probeScratch is reused by AckWatermark's quorum count.
+	probeScratch []uint64
 }
 
 // NewNode creates a node. It panics on invalid configuration (a startup
@@ -275,6 +304,7 @@ func (n *Node) Campaign() {
 
 // Tick advances the node's logical clock by one tick.
 func (n *Node) Tick() {
+	n.ticks++
 	switch n.state {
 	case StateLeader:
 		n.heartbeatElapsed++
@@ -405,6 +435,7 @@ func (n *Node) sendAppend(to NodeID) {
 		Index: prevIdx, LogTerm: prevTerm,
 		Entries: entries,
 		Commit:  n.log.Commit(),
+		Probe:   n.ticks,
 	})
 	// Advance Next optimistically so the next paced broadcast ships new
 	// entries instead of re-sending this in-flight window every tick.
@@ -438,6 +469,7 @@ func (n *Node) AppendMsgFrom(next uint64, to NodeID, maxEntries int) (Message, b
 		Index: prevIdx, LogTerm: prevTerm,
 		Entries: n.log.View(next, hi, maxEntries, n.cfg.MaxBatchBytes),
 		Commit:  n.log.Commit(),
+		Probe:   n.ticks,
 	}
 	return m, true
 }
@@ -486,6 +518,90 @@ func (n *Node) maybeCommit() bool {
 		return n.log.CommitTo(candidate)
 	}
 	return false
+}
+
+// --- leader lease / read index ---------------------------------------
+
+// Ticks returns the node's logical clock (Tick count since construction).
+func (n *Node) Ticks() uint64 { return n.ticks }
+
+// AckWatermark returns the latest tick at which this leader provably
+// still held a quorum: the quorum-th largest of the echoed probe stamps,
+// the leader standing in for itself at the current tick. Zero when not
+// leader or before the first quorum echo round of this term.
+//
+// Safety: a follower echoes probe T only after receiving an append we
+// stamped at our tick T, and receipt reset its election timer — so it
+// cannot grant a vote until at least ElectionTicks of its own clock
+// later. With a quorum acked at tick W, no rival can assemble a quorum
+// (which must intersect ours) before W + ElectionTicks, less clock
+// drift.
+func (n *Node) AckWatermark() uint64 {
+	if n.state != StateLeader {
+		return 0
+	}
+	probes := n.probeScratch[:0]
+	for id, pr := range n.prs {
+		if id == n.cfg.ID {
+			probes = append(probes, n.ticks)
+		} else {
+			probes = append(probes, pr.ackedProbe)
+		}
+	}
+	n.probeScratch = probes
+	for i := 1; i < len(probes); i++ { // descending insertion sort
+		for j := i; j > 0 && probes[j] > probes[j-1]; j-- {
+			probes[j], probes[j-1] = probes[j-1], probes[j]
+		}
+	}
+	return probes[n.Quorum()-1]
+}
+
+// leaseTicks is the lease length: the election timeout minus the
+// configured clock-drift bound. resetElectionTimer randomizes actual
+// follower timeouts in [ElectionTicks, 2*ElectionTicks), so the base
+// ElectionTicks is already the conservative end.
+func (n *Node) leaseTicks() uint64 {
+	return uint64(n.cfg.ElectionTicks - n.cfg.DriftTicks)
+}
+
+// termCommitted reports whether this term's noop has committed — before
+// that the inherited commit index may trail entries an earlier leader
+// already committed elsewhere, so it must not anchor a read (Raft §8).
+func (n *Node) termCommitted() bool {
+	t, ok := n.log.Term(n.log.Commit())
+	return ok && t == n.term
+}
+
+// LeaseValid reports whether the leader currently holds a read lease:
+// a quorum acknowledged one of its probes within the last
+// ElectionTicks-DriftTicks ticks, and this term's noop has committed.
+// While it holds, no other node can win an election, so the local
+// commit index is linearizable to read from without a network round.
+func (n *Node) LeaseValid() bool {
+	if n.state != StateLeader || !n.termCommitted() {
+		return false
+	}
+	wm := n.AckWatermark()
+	return wm > 0 && n.ticks < wm+n.leaseTicks()
+}
+
+// ReadIndex captures the commit index for a linearizable read.
+// ok=false when this node is not a leader able to serve reads (not
+// leader, or its term noop has not committed yet). confirm==0 means the
+// lease already ratifies the index: serve the read as soon as the
+// applied index reaches it. Otherwise confirm is the capture tick — the
+// caller must hold the read until AckWatermark() >= confirm, i.e. until
+// a quorum echoes a probe from the capture point or later (the
+// heartbeat-round confirmation of classic ReadIndex).
+func (n *Node) ReadIndex() (index uint64, confirm uint64, ok bool) {
+	if n.state != StateLeader || !n.termCommitted() {
+		return 0, 0, false
+	}
+	if n.LeaseValid() {
+		return n.log.Commit(), 0, true
+	}
+	return n.log.Commit(), n.ticks, true
 }
 
 // --- stepping --------------------------------------------------------
@@ -564,11 +680,14 @@ func (n *Node) handleAppend(m Message) {
 	n.lead = m.From
 	n.resetElectionTimer()
 
+	// Every reply below echoes m.Probe: whether or not the entries fit
+	// our log, receiving the append reset our election timer, which is
+	// exactly what the leader's lease watermark counts.
 	if m.Index < n.log.Commit() {
 		// Stale append below our commit point: it cannot conflict;
 		// just report where we are.
 		n.send(Message{Type: MsgAppResp, To: m.From, Success: true,
-			MatchIndex: n.log.Commit(), AppliedIndex: n.log.Applied()})
+			MatchIndex: n.log.Commit(), AppliedIndex: n.log.Applied(), Probe: m.Probe})
 		return
 	}
 	last, ok := n.log.TryAppend(m.Index, m.LogTerm, m.Entries)
@@ -583,7 +702,7 @@ func (n *Node) handleAppend(m Message) {
 			hint = n.log.Commit()
 		}
 		n.send(Message{Type: MsgAppResp, To: m.From, Success: false,
-			RejectHint: hint, AppliedIndex: n.log.Applied()})
+			RejectHint: hint, AppliedIndex: n.log.Applied(), Probe: m.Probe})
 		return
 	}
 	if len(m.Entries) > 0 {
@@ -595,7 +714,7 @@ func (n *Node) handleAppend(m Message) {
 	}
 	n.log.CommitTo(commit)
 	n.send(Message{Type: MsgAppResp, To: m.From, Success: true,
-		MatchIndex: last, AppliedIndex: n.log.Applied()})
+		MatchIndex: last, AppliedIndex: n.log.Applied(), Probe: m.Probe})
 }
 
 func (n *Node) handleAppendResp(m Message) {
@@ -607,6 +726,11 @@ func (n *Node) handleAppendResp(m Message) {
 		return
 	}
 	pr.Applied = m.AppliedIndex
+	if m.Probe > pr.ackedProbe {
+		// Lease evidence even on rejection: the follower received (and
+		// election-timer-reset on) an append we stamped at this tick.
+		pr.ackedProbe = m.Probe
+	}
 	if !m.Success {
 		// Back off Next using the follower's hint and retry at once.
 		next := m.RejectHint + 1

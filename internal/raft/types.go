@@ -181,6 +181,15 @@ type Message struct {
 	// MsgAppResp (HovercRaft §3.4 — feeds bounded queues and JBSQ).
 	AppliedIndex uint64
 
+	// Probe is the leader-lease clock echo. The leader stamps every
+	// MsgApp with its local tick count at send time; the follower echoes
+	// the stamp verbatim on its MsgAppResp (accept or reject — either
+	// way receipt reset its election timer). The quorum-th largest echo
+	// is the tick at which the leader provably still held a quorum, the
+	// anchor of the read lease. Zero means "no probe" (vote traffic,
+	// snapshots, engine-synthesized applied reports).
+	Probe uint64
+
 	// SnapData is the application snapshot blob (MsgSnap).
 	SnapData []byte
 }

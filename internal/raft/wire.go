@@ -18,8 +18,8 @@ import (
 var ErrBadMessage = errors.New("raft: malformed wire message")
 
 const (
-	msgFixedSize   = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 1 + 8 + 8 + 8 + 4 + 4 // 74
-	entryFixedSize = 8 + 8 + 1 + 4 + 10 + 8 + 4                        // 43
+	msgFixedSize   = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 1 + 8 + 8 + 8 + 8 + 4 + 4 // 82
+	entryFixedSize = 8 + 8 + 1 + 4 + 10 + 8 + 4                            // 43
 	// nilData marks an absent request body (metadata-only entry) as
 	// opposed to a present-but-empty one.
 	nilData = 0xFFFFFFFF
@@ -46,12 +46,13 @@ func EncodeMessage(m *Message, buf []byte) []byte {
 	binary.BigEndian.PutUint64(fix[42:50], m.MatchIndex)
 	binary.BigEndian.PutUint64(fix[50:58], m.RejectHint)
 	binary.BigEndian.PutUint64(fix[58:66], m.AppliedIndex)
-	binary.BigEndian.PutUint32(fix[66:70], uint32(len(m.Entries)))
+	binary.BigEndian.PutUint64(fix[66:74], m.Probe)
+	binary.BigEndian.PutUint32(fix[74:78], uint32(len(m.Entries)))
 	snapLen := uint32(nilData)
 	if m.SnapData != nil {
 		snapLen = uint32(len(m.SnapData))
 	}
-	binary.BigEndian.PutUint32(fix[70:74], snapLen)
+	binary.BigEndian.PutUint32(fix[78:82], snapLen)
 	buf = append(buf, fix[:]...)
 	for i := range m.Entries {
 		buf = encodeEntry(&m.Entries[i], buf)
@@ -101,12 +102,13 @@ func DecodeMessage(b []byte) (*Message, error) {
 		MatchIndex:   binary.BigEndian.Uint64(b[42:50]),
 		RejectHint:   binary.BigEndian.Uint64(b[50:58]),
 		AppliedIndex: binary.BigEndian.Uint64(b[58:66]),
+		Probe:        binary.BigEndian.Uint64(b[66:74]),
 	}
 	if m.Type >= numMsgTypes {
 		return nil, ErrBadMessage
 	}
-	nEntries := binary.BigEndian.Uint32(b[66:70])
-	snapLen := binary.BigEndian.Uint32(b[70:74])
+	nEntries := binary.BigEndian.Uint32(b[74:78])
+	snapLen := binary.BigEndian.Uint32(b[78:82])
 	rest := b[msgFixedSize:]
 	if nEntries > 0 {
 		if nEntries > 1<<20 {

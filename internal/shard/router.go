@@ -22,6 +22,7 @@ type Router struct {
 
 	redirects uint64
 	refreshes uint64
+	readRR    uint64
 }
 
 // NewRouter wraps a map; refresh may be nil for static deployments.
@@ -43,6 +44,24 @@ func (r *Router) Route(key []byte) GroupID {
 
 // Groups returns the current map's group count.
 func (r *Router) Groups() int { return r.Map().Groups() }
+
+// ReadReplica picks the replica (an index into the caller's
+// replica/read-target list, 0 when it is empty) for the next
+// linearizable read. Leased reads are point-to-point — one replica
+// serves each from local state — so spreading them matters: a shared
+// router rotates reads from every calling client round-robin across
+// the whole replica set instead of letting per-client rotations
+// accidentally align on one node.
+func (r *Router) ReadReplica(replicas int) int {
+	if replicas <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.readRR
+	r.readRR++
+	return int(i % uint64(replicas))
+}
 
 // OnRedirect records a shard-map-staleness redirect and refreshes the
 // map. It reports whether the map changed — if it did, the caller should

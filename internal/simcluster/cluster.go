@@ -73,6 +73,21 @@ type Options struct {
 	MaxInflightEntries int
 	MaxBatchBytes      int
 
+	// ReadLease enables the leader-lease/ReadIndex linearizable read
+	// fast path (core.Config.ReadLease): LIN_READ requests sent
+	// point-to-point to any replica are served locally without log
+	// replication. The lease clock is the engine tick — virtual time
+	// here — so same-seed runs stay bit-identical.
+	ReadLease bool
+	// ReadStalenessBudget relaxes follower reads to bounded staleness
+	// (core.Config.ReadStalenessBudget). 0 = strict linearizability.
+	ReadStalenessBudget time.Duration
+	// ReadNackAfter is the read SLO bound before a replica NACKs a
+	// queued read (core.Config.ReadNackAfter; 0 = 500µs).
+	ReadNackAfter time.Duration
+	// DriftTicks is the lease clock-drift margin (raft.Config.DriftTicks).
+	DriftTicks int
+
 	// FlowLimit caps in-flight requests at the middlebox (0 = 4096).
 	FlowLimit int
 
@@ -358,6 +373,11 @@ func (c *Cluster) buildEngine(n *Node) {
 
 			MaxInflightEntries: opts.MaxInflightEntries,
 			MaxBatchBytes:      opts.MaxBatchBytes,
+
+			ReadLease:           opts.ReadLease,
+			ReadStalenessBudget: opts.ReadStalenessBudget,
+			ReadNackAfter:       opts.ReadNackAfter,
+			DriftTicks:          opts.DriftTicks,
 		}, &nodeTransport{c: c, host: n.Host}, runner)
 	}
 	var handler runtime.Handler
@@ -537,6 +557,22 @@ func (c *Cluster) NodeByID(id raft.NodeID) *Node {
 		}
 	}
 	return nil
+}
+
+// NodeAddr returns the network address of one node — where lin-read
+// clients send point-to-point LIN_READ requests (reads bypass the
+// middlebox and its request multicast entirely).
+func (c *Cluster) NodeAddr(id raft.NodeID) simnet.Addr { return c.addrOf[id] }
+
+// NodeAddrs returns every node's address in ID order: the read-target
+// rotation set for loadgen clients spreading lin-reads across the
+// group.
+func (c *Cluster) NodeAddrs() []simnet.Addr {
+	addrs := make([]simnet.Addr, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		addrs = append(addrs, c.addrOf[n.ID])
+	}
+	return addrs
 }
 
 // Run advances the simulation to the given virtual time.

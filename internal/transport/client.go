@@ -39,6 +39,7 @@ type Client struct {
 	drv     *runtime.Driver
 	waiting map[uint32]*callState
 	start   time.Time
+	readTgt int // rotates CallRead across peers (under mu)
 
 	closed  chan struct{}
 	closeMu sync.Once
@@ -55,10 +56,13 @@ type clientResult struct {
 // callState tracks one in-flight request. Because requests fan out to
 // every node, VanillaRaft followers NACK-redirect while the leader
 // answers; a call only fails on NACK once every peer rejected it.
+// Point-to-point attempts (lin-reads) set expect=1: the one replica
+// asked is the only one that will answer.
 type callState struct {
-	ch    chan clientResult
-	nacks int
-	hint  time.Duration
+	ch     chan clientResult
+	nacks  int
+	expect int // NACKs that fail the attempt (0 = every peer)
+	hint   time.Duration
 }
 
 // ErrTimeout reports that all attempts of a Call expired.
@@ -180,9 +184,14 @@ func (h *clientHandler) HandleMessage(m *r2p2.Msg) {
 			return
 		}
 		// Legacy empty NACK: a follower redirect; the leader may still
-		// answer, so the attempt only fails once every peer rejected it.
+		// answer, so the attempt only fails once every peer rejected it
+		// — except point-to-point attempts, which asked exactly one.
 		st.nacks++
-		if st.nacks >= len(h.peers) {
+		exp := st.expect
+		if exp <= 0 {
+			exp = len(h.peers)
+		}
+		if st.nacks >= exp {
 			delete(h.waiting, m.ID.ReqID)
 			st.ch <- clientResult{nack: true, retryAfter: st.hint}
 		}
@@ -256,6 +265,65 @@ func (c *Client) Call(cmd []byte, readOnly bool) ([]byte, error) {
 			if res.nack {
 				hinted = res.retryAfter
 				lastErr = errors.New("transport: request rejected (redirect/overload)")
+				continue
+			}
+			return res.payload, nil
+		case <-time.After(c.opts.Timeout):
+			lastErr = ErrTimeout
+		case <-c.closed:
+			return nil, errors.New("transport: client closed")
+		}
+	}
+	return nil, lastErr
+}
+
+// CallRead executes a linearizable read through the leased read-index
+// fast path (LIN_READ): the request goes point-to-point to ONE replica
+// — successive reads rotate round-robin so read load spreads across the
+// whole cluster — which serves it from local state once its applied
+// index passes a leader-ratified read index, never touching the log,
+// the WAL, or replication.
+//
+// A NACK here is a redirect ("I can't serve this read": no lease
+// machinery, lagging applied index, mid-election), not an overload
+// signal, so the retry goes to the next replica immediately — no
+// backoff sleep, unlike Call's write path. Requires servers running
+// with read leases enabled; against a cluster without them every
+// replica NACKs and the call fails after exhausting the rotation.
+func (c *Client) CallRead(cmd []byte) ([]byte, error) {
+	c.mu.Lock()
+	id, dgs := c.r2cl.NewRequest(r2p2.PolicyLinRead, cmd)
+	st := &callState{ch: make(chan clientResult, 1), expect: 1}
+	c.waiting[id.ReqID] = st
+	tgt := c.readTgt
+	c.readTgt++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiting, id.ReqID)
+		c.mu.Unlock()
+	}()
+
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			// The previous attempt was deregistered (NACK) or may race a
+			// late reply (timeout); re-register under the same request ID
+			// so the dedup/reply path still matches.
+			c.mu.Lock()
+			st.nacks = 0
+			c.waiting[id.ReqID] = st
+			c.mu.Unlock()
+		}
+		peer := c.peers[(tgt+attempt)%len(c.peers)]
+		sn := c.sendPool.Get().(*sender)
+		sn.sendTo(c.conn, c.rawConn, peer, dgs)
+		c.sendPool.Put(sn)
+		select {
+		case res := <-st.ch:
+			if res.nack {
+				// Redirect: rotate to the next replica right away.
+				lastErr = errors.New("transport: read redirected")
 				continue
 			}
 			return res.payload, nil

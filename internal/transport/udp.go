@@ -138,6 +138,25 @@ type ServerConfig struct {
 	Admission admission.Config
 	// AdmissionLimit is the admit-window ceiling (0 = 4096).
 	AdmissionLimit int
+	// ReadLease enables the linearizable read fast path (core.Config
+	// ReadLease): LIN_READ requests are served from local state under a
+	// heartbeat-ratified leader lease instead of entering the log. Off
+	// by default: nodes NACK LIN_READs so clients fall back to ordered
+	// reads.
+	ReadLease bool
+	// ReadStalenessBudget throttles a follower to one read-index fetch
+	// per budget window; reads arriving within the window share that one
+	// leader round (still strictly linearizable — the budget bounds
+	// queueing, never staleness). 0 fetches as fast as one-in-flight
+	// batching allows.
+	ReadStalenessBudget time.Duration
+	// ReadNackAfter bounds how long a LIN_READ may queue before the
+	// replica NACKs it so the client redirects. 0 scales the engine's
+	// 500µs simulator default to kernel-UDP timers: 20 ticks.
+	ReadNackAfter time.Duration
+	// DriftTicks is the clock-drift margin subtracted from the election
+	// timeout when sizing the leader lease (0 = raft default).
+	DriftTicks int
 }
 
 // Server is a running HovercRaft node on one or more UDP sockets.
@@ -364,20 +383,30 @@ func NewServer(cfg ServerConfig, svc app.Service) (*Server, error) {
 	if sn, ok := svc.(core.Snapshotter); ok && cfg.CompactEvery > 0 {
 		snapshotter = sn
 	}
+	if cfg.ReadLease && cfg.ReadNackAfter <= 0 {
+		// The engine's 500µs default assumes simulator latencies; kernel
+		// UDP timers are ms-scale, so give queued reads a few fetch
+		// round-trips before NACK-redirecting the client.
+		cfg.ReadNackAfter = 20 * cfg.TickInterval
+	}
 	s.engine = core.NewEngine(core.Config{
 		Mode: cfg.Mode, ID: raft.NodeID(cfg.ID), Peers: ids,
-		TickInterval:       cfg.TickInterval,
-		ElectionTicks:      cfg.ElectionTicks,
-		HeartbeatTicks:     cfg.HeartbeatTicks,
-		Bound:              cfg.Bound,
-		Policy:             cfg.Policy,
-		DisableReplyLB:     cfg.DisableReplyLB,
-		MaxInflightEntries: cfg.MaxInflightEntries,
-		MaxBatchBytes:      cfg.MaxBatchBytes,
-		Storage:            cfg.Storage,
-		Snapshotter:        snapshotter,
-		CompactEvery:       cfg.CompactEvery,
-		Tel:                s.tel,
+		TickInterval:        cfg.TickInterval,
+		ElectionTicks:       cfg.ElectionTicks,
+		HeartbeatTicks:      cfg.HeartbeatTicks,
+		Bound:               cfg.Bound,
+		Policy:              cfg.Policy,
+		DisableReplyLB:      cfg.DisableReplyLB,
+		MaxInflightEntries:  cfg.MaxInflightEntries,
+		MaxBatchBytes:       cfg.MaxBatchBytes,
+		Storage:             cfg.Storage,
+		Snapshotter:         snapshotter,
+		CompactEvery:        cfg.CompactEvery,
+		Tel:                 s.tel,
+		ReadLease:           cfg.ReadLease,
+		ReadStalenessBudget: cfg.ReadStalenessBudget,
+		ReadNackAfter:       cfg.ReadNackAfter,
+		DriftTicks:          cfg.DriftTicks,
 		// Real networks have ms-scale timers; scale the unordered GC.
 		UnorderedTimeout: 10 * time.Second,
 	}, (*serverTransport)(s), (*serverRunner)(s))
@@ -817,7 +846,11 @@ func (h *serverHandler) HandleMessage(m *r2p2.Msg) {
 		// permissive — requests fan out to every node, and only the
 		// leader's verdict is authoritative (a follower NACK would race
 		// an admitted request's response in the client's fan-in count).
-		if h.admit != nil && h.engine.IsLeader() &&
+		// LIN_READs bypass admission entirely: they never enter the
+		// replication path the window protects, and a hinted NACK would
+		// put the client into write-style backoff when the read protocol
+		// is an immediate redirect to the next replica.
+		if h.admit != nil && h.engine.IsLeader() && m.Policy != r2p2.PolicyLinRead &&
 			!h.admit.Admit(m.ID.SrcPort, m.ID.ReqID, time.Since(h.start)) {
 			(*serverTransport)(h).enqueue(h.clients[k],
 				[]*wire.Buf{r2p2.MakeNackHintBuf(m.ID, h.admit.NackHint)})

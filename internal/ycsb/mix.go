@@ -1,0 +1,124 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hovercraft/internal/kvstore"
+)
+
+// Mix generates the YCSB core read/update/insert workloads (B, C, D):
+// point reads (SCAN of one record — read-only, same codec as E), full
+// record updates, and appends to the keyspace. Proportions must sum to
+// at most 1; the remainder falls to reads.
+type Mix struct {
+	// ReadProportion / UpdateProportion / InsertProportion select the
+	// operation mix. Workload B: 0.95/0.05/0; C: 1/0/0; D: 0.95/0/0.05.
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+
+	records uint64
+	chooser Chooser
+	fields  []kvstore.Field
+}
+
+// Latest is YCSB's latest-distribution chooser (workload D: "read the
+// newest records"): a zipfian over recency — item n-1-z for zipf draw z
+// — so the most recently inserted records are the most popular.
+type Latest struct {
+	z     *Zipfian
+	items uint64
+}
+
+// NewLatest returns a latest-skewed chooser over [0, items).
+func NewLatest(items uint64) *Latest {
+	return &Latest{z: NewZipfian(items), items: items}
+}
+
+// SetItems grows the keyspace; popularity follows the new tail.
+func (l *Latest) SetItems(n uint64) {
+	l.z.SetItems(n)
+	l.items = n
+}
+
+// Next draws a recency-skewed record number.
+func (l *Latest) Next(rng *rand.Rand) uint64 {
+	z := l.z.Next(rng)
+	if z >= l.items {
+		z = l.items - 1
+	}
+	return l.items - 1 - z
+}
+
+func mixFields() []kvstore.Field {
+	fields := make([]kvstore.Field, FieldCount)
+	for i := range fields {
+		val := make([]byte, FieldLength)
+		for j := range val {
+			val[j] = byte('a' + (i+j)%26)
+		}
+		fields[i] = kvstore.Field{Name: fmt.Sprintf("field%d", i), Value: val}
+	}
+	return fields
+}
+
+// NewWorkloadB returns YCSB B: 95% read / 5% update, zipfian keys.
+func NewWorkloadB(records uint64) *Mix {
+	return &Mix{
+		ReadProportion: 0.95, UpdateProportion: 0.05,
+		records: records, chooser: NewScrambledZipfian(records),
+		fields: mixFields(),
+	}
+}
+
+// NewWorkloadC returns YCSB C: 100% read, zipfian keys.
+func NewWorkloadC(records uint64) *Mix {
+	return &Mix{
+		ReadProportion: 1,
+		records:        records, chooser: NewScrambledZipfian(records),
+		fields: mixFields(),
+	}
+}
+
+// NewWorkloadD returns YCSB D: 95% read / 5% insert, latest-skewed
+// reads (fresh inserts are the hot set).
+func NewWorkloadD(records uint64) *Mix {
+	return &Mix{
+		ReadProportion: 0.95, InsertProportion: 0.05,
+		records: records, chooser: NewLatest(records),
+		fields: mixFields(),
+	}
+}
+
+// Records returns the current record count.
+func (w *Mix) Records() uint64 { return w.records }
+
+// LoadOps returns the initial-load INSERT operations for the table.
+func (w *Mix) LoadOps() []Op {
+	ops := make([]Op, 0, w.records)
+	for i := uint64(0); i < w.records; i++ {
+		ops = append(ops, Op{Payload: kvstore.EncodeInsert(Key(i), w.fields), Key: Key(i)})
+	}
+	return ops
+}
+
+// Next generates one operation.
+func (w *Mix) Next(rng *rand.Rand) Op {
+	p := rng.Float64()
+	switch {
+	case p < w.InsertProportion:
+		key := Key(w.records)
+		w.records++
+		w.chooser.SetItems(w.records)
+		return Op{Payload: kvstore.EncodeInsert(key, w.fields), Key: key}
+	case p < w.InsertProportion+w.UpdateProportion:
+		key := Key(w.chooser.Next(rng))
+		return Op{Payload: kvstore.EncodeInsert(key, w.fields), Key: key}
+	default:
+		// Point read: a one-record SCAN — read-only at the codec level,
+		// so it needs no new kvstore opcode.
+		key := Key(w.chooser.Next(rng))
+		return Op{Payload: kvstore.EncodeScan(key, 1), Key: key, ReadOnly: true}
+	}
+}
